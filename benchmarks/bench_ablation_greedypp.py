@@ -1,0 +1,53 @@
+"""Ablation: Greedy++ convergence to the flow-exact densest subgraph.
+
+Greedy++ (iterated load-aware peeling) is the anytime alternative to the
+exact flow engines.  This bench tracks the best density after 1 / 4 / 16 /
+64 rounds against the exact optimum: round 1 is Charikar's
+1/2-approximation, and the gap should close as rounds grow.
+"""
+
+import random
+import time
+
+from repro.dense.goldberg import densest_subgraph
+from repro.dense.greedypp import greedypp_densest
+from repro.experiments.common import format_table
+from repro.graph.generators import barabasi_albert, erdos_renyi
+
+from .conftest import emit
+
+ROUNDS = (1, 4, 16, 64)
+
+
+def test_greedypp_convergence(benchmark):
+    rng = random.Random(2023)
+    graphs = {
+        "BA40": barabasi_albert(40, 4, rng),
+        "BA80": barabasi_albert(80, 4, rng),
+        "ER40": erdos_renyi(40, 0.2, rng),
+    }
+
+    def run():
+        rows = []
+        for name, graph in graphs.items():
+            exact = densest_subgraph(graph).density
+            start = time.perf_counter()
+            result = greedypp_densest(graph, rounds=max(ROUNDS))
+            elapsed = time.perf_counter() - start
+            ratios = [
+                float(result.history[r - 1] / exact) for r in ROUNDS
+            ]
+            rows.append([name, float(exact)] + ratios + [elapsed])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_greedypp", format_table(
+        ["Graph", "rho*"] + [f"ratio@{r}" for r in ROUNDS] + ["Time(s)"],
+        rows,
+    ))
+    for row in rows:
+        ratios = row[2:2 + len(ROUNDS)]
+        # round 1 is a 1/2-approximation; ratios never decrease; never exceed 1
+        assert ratios[0] >= 0.5 - 1e-12
+        assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] <= 1.0 + 1e-12

@@ -1,0 +1,49 @@
+"""Ablation: Dinic vs FIFO push-relabel on the paper's flow networks.
+
+Both engines run in exact arithmetic over the same
+:class:`~repro.flow.network.FlowNetwork`; this bench checks they agree on
+the max-flow value of Goldberg-style density networks (the library's actual
+workload) and compares their runtimes across graph sizes.
+"""
+
+import random
+import time
+from fractions import Fraction
+
+from repro.dense.goldberg import SINK, SOURCE, build_edge_density_network
+from repro.experiments.common import format_table
+from repro.flow.maxflow import max_flow
+from repro.flow.push_relabel import push_relabel_max_flow
+from repro.graph.generators import barabasi_albert
+
+from .conftest import emit
+
+
+def test_dinic_vs_push_relabel(benchmark):
+    rng = random.Random(2023)
+    graphs = {f"BA{n}": barabasi_albert(n, 4, rng) for n in (30, 60, 120)}
+
+    def run():
+        rows = []
+        for name, graph in graphs.items():
+            alpha = Fraction(graph.number_of_edges(), graph.number_of_nodes())
+            net_dinic = build_edge_density_network(graph, alpha)
+            start = time.perf_counter()
+            dinic_value = max_flow(net_dinic, SOURCE, SINK)
+            dinic_time = time.perf_counter() - start
+            net_pr = build_edge_density_network(graph, alpha)
+            start = time.perf_counter()
+            pr_value = push_relabel_max_flow(net_pr, SOURCE, SINK)
+            pr_time = time.perf_counter() - start
+            rows.append([
+                name, graph.number_of_edges(), dinic_time, pr_time,
+                dinic_value == pr_value,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_maxflow", format_table(
+        ["Graph", "m", "Dinic(s)", "PushRelabel(s)", "Match"], rows,
+    ))
+    for row in rows:
+        assert row[4], f"flow values disagree on {row[0]}"

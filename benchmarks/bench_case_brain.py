@@ -1,0 +1,21 @@
+"""Section VI-F case study: TD vs ASD brain networks (Figs. 8-15)."""
+
+from repro.experiments import format_brain_case, run_brain_case
+
+from .conftest import emit
+
+
+def test_brain_case(benchmark):
+    def run():
+        td = run_brain_case("TD", subjects=30, theta=20)
+        asd = run_brain_case("ASD", subjects=30, theta=20)
+        return td, asd
+
+    td, asd = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("case_brain_td_vs_asd", format_brain_case(td, asd))
+    # the paper's two neuroscience signatures
+    assert asd.mpds_lobes == {"occipital"}
+    assert len(td.mpds_lobes) >= 2
+    assert len(asd.mpds_unpaired) <= len(td.mpds_unpaired)
+    # the EDS cannot distinguish: diffuse for both groups
+    assert len(td.eds_lobes) >= 2 and len(asd.eds_lobes) >= 2

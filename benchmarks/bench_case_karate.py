@@ -1,0 +1,16 @@
+"""Section VI-E case study: Karate Club communities (Figs. 6-7)."""
+
+from repro.experiments import format_karate_case, run_karate_case
+
+from .conftest import emit
+
+
+def test_karate_case(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_karate_case(theta=160), rounds=1, iterations=1,
+    )
+    emit("case_karate_communities", format_karate_case(result))
+    # the MPDS is a pure single-faction community, the DDS is not
+    assert result.purities["MPDS"] == 1.0
+    assert result.purities["DDS"] < 1.0
+    assert len(result.mpds) < len(result.dds)

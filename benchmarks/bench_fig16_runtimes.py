@@ -1,0 +1,71 @@
+"""Fig. 16: MPDS / NDS runtimes across density notions and datasets."""
+
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.experiments import format_fig16, run_fig16_mpds, run_fig16_nds
+from repro.patterns.pattern import Pattern
+
+from .conftest import BENCH_LARGE, BENCH_SMALL, emit
+
+
+def test_fig16a_edge_clique_mpds(benchmark):
+    measures = {
+        "edge": EdgeDensity(),
+        "3-clique": CliqueDensity(3),
+        "4-clique": CliqueDensity(4),
+        "5-clique": CliqueDensity(5),
+    }
+    rows = benchmark.pedantic(
+        lambda: run_fig16_mpds(datasets=BENCH_SMALL, measures=measures,
+                               panel="a", theta=12),
+        rounds=1, iterations=1,
+    )
+    emit("fig16a_mpds_edge_clique", format_fig16(rows))
+    by_key = {(r.dataset, r.notion): r.seconds for r in rows}
+    for dataset in BENCH_SMALL:
+        # the paper's shape: edge density is the cheapest notion (with a
+        # 1.5x tolerance -- wall-clock on a shared machine is noisy)
+        cliques = [by_key[(dataset, f"{h}-clique")] for h in (3, 4, 5)]
+        assert by_key[(dataset, "edge")] <= 1.5 * max(cliques), dataset
+
+
+def test_fig16b_pattern_mpds(benchmark):
+    measures = {
+        p.name: PatternDensity(p)
+        for p in (Pattern.two_star(), Pattern.diamond())
+    }
+    rows = benchmark.pedantic(
+        lambda: run_fig16_mpds(
+            datasets={"KarateClub": BENCH_SMALL["KarateClub"]},
+            measures=measures, panel="b", theta=12,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig16b_mpds_patterns", format_fig16(rows))
+    assert all(r.seconds > 0 for r in rows)
+
+
+def test_fig16c_edge_clique_nds(benchmark):
+    measures = {"edge": EdgeDensity(), "3-clique": CliqueDensity(3)}
+    rows = benchmark.pedantic(
+        lambda: run_fig16_nds(datasets=BENCH_LARGE, measures=measures,
+                              panel="c", theta=8),
+        rounds=1, iterations=1,
+    )
+    emit("fig16c_nds_edge_clique", format_fig16(rows))
+    assert all(r.seconds > 0 for r in rows)
+
+
+def test_fig16d_heuristic_pattern_nds(benchmark):
+    measures = {
+        p.name: PatternDensity(p)
+        for p in (Pattern.two_star(), Pattern.three_star())
+    }
+    rows = benchmark.pedantic(
+        lambda: run_fig16_nds(
+            datasets={"HomoSapiens": BENCH_LARGE["HomoSapiens"]},
+            measures=measures, panel="d", heuristic=True, theta=8,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig16d_nds_heuristic_patterns", format_fig16(rows))
+    assert all(r.seconds > 0 for r in rows)

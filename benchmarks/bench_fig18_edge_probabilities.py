@@ -1,0 +1,18 @@
+"""Fig. 18: varying the mean of normal edge probabilities on ER7."""
+
+from repro.experiments import format_fig18, run_fig18
+
+from .conftest import emit
+
+
+def test_fig18(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig18(means=(0.2, 0.5, 0.8), ks=(1, 5, 10), theta=300),
+        rounds=1, iterations=1,
+    )
+    emit("fig18_edge_probabilities", format_fig18(rows))
+    # paper shape: runtime grows with the mean (denser sampled worlds)
+    assert rows[-1].approx_seconds >= rows[0].approx_seconds * 0.8
+    # F1 reasonable for every distribution
+    for row in rows:
+        assert row.f1_by_k[1] >= 0.5, row.mean

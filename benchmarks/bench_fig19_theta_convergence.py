@@ -1,0 +1,32 @@
+"""Fig. 19: convergence of the returned top-k as theta doubles."""
+
+from repro.datasets import make_biomine_like, make_intel_lab_like
+from repro.experiments import format_fig19, run_fig19
+
+from .conftest import emit
+
+
+def test_fig19a_mpds(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig19(
+            loader=lambda: make_intel_lab_like(seed=2023),
+            mode="mpds", k=5, thetas=(20, 40, 80, 160),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig19a_theta_mpds", format_fig19(points))
+    # runtime grows ~linearly with theta; similarity trends upward
+    assert points[-1].seconds > points[0].seconds
+    assert points[-1].similarity >= points[1].similarity - 0.15
+
+
+def test_fig19b_nds(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig19(
+            loader=lambda: make_biomine_like(n=250, seed=2023),
+            mode="nds", k=5, thetas=(20, 40, 80),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig19b_theta_nds", format_fig19(points))
+    assert points[-1].similarity > 0.5

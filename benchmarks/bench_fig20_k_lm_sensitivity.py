@@ -1,0 +1,26 @@
+"""Fig. 20: NDS sensitivity to k and to the minimum size l_m."""
+
+from repro.experiments import format_fig20, run_fig20_k, run_fig20_lm
+
+from .conftest import BENCH_LARGE, emit
+
+
+def test_fig20(benchmark):
+    def run():
+        k_points = run_fig20_k(datasets=BENCH_LARGE, ks=(1, 5, 10, 50),
+                               theta=16)
+        lm_points = run_fig20_lm(loader=BENCH_LARGE["HomoSapiens"],
+                                 lms=(1, 2, 3, 5, 8, 12, 20), theta=16)
+        return k_points, lm_points
+
+    k_points, lm_points = benchmark.pedantic(run, rounds=1, iterations=1)
+    k_table, lm_table = format_fig20(k_points, lm_points)
+    emit("fig20a_varying_k", k_table)
+    emit("fig20b_varying_lm", lm_table)
+    # paper shapes: avg containment decreases in k ...
+    for dataset in {p.dataset for p in k_points}:
+        series = [p.avg_containment for p in k_points if p.dataset == dataset]
+        assert series[0] >= series[-1] - 1e-9, dataset
+    # ... and decays to 0 once l_m exceeds the largest closed set
+    lm_series = [p.avg_containment for p in lm_points]
+    assert lm_series[0] >= lm_series[-1] - 1e-9

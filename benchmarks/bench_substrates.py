@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the substrate algorithms (real multi-round timing).
+
+These are the per-world inner loops of Algorithms 1 and 5, so their
+throughput determines the whole system's; pytest-benchmark gives them
+proper statistical treatment (multiple rounds).
+"""
+
+import random
+
+from repro.cliques.enumeration import count_cliques
+from repro.dense.all_densest import (
+    all_densest_subgraphs,
+    maximum_sized_densest_subgraph,
+)
+from repro.dense.goldberg import densest_subgraph
+from repro.dense.peeling import peel_edge_density
+from repro.graph.generators import barabasi_albert
+from repro.itemsets.tfp import top_k_closed_itemsets
+from repro.patterns.matching import count_instances
+from repro.patterns.pattern import Pattern
+
+
+def _world(n=150, m=4, seed=7):
+    return barabasi_albert(n, m, random.Random(seed))
+
+
+def test_bench_peeling(benchmark):
+    world = _world()
+    result = benchmark(lambda: peel_edge_density(world))
+    assert result.density > 0
+
+
+def test_bench_goldberg_exact(benchmark):
+    world = _world()
+    result = benchmark(lambda: densest_subgraph(world))
+    assert result.density > 0
+
+
+def test_bench_all_densest(benchmark):
+    world = _world()
+    result = benchmark(lambda: all_densest_subgraphs(world))
+    assert result
+
+
+def test_bench_maximum_sized(benchmark):
+    world = _world()
+    density, nodes = benchmark(lambda: maximum_sized_densest_subgraph(world))
+    assert nodes
+
+
+def test_bench_triangle_listing(benchmark):
+    world = _world(n=250)
+    count = benchmark(lambda: count_cliques(world, 3))
+    assert count >= 0
+
+
+def test_bench_pattern_matching(benchmark):
+    world = _world(n=80)
+    pattern = Pattern.diamond()
+    count = benchmark(lambda: count_instances(world, pattern))
+    assert count >= 0
+
+
+def test_bench_tfp(benchmark):
+    rng = random.Random(11)
+    transactions = [
+        rng.sample(range(30), rng.randint(3, 10)) for _ in range(400)
+    ]
+    result = benchmark(lambda: top_k_closed_itemsets(transactions, 10, 2))
+    assert len(result) == 10

@@ -1,0 +1,19 @@
+"""Table XI: approximate vs heuristic Pattern-NDS on Karate Club."""
+
+from repro.experiments import format_table11_12, run_table11
+
+from .conftest import emit
+
+
+def test_table11(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table11(theta=24), rounds=1, iterations=1,
+    )
+    emit("table11_pattern_heuristic", format_table11_12(rows))
+    assert len(rows) == 4  # the four paper patterns
+    for row in rows:
+        # paper shape: heuristic is faster with comparable quality
+        assert row.heuristic_seconds <= row.approx_seconds * 1.5, row.workload
+        assert row.heuristic_containment >= row.approx_containment - 0.45, (
+            row.workload,
+        )

@@ -1,0 +1,16 @@
+"""Table XII: approximate vs heuristic Edge-NDS on the Friendster stand-in."""
+
+from repro.experiments import format_table11_12, run_table12
+
+from .conftest import BENCH_FRIENDSTER, emit
+
+
+def test_table12(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table12(loader=BENCH_FRIENDSTER, theta=12),
+        rounds=1, iterations=1,
+    )
+    emit("table12_friendster_heuristic", format_table11_12(rows))
+    row = rows[0]
+    assert 0.0 <= row.heuristic_containment <= 1.0
+    assert row.heuristic_seconds > 0

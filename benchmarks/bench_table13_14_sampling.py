@@ -1,0 +1,34 @@
+"""Tables XIII/XIV: MC vs LP vs RSS (theta, time, memory)."""
+
+from repro.datasets import make_biomine_like, make_intel_lab_like
+from repro.experiments import format_table13_14, run_table13, run_table14
+
+from .conftest import emit
+
+
+def test_table13_mpds_sampling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table13(
+            loader=lambda: make_intel_lab_like(seed=2023),
+            k=5, start_theta=20, max_theta=160,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("table13_sampling_mpds", format_table13_14(rows))
+    mc, lp, _rss = rows
+    # the paper's takeaway: MC needs the least memory at comparable theta
+    assert mc.memory_units < lp.memory_units
+
+
+def test_table14_nds_sampling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table14(
+            loader=lambda: make_biomine_like(n=250, seed=2023),
+            k=5, start_theta=10, max_theta=80,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("table14_sampling_nds", format_table13_14(rows))
+    mc = rows[0]
+    assert mc.method == "MC"
+    assert mc.memory_units == 0

@@ -1,0 +1,13 @@
+"""Table I: exact recomputation of the paper's running example."""
+
+from repro.experiments import format_table1, run_table1
+
+from .conftest import emit
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    emit("table1_running_example", format_table1(result))
+    # the two headline numbers of Example 1
+    assert abs(result.dsp[("B", "D")] - 0.42) < 1e-9
+    assert abs(result.eed[("A", "B", "C", "D")] - 0.375) < 1e-9

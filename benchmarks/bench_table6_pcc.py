@@ -1,0 +1,22 @@
+"""Table VI: probabilistic clustering coefficient (Eq. 20) comparison."""
+
+from repro.experiments import format_cohesiveness, run_cohesiveness
+
+from .conftest import BENCH_LARGE, BENCH_SMALL, BENCH_THETA_LARGE, emit
+
+
+def test_table6(benchmark):
+    datasets = {
+        "KarateClub": BENCH_SMALL["KarateClub"],
+        "LastFM": BENCH_SMALL["LastFM"],
+        "Biomine": BENCH_LARGE["Biomine"],
+        "Twitter": BENCH_LARGE["Twitter"],
+    }
+    rows = benchmark.pedantic(
+        lambda: run_cohesiveness("PCC", datasets=datasets,
+                                 theta=BENCH_THETA_LARGE),
+        rounds=1, iterations=1,
+    )
+    emit("table6_pcc", format_cohesiveness(rows))
+    for row in rows:
+        assert row.ours >= row.eds - 1e-9, row.dataset

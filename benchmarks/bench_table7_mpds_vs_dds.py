@@ -1,0 +1,18 @@
+"""Table VII: densest subgraph probabilities of the MPDS vs the DDS."""
+
+from repro.experiments import format_table7, run_table7
+
+from .conftest import BENCH_SMALL, BENCH_THETA_SMALL, emit
+
+
+def test_table7(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table7(datasets=BENCH_SMALL, theta=BENCH_THETA_SMALL),
+        rounds=1, iterations=1,
+    )
+    emit("table7_mpds_vs_dds", format_table7(rows))
+    for row in rows:
+        # paper shape: the DDS's probability is (near) zero everywhere,
+        # far below the MPDS's
+        assert row.mpds_probability >= row.dds_probability, row.dataset
+        assert row.mpds_probability > 0, row.dataset

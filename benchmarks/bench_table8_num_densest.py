@@ -1,0 +1,20 @@
+"""Table VIII: distribution of #densest subgraphs per sampled world."""
+
+from repro.experiments import format_table8, run_table8
+
+from .conftest import BENCH_SMALL, emit
+
+
+def test_table8(benchmark):
+    datasets = {
+        "KarateClub": BENCH_SMALL["KarateClub"],
+        "LastFM": BENCH_SMALL["LastFM"],
+    }
+    rows = benchmark.pedantic(
+        lambda: run_table8(datasets=datasets, theta=24),
+        rounds=1, iterations=1,
+    )
+    emit("table8_num_densest_subgraphs", format_table8(rows))
+    assert len(rows) == 6  # 2 datasets x {edge, 3-clique, diamond}
+    for row in rows:
+        assert row.mean >= 0 and row.std >= 0

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Community detection in an uncertain social network (Karate Club case study).
+
+Reproduces the Section VI-E case study: on Zachary's Karate Club with
+communication-derived edge probabilities, the top MPDSs are pure
+single-faction communities, while the deterministic densest subgraph (DDS),
+the expected densest subgraph (EDS), and the innermost probabilistic
+core/truss mix the two factions (the paper's Figs. 6-7 and Table X).
+
+Run:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import top_k_mpds
+from repro.baselines import (
+    deterministic_densest_subgraph,
+    expected_densest_subgraph,
+    innermost_eta_core,
+    innermost_gamma_truss,
+)
+from repro.datasets import KARATE_FACTIONS, karate_club_uncertain
+from repro.metrics import average_purity, purity
+
+
+def describe(name: str, nodes, probability=None) -> None:
+    factions = sorted({KARATE_FACTIONS[n] for n in nodes})
+    note = f"  tau-hat = {probability:.3f}" if probability is not None else ""
+    print(f"  {name:<6} size={len(nodes):<3} purity={purity(nodes, KARATE_FACTIONS):.2f} "
+          f"factions={factions}{note}")
+    print(f"         nodes: {sorted(nodes)}")
+
+
+def main() -> None:
+    graph = karate_club_uncertain(seed=2023)
+    print(f"Karate Club: {graph.number_of_nodes()} members, "
+          f"{graph.number_of_edges()} uncertain interactions\n")
+
+    print("== Top-5 MPDSs (each should stay inside one faction) ==")
+    result = top_k_mpds(graph, k=5, theta=200, seed=7)
+    for rank, scored in enumerate(result.top, 1):
+        describe(f"#{rank}", scored.nodes, scored.probability)
+    top_purity = average_purity(result.top_sets(), KARATE_FACTIONS)
+    print(f"  average purity of top-5 MPDSs: {top_purity:.2f}\n")
+
+    print("== Baselines (typically mix the factions) ==")
+    _d, dds = deterministic_densest_subgraph(graph)
+    describe("DDS", dds)
+    eds = expected_densest_subgraph(graph)
+    describe("EDS", eds.nodes)
+    _k, core = innermost_eta_core(graph, eta=0.1)
+    describe("Core", core)
+    _k, truss = innermost_gamma_truss(graph, gamma=0.1)
+    describe("Truss", truss)
+
+    print("\nReading the result: the MPDS ranks communities by how likely "
+          "they are to be the *densest* part of the realised network -- "
+          "low-probability (noisy) edges cannot inflate them, unlike the "
+          "deterministic or expectation-based notions.")
+
+
+if __name__ == "__main__":
+    main()

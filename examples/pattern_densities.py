@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Beyond edges: clique- and pattern-densest subgraphs in uncertain graphs.
+
+Shows the density-notion zoo of Section II on an uncertain collaboration
+network: the edge-MPDS, the 3-clique-MPDS (higher-order communities), and
+the diamond-pattern-MPDS (the paper's LinkedIn-style motivation), plus the
+heuristic measure that keeps patterns tractable on larger graphs
+(Section III-C).
+
+Run:  python examples/pattern_densities.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import (
+    CliqueDensity,
+    EdgeDensity,
+    HeuristicMeasure,
+    Pattern,
+    PatternDensity,
+    top_k_mpds,
+)
+from repro.datasets import make_lastfm_like
+
+
+def main() -> None:
+    graph = make_lastfm_like(n=250, seed=2023)
+    print(f"Uncertain social network: {graph.number_of_nodes()} users, "
+          f"{graph.number_of_edges()} probabilistic ties\n")
+
+    theta = 48
+    measures = [
+        ("edge density", EdgeDensity()),
+        ("3-clique density", CliqueDensity(3)),
+        ("diamond density", PatternDensity(Pattern.diamond())),
+        ("2-star density", PatternDensity(Pattern.two_star())),
+    ]
+    print(f"== MPDS under four density notions (theta = {theta}) ==")
+    for label, measure in measures:
+        start = time.perf_counter()
+        result = top_k_mpds(graph, k=1, theta=theta, measure=measure, seed=7)
+        elapsed = time.perf_counter() - start
+        if result.top:
+            best = result.best()
+            print(f"  {label:<18} tau-hat={best.probability:.3f} "
+                  f"size={len(best.nodes):<3} time={elapsed:5.1f}s")
+        else:
+            print(f"  {label:<18} no densest subgraph in any sampled world")
+
+    print("\n== Heuristic vs exact enumeration (diamond pattern) ==")
+    exact_measure = PatternDensity(Pattern.diamond())
+    heuristic_measure = HeuristicMeasure(exact_measure)
+    for label, measure in (("exact", exact_measure),
+                           ("heuristic", heuristic_measure)):
+        start = time.perf_counter()
+        result = top_k_mpds(graph, k=1, theta=theta, measure=measure, seed=7)
+        elapsed = time.perf_counter() - start
+        size = len(result.best().nodes) if result.top else 0
+        print(f"  {label:<10} time={elapsed:5.1f}s  top-1 size={size}")
+
+    print("\nCustom patterns work too -- any connected graph:")
+    bowtie = Pattern.from_edges(
+        "bowtie", [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+    )
+    result = top_k_mpds(
+        graph, k=1, theta=16,
+        measure=PatternDensity(bowtie), seed=7,
+    )
+    found = len(result.best().nodes) if result.top else 0
+    print(f"  bowtie-densest MPDS size: {found}")
+
+
+if __name__ == "__main__":
+    main()

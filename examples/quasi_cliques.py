@@ -1,0 +1,77 @@
+"""Most probable quasi-cliques via the EdgeSurplus extension measure.
+
+The paper's framework is parametric in the density notion (Section II-B:
+"the density metric rho can follow any of the density notions based on
+the real application demand").  This example plugs in the *edge surplus*
+objective f_alpha(S) = e(S) - alpha |S|(|S|-1)/2 of Tsourakakis et al.
+(KDD 2013), whose maximisers are optimal quasi-cliques: near-complete
+node sets rather than the large sparse sets edge density can favour.
+
+We plant a 5-node high-probability near-clique inside a noisy background
+graph.  On the *deterministic* version (every noise edge present) the
+quasi-clique heuristics get dragged towards loosely attached nodes, while
+the probability-aware estimator filters the noise and recovers exactly
+the planted set -- the same story as the paper's Table VII (MPDS vs the
+deterministic densest subgraph), retold for a different objective.
+
+Run:  python examples/quasi_cliques.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import EdgeDensity, EdgeSurplus, UncertainGraph, top_k_mpds
+from repro.dense.oqc import edge_surplus, greedy_oqc, local_search_oqc
+from repro.graph.generators import assign_uniform, erdos_renyi
+
+
+def build_graph() -> UncertainGraph:
+    """Noisy background + planted high-probability quasi-clique 0..4."""
+    rng = random.Random(7)
+    topology = erdos_renyi(30, 0.08, rng)
+    for u in range(5):
+        for v in range(u + 1, 5):
+            topology.add_edge(u, v)
+    graph = assign_uniform(topology, low=0.1, high=0.3, rng=rng)
+    for u in range(5):
+        for v in range(u + 1, 5):
+            graph.add_edge(u, v, 0.95)  # overwrite with high confidence
+    return graph
+
+
+def main() -> None:
+    graph = build_graph()
+    print(f"graph: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} uncertain edges")
+    print("planted quasi-clique: {0, 1, 2, 3, 4} at p = 0.95 per edge\n")
+
+    # --- deterministic-world heuristics on the most likely world -------
+    world = graph.deterministic_version()
+    alpha = Fraction(1, 3)
+    value, nodes = greedy_oqc(world, alpha)
+    print(f"GreedyOQC on the deterministic version: f = {value} "
+          f"nodes = {sorted(nodes)}")
+    value, nodes = local_search_oqc(world, alpha)
+    print(f"LocalSearchOQC:                        f = {value} "
+          f"nodes = {sorted(nodes)}")
+    print(f"surplus of the planted set:            "
+          f"{edge_surplus(world, frozenset(range(5)), alpha)}\n")
+
+    # --- most probable quasi-clique vs most probable densest subgraph --
+    mpqc = top_k_mpds(graph, k=3, theta=96, measure=EdgeSurplus(), seed=11)
+    print("top-3 most probable quasi-cliques (EdgeSurplus measure):")
+    for scored in mpqc.top:
+        print(f"  p = {scored.probability:.3f}  {sorted(scored.nodes)}")
+
+    mpds = top_k_mpds(graph, k=3, theta=96, measure=EdgeDensity(), seed=11)
+    print("\ntop-3 most probable densest subgraphs (EdgeDensity measure):")
+    for scored in mpds.top:
+        print(f"  p = {scored.probability:.3f}  {sorted(scored.nodes)}")
+
+    best = mpqc.best().nodes
+    assert best == frozenset(range(5)), "planted quasi-clique not recovered"
+    print("\nthe EdgeSurplus measure recovers exactly the planted set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: Most Probable Densest Subgraphs on the paper's Fig. 1 graph.
+
+Builds the 4-node uncertain graph of the paper's running example, then:
+
+1. finds the top-3 MPDSs with the sampling estimator (Algorithm 1) and
+   compares them against the exact (#P-hard) enumeration;
+2. contrasts the MPDS with the expected densest subgraph (the baseline the
+   paper improves on -- Example 1);
+3. finds the top nucleus densest subgraphs (Algorithm 5);
+4. prints the Theorem 2/3 accuracy bounds for the chosen sample size.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import UncertainGraph, exact_top_k_mpds, top_k_mpds, top_k_nds
+from repro.baselines import expected_densest_subgraph
+from repro.core import theorem2_candidate_inclusion_bound, theorem3_return_bound
+
+
+def main() -> None:
+    # the paper's Fig. 1 uncertain graph: three edges with probabilities
+    graph = UncertainGraph.from_weighted_edges([
+        ("A", "B", 0.4),
+        ("A", "C", 0.4),
+        ("B", "D", 0.7),
+    ])
+
+    print("== Top-3 MPDS (Algorithm 1, theta = 2000 samples) ==")
+    theta = 2000
+    approx = top_k_mpds(graph, k=3, theta=theta, seed=7)
+    for rank, scored in enumerate(approx.top, 1):
+        print(f"  #{rank}: {sorted(scored.nodes)}  "
+              f"tau-hat = {scored.probability:.3f}")
+
+    print("\n== Exact top-3 (full possible-world enumeration) ==")
+    exact = exact_top_k_mpds(graph, k=3)
+    for rank, scored in enumerate(exact.top, 1):
+        print(f"  #{rank}: {sorted(scored.nodes)}  tau = {scored.probability:.3f}")
+
+    print("\n== Why not expected density? (Example 1) ==")
+    eds = expected_densest_subgraph(graph)
+    eds_tau = exact.candidates.get(eds.nodes, 0.0)
+    print(f"  EDS = {sorted(eds.nodes)} has expected density "
+          f"{float(eds.density):.3f}, but tau = {eds_tau:.2f};")
+    best = exact.best()
+    print(f"  the MPDS {sorted(best.nodes)} is densest with probability "
+          f"{best.probability:.2f} -- 1.5x more likely.")
+
+    print("\n== Top-2 NDS (Algorithm 5, l_m = 2) ==")
+    nds = top_k_nds(graph, k=2, min_size=2, theta=theta, seed=7)
+    for rank, scored in enumerate(nds.top, 1):
+        print(f"  #{rank}: {sorted(scored.nodes)}  "
+              f"gamma-hat = {scored.probability:.3f}")
+
+    print("\n== Accuracy guarantees at theta =", theta, "==")
+    taus = [s.probability for s in exact.top]
+    others = [
+        tau for nodes, tau in exact.candidates.items()
+        if nodes not in set(exact.top_sets())
+    ]
+    inclusion = theorem2_candidate_inclusion_bound(taus, theta)
+    returned = theorem3_return_bound(taus, others, theta)
+    print(f"  Pr[true top-3 among candidates] >= {inclusion:.6f}  (Theorem 2)")
+    print(f"  Pr[true top-3 returned]         >= {returned:.6f}  (Theorem 3)")
+
+
+if __name__ == "__main__":
+    main()

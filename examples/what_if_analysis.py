@@ -1,0 +1,80 @@
+"""What-if analysis on an uncertain graph via conditioning.
+
+Uncertain edges often come from noisy measurements that *can* be resolved
+-- rerun the biological assay, ask the user, check the log.  Conditioning
+answers "which MPDS would we report if this edge were confirmed (or
+refuted)?" and, by the law of total probability, decomposes tau(U)
+exactly:
+
+    tau(U) = p(e) * tau(U | e present) + (1 - p(e)) * tau(U | e absent)
+
+This example runs on the paper's Figure 1 running example, whose
+densest-subgraph probabilities are known in closed form (Table I), so
+every number printed here is exact.
+
+Run:  python examples/what_if_analysis.py
+"""
+
+from repro.core.exact import exact_tau, exact_top_k_mpds
+from repro.core.whatif import exact_edge_influence
+from repro.datasets.paper_examples import figure1_graph
+
+
+def describe(graph, title: str) -> frozenset:
+    result = exact_top_k_mpds(graph, k=1)
+    best = result.top[0]
+    print(f"{title}")
+    print(f"  MPDS = {sorted(best.nodes)}  tau = {best.probability:.4f}")
+    return best.nodes
+
+
+def main() -> None:
+    graph = figure1_graph()
+    print("Figure 1 running example "
+          f"({graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} uncertain edges)\n")
+
+    base_nodes = describe(graph, "unconditioned:")
+    target = frozenset({"B", "D"})
+    p = graph.probability("A", "B")
+    tau = exact_tau(graph, target)
+    print(f"  tau({{B, D}}) = {tau:.4f}   (Table I: 0.42)\n")
+
+    confirmed = graph.condition("A", "B", present=True)
+    describe(confirmed, f"if (A, B) is confirmed (was p = {p}):")
+    tau_present = exact_tau(confirmed, target)
+    print(f"  tau({{B, D}} | A-B present) = {tau_present:.4f}\n")
+
+    refuted = graph.condition("A", "B", present=False)
+    describe(refuted, "if (A, B) is refuted:")
+    tau_absent = exact_tau(refuted, target)
+    print(f"  tau({{B, D}} | A-B absent) = {tau_absent:.4f}\n")
+
+    recombined = p * tau_present + (1 - p) * tau_absent
+    print("law of total probability: "
+          f"{p} * {tau_present:.4f} + {1 - p} * {tau_absent:.4f} "
+          f"= {recombined:.4f}")
+    assert abs(recombined - tau) < 1e-9
+    print("decomposition is exact.\n")
+
+    print("which edge should we resolve first?  influence of each edge "
+          "on tau({B, D}):")
+    for influence in exact_edge_influence(graph, target):
+        print(f"  {influence.edge}: p = {influence.probability}  "
+              f"tau|present = {influence.tau_present:.2f}  "
+              f"tau|absent = {influence.tau_absent:.2f}  "
+              f"influence = {influence.influence:+.2f}")
+    print()
+
+    pruned = graph.prune(0.5)
+    print(f"pruning edges with p < 0.5 keeps "
+          f"{pruned.number_of_edges()}/{graph.number_of_edges()} edges "
+          "(approximation, distribution changes):")
+    describe(pruned, "pruned graph:")
+    print(f"\nbaseline MPDS: {sorted(base_nodes)}.  Confirming A-B flips "
+          "the winner to {A, B, D}; refuting it nearly doubles the "
+          "confidence in {B, D}.")
+
+
+if __name__ == "__main__":
+    main()

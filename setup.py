@@ -1,0 +1,10 @@
+"""Setup shim: enables `pip install -e .` in offline environments.
+
+The offline interpreter lacks the `wheel` package, so the PEP 517 editable
+path (`bdist_wheel`) fails; this shim lets pip fall back to the legacy
+`setup.py develop` route. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro: Most Probable Densest Subgraphs in uncertain graphs.
+
+A complete Python reproduction of "Most Probable Densest Subgraphs"
+(Saha, Ke, Khan, Long -- ICDE 2023, arXiv:2212.08820): densest-subgraph
+discovery on uncertain graphs under edge, h-clique, and pattern densities,
+with sampling-based estimators carrying end-to-end accuracy guarantees.
+
+Quickstart
+----------
+>>> from repro import UncertainGraph, top_k_mpds
+>>> g = UncertainGraph.from_weighted_edges(
+...     [("A", "B", 0.4), ("A", "C", 0.4), ("B", "D", 0.7)])
+>>> result = top_k_mpds(g, k=1, theta=2000, seed=7)
+>>> sorted(result.best().nodes)
+['B', 'D']
+
+Package layout (see DESIGN.md for the full inventory):
+
+* ``repro.core`` -- Algorithm 1 (top-k MPDS), Algorithm 5 (NDS), exact
+  reference solvers, heuristics, accuracy guarantees;
+* ``repro.dense`` -- all-densest-subgraph enumeration for edge / clique /
+  pattern densities (Algorithms 2-4, 6-7 and [46]);
+* ``repro.graph`` / ``repro.flow`` / ``repro.cliques`` /
+  ``repro.patterns`` -- substrates;
+* ``repro.sampling`` -- Monte Carlo / Lazy Propagation / RSS;
+* ``repro.itemsets`` -- TFP-style closed frequent itemset mining;
+* ``repro.baselines`` -- EDS, (k,eta)-core, (k,gamma)-truss, DDS;
+* ``repro.metrics`` -- PD, PCC, purity, F1, similarity;
+* ``repro.datasets`` -- Karate Club, paper examples, brain networks,
+  synthetic stand-ins;
+* ``repro.experiments`` -- one driver per paper table/figure.
+"""
+
+from .graph import Graph, UncertainGraph
+from .core import (
+    AdaptiveResult,
+    bitmask_top_k_mpds,
+    CliqueDensity,
+    EdgeDensity,
+    EdgeSurplus,
+    HeuristicMeasure,
+    MPDSResult,
+    NDSResult,
+    PatternDensity,
+    adaptive_top_k_mpds,
+    adaptive_top_k_nds,
+    estimate_gamma,
+    estimate_tau,
+    exact_gamma,
+    exact_tau,
+    exact_top_k_mpds,
+    exact_top_k_nds,
+    parallel_top_k_mpds,
+    parallel_top_k_nds,
+    top_k_mpds,
+    top_k_nds,
+)
+from .patterns import Pattern
+from .sampling import (
+    LazyPropagationSampler,
+    MonteCarloSampler,
+    RecursiveStratifiedSampler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "UncertainGraph",
+    "AdaptiveResult",
+    "adaptive_top_k_mpds",
+    "adaptive_top_k_nds",
+    "parallel_top_k_mpds",
+    "parallel_top_k_nds",
+    "CliqueDensity",
+    "EdgeDensity",
+    "EdgeSurplus",
+    "HeuristicMeasure",
+    "MPDSResult",
+    "NDSResult",
+    "PatternDensity",
+    "estimate_gamma",
+    "estimate_tau",
+    "exact_gamma",
+    "exact_tau",
+    "bitmask_top_k_mpds",
+    "exact_top_k_mpds",
+    "exact_top_k_nds",
+    "top_k_mpds",
+    "top_k_nds",
+    "Pattern",
+    "LazyPropagationSampler",
+    "MonteCarloSampler",
+    "RecursiveStratifiedSampler",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Baselines the paper compares against: EDS, (k,eta)-core, (k,gamma)-truss, DDS."""
+
+from .eds import (
+    ExpectedDensestResult,
+    expected_clique_densest_subgraph,
+    expected_densest_subgraph,
+    expected_pattern_densest_subgraph,
+)
+from .probabilistic_core import (
+    degree_tail_probabilities,
+    eta_core_decomposition,
+    eta_degree,
+    innermost_eta_core,
+    k_eta_core,
+)
+from .probabilistic_truss import (
+    edge_support_probability,
+    gamma_truss_decomposition,
+    innermost_gamma_truss,
+    k_gamma_truss,
+)
+from .dds import (
+    deterministic_clique_densest_subgraph,
+    deterministic_densest_subgraph,
+    deterministic_pattern_densest_subgraph,
+)
+
+__all__ = [
+    "ExpectedDensestResult",
+    "expected_clique_densest_subgraph",
+    "expected_densest_subgraph",
+    "expected_pattern_densest_subgraph",
+    "degree_tail_probabilities",
+    "eta_core_decomposition",
+    "eta_degree",
+    "innermost_eta_core",
+    "k_eta_core",
+    "edge_support_probability",
+    "gamma_truss_decomposition",
+    "innermost_gamma_truss",
+    "k_gamma_truss",
+    "deterministic_clique_densest_subgraph",
+    "deterministic_densest_subgraph",
+    "deterministic_pattern_densest_subgraph",
+]

@@ -1,0 +1,43 @@
+"""Deterministic densest subgraph baseline (Section VI-C, Table VII).
+
+The DDS ignores edge probabilities entirely: it is the densest subgraph of
+the deterministic version of the uncertain graph.  The paper shows its
+densest subgraph *probability* is far below the MPDS's because noisy
+low-probability edges inflate it (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Tuple
+
+from ..dense.clique_density import clique_densest_subgraph
+from ..dense.goldberg import densest_subgraph
+from ..dense.pattern_density import pattern_densest_subgraph
+from ..graph.graph import Node
+from ..graph.uncertain import UncertainGraph
+from ..patterns.pattern import Pattern
+
+
+def deterministic_densest_subgraph(
+    graph: UncertainGraph,
+) -> Tuple[Fraction, FrozenSet[Node]]:
+    """Return ``(rho*_e, nodes)`` of the deterministic version's densest subgraph."""
+    result = densest_subgraph(graph.deterministic_version())
+    return result.density, result.nodes
+
+
+def deterministic_clique_densest_subgraph(
+    graph: UncertainGraph, h: int
+) -> Tuple[Fraction, FrozenSet[Node]]:
+    """Return the deterministic h-clique densest subgraph."""
+    result = clique_densest_subgraph(graph.deterministic_version(), h)
+    return result.density, result.nodes
+
+
+def deterministic_pattern_densest_subgraph(
+    graph: UncertainGraph, pattern: Pattern
+) -> Tuple[Fraction, FrozenSet[Node]]:
+    """Return the deterministic pattern-densest subgraph."""
+    result = pattern_densest_subgraph(graph.deterministic_version(), pattern)
+    return result.density, result.nodes

@@ -1,0 +1,250 @@
+"""Probabilistic (k, gamma)-truss decomposition (Huang, Lu, Lakshmanan [41]).
+
+The *probabilistic support* of an edge ``e = (u, v)`` w.r.t. threshold
+``s`` is ``Pr[e exists and e participates in >= s triangles]``.  Given
+``e`` exists, the triangles over distinct common neighbours ``w`` exist
+independently with probability ``p(u, w) p(v, w)``, so the count is
+Poisson-binomial and the joint probability factorises as
+``p(e) * Pr[count >= s]``.
+
+The (k, gamma)-truss is the maximal subgraph in which every edge has
+probabilistic support ``>= gamma`` at ``s = k - 2``; the trussness of an
+edge is the largest such ``k``, computed by peeling edges of minimum
+trussness (the uncertain analogue of classic truss decomposition).  The
+paper compares the *innermost* gamma-truss (gamma = 0.1) in Tables III-VI.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..graph.graph import Edge, Node, canonical_edge
+from ..graph.uncertain import UncertainGraph
+from .probabilistic_core import degree_tail_probabilities
+
+
+def edge_support_probability(
+    graph: UncertainGraph,
+    u: Node,
+    v: Node,
+    s: int,
+    alive_edges: Set[Edge],
+) -> float:
+    """Return Pr[(u, v) exists and lies in >= s triangles of the live graph]."""
+    edge = canonical_edge(u, v)
+    if edge not in alive_edges:
+        return 0.0
+    wing_probs: List[float] = []
+    for w in graph.neighbors(u):
+        if w == v:
+            continue
+        if (
+            canonical_edge(u, w) in alive_edges
+            and graph.has_edge(v, w)
+            and canonical_edge(v, w) in alive_edges
+        ):
+            wing_probs.append(graph.probability(u, w) * graph.probability(v, w))
+    if s <= 0:
+        return graph.probability(u, v)
+    tail = degree_tail_probabilities(wing_probs)
+    if s >= len(tail):
+        return 0.0
+    return graph.probability(u, v) * tail[s]
+
+
+def edge_gamma_support(
+    graph: UncertainGraph, u: Node, v: Node, gamma: float, alive_edges: Set[Edge]
+) -> int:
+    """Return the largest ``s`` with support probability >= gamma.
+
+    Computes the Poisson-binomial tail once and scans it, instead of
+    re-running the DP for every candidate ``s``.
+    """
+    edge = canonical_edge(u, v)
+    if edge not in alive_edges:
+        return -1
+    p_edge = graph.probability(u, v)
+    if p_edge < gamma:
+        return -1
+    wing_probs: List[float] = []
+    for w in graph.neighbors(u):
+        if w == v:
+            continue
+        if (
+            canonical_edge(u, w) in alive_edges
+            and graph.has_edge(v, w)
+            and canonical_edge(v, w) in alive_edges
+        ):
+            wing_probs.append(graph.probability(u, w) * graph.probability(v, w))
+    tail = degree_tail_probabilities(wing_probs)
+    best = 0
+    for s in range(1, len(tail)):
+        if p_edge * tail[s] >= gamma:
+            best = s
+        else:
+            break
+    return best
+
+
+def _pmf_from_wings(wing_probs: Iterable[float]) -> List[float]:
+    """Poisson-binomial pmf of the triangle count over the given wings."""
+    pmf = [1.0]
+    for q in wing_probs:
+        nxt = [0.0] * (len(pmf) + 1)
+        complement = 1.0 - q
+        for j, mass in enumerate(pmf):
+            nxt[j] += mass * complement
+            nxt[j + 1] += mass * q
+        pmf = nxt
+    return pmf
+
+
+def _deconvolve_wing(pmf: List[float], q: float) -> Optional[List[float]]:
+    """Remove one Bernoulli(q) wing from a Poisson-binomial pmf.
+
+    Inverts ``pmf = out (*) [1-q, q]`` in O(len(pmf)).  The forward
+    recurrence amplifies rounding error by ``q / (1 - q)`` per step and
+    the backward one by ``(1 - q) / q``, so the contracting direction is
+    chosen from ``q``; the inversion is then stable for every ``q``.
+    Returns ``None`` if the result still fails a sanity check (caller
+    rebuilds the pmf from scratch).
+    """
+    if q >= 1.0 - 1e-12:
+        return pmf[1:]
+    if q <= 1e-12:
+        return pmf[:-1]
+    size = len(pmf) - 1
+    out = [0.0] * size
+    if q <= 0.5:
+        complement = 1.0 - q
+        prev = 0.0
+        for j in range(size):
+            value = (pmf[j] - q * prev) / complement
+            if value < -1e-9 or value > 1.0 + 1e-9:
+                return None
+            prev = value
+            out[j] = value
+    else:
+        complement = 1.0 - q
+        nxt = 0.0
+        for j in range(size - 1, -1, -1):
+            value = (pmf[j + 1] - complement * nxt) / q
+            if value < -1e-9 or value > 1.0 + 1e-9:
+                return None
+            nxt = value
+            out[j] = value
+    if abs(sum(out) - 1.0) > 1e-6:
+        return None
+    return out
+
+
+def _support_from_pmf(pmf: List[float], p_edge: float, gamma: float) -> int:
+    """Largest ``s`` with ``p_edge * Pr[count >= s] >= gamma`` (or -1)."""
+    if p_edge < gamma:
+        return -1
+    threshold = gamma / p_edge
+    tail = 0.0
+    for s in range(len(pmf) - 1, 0, -1):
+        tail += pmf[s]
+        if tail >= threshold:
+            return s
+    return 0
+
+
+def gamma_truss_decomposition(
+    graph: UncertainGraph, gamma: float
+) -> Dict[Edge, int]:
+    """Return the (k, gamma)-trussness of every edge (peeling).
+
+    An edge with ``Pr[exists] < gamma`` gets trussness 1 (it survives in no
+    gamma-truss); otherwise trussness is at least 2.  Each edge's
+    Poisson-binomial triangle-count pmf is maintained incrementally (a
+    peeled edge removes one wing, which is divided out of the pmf in
+    linear time), so peeling costs O(t) per triangle instead of O(t^2).
+    """
+    alive: Set[Edge] = {canonical_edge(u, v) for u, v in graph.edges()}
+    adjacency: Dict[Node, Set[Node]] = {
+        node: set(graph.neighbors(node)) for node in graph.nodes()
+    }
+    # wings[e][w] = probability that the triangle through w supports e
+    wings: Dict[Edge, Dict[Node, float]] = {}
+    pmfs: Dict[Edge, List[float]] = {}
+    supports: Dict[Edge, int] = {}
+    for edge in alive:
+        u, v = edge
+        edge_wings = {
+            w: graph.probability(u, w) * graph.probability(v, w)
+            for w in adjacency[u] & adjacency[v]
+        }
+        wings[edge] = edge_wings
+        pmfs[edge] = _pmf_from_wings(edge_wings.values())
+        supports[edge] = _support_from_pmf(
+            pmfs[edge], graph.probability(u, v), gamma
+        )
+
+    trussness: Dict[Edge, int] = {}
+    # lazy min-heap: stale entries (support changed or edge peeled) are
+    # skipped on pop, so updates are O(log m) pushes instead of O(m) scans
+    heap: List[Tuple[int, Edge]] = [(s, e) for e, s in supports.items()]
+    heapq.heapify(heap)
+    current = 1
+    while alive:
+        edge_support, edge = heapq.heappop(heap)
+        if edge not in alive or supports[edge] != edge_support:
+            continue
+        # an edge with gamma-support s survives in the (s+2, gamma)-truss
+        current = max(current, edge_support + 2 if edge_support >= 0 else 1)
+        trussness[edge] = current
+        alive.discard(edge)
+        u, v = edge
+        for w in adjacency[u] & adjacency[v]:
+            for affected, gone in (
+                (canonical_edge(u, w), v),
+                (canonical_edge(v, w), u),
+            ):
+                if affected not in alive:
+                    continue
+                removed = wings[affected].pop(gone, None)
+                if removed is None:
+                    continue
+                reduced = _deconvolve_wing(pmfs[affected], removed)
+                if reduced is None:
+                    reduced = _pmf_from_wings(wings[affected].values())
+                pmfs[affected] = reduced
+                refreshed = _support_from_pmf(
+                    reduced, graph.probability(*affected), gamma
+                )
+                if refreshed != supports[affected]:
+                    supports[affected] = refreshed
+                    heapq.heappush(heap, (refreshed, affected))
+    return trussness
+
+
+def k_gamma_truss(
+    graph: UncertainGraph, k: int, gamma: float
+) -> FrozenSet[Node]:
+    """Return the node set of the (k, gamma)-truss (possibly empty)."""
+    trussness = gamma_truss_decomposition(graph, gamma)
+    nodes: Set[Node] = set()
+    for (u, v), t in trussness.items():
+        if t >= k:
+            nodes.add(u)
+            nodes.add(v)
+    return frozenset(nodes)
+
+
+def innermost_gamma_truss(
+    graph: UncertainGraph, gamma: float
+) -> Tuple[int, FrozenSet[Node]]:
+    """Return ``(k_max, nodes)`` of the innermost (k, gamma)-truss."""
+    trussness = gamma_truss_decomposition(graph, gamma)
+    if not trussness:
+        return 0, frozenset()
+    k_max = max(trussness.values())
+    nodes: Set[Node] = set()
+    for (u, v), t in trussness.items():
+        if t >= k_max:
+            nodes.add(u)
+            nodes.add(v)
+    return k_max, frozenset(nodes)

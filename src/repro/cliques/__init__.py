@@ -1,0 +1,17 @@
+"""k-clique listing substrate (kClist-style, Danisch et al. [56])."""
+
+from .enumeration import (
+    Clique,
+    clique_degrees,
+    count_cliques,
+    enumerate_cliques,
+    sub_cliques_of_h_cliques,
+)
+
+__all__ = [
+    "Clique",
+    "clique_degrees",
+    "count_cliques",
+    "enumerate_cliques",
+    "sub_cliques_of_h_cliques",
+]

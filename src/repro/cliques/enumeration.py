@@ -1,0 +1,101 @@
+"""k-clique listing in the style of kClist (Danisch, Balalau, Sozio [56]).
+
+Algorithm 2 of the paper needs, per sampled world: all h-cliques, per-node
+h-clique degrees, and the set of (h-1)-cliques contained in h-cliques
+(together with which node completes each of them).  All of that is derived
+from a single degeneracy-ordered listing pass.
+
+Cliques are reported as sorted tuples so they can be used as dict keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..graph.graph import Graph, Node
+
+Clique = Tuple[Node, ...]
+
+
+def enumerate_cliques(graph: Graph, h: int) -> Iterator[Clique]:
+    """Yield every h-clique of ``graph`` exactly once, as a sorted tuple.
+
+    ``h = 1`` yields all nodes; ``h = 2`` all edges.  Uses the degeneracy
+    orientation: each node only extends cliques with neighbors later in a
+    degeneracy ordering, so each clique is generated from its earliest node.
+    """
+    if h < 1:
+        raise ValueError(f"clique size must be >= 1, got {h}")
+    if h == 1:
+        for node in graph:
+            yield (node,)
+        return
+    ordering = graph.degeneracy_ordering()
+    position = {node: i for i, node in enumerate(ordering)}
+    # out-neighbors in the degeneracy orientation
+    later: Dict[Node, List[Node]] = {
+        node: sorted(
+            (nbr for nbr in graph.neighbors(node) if position[nbr] > position[node]),
+            key=lambda x: position[x],
+        )
+        for node in ordering
+    }
+
+    def extend(prefix: List[Node], candidates: List[Node], depth: int) -> Iterator[Clique]:
+        if depth == h:
+            yield tuple(sorted(prefix, key=repr))
+            return
+        for i, node in enumerate(candidates):
+            # prune: not enough candidates left to reach size h
+            if len(candidates) - i < h - depth:
+                break
+            prefix.append(node)
+            if depth + 1 == h:
+                yield tuple(sorted(prefix, key=repr))
+            else:
+                narrowed = [
+                    nbr for nbr in candidates[i + 1 :] if graph.has_edge(node, nbr)
+                ]
+                yield from extend(prefix, narrowed, depth + 1)
+            prefix.pop()
+
+    for node in ordering:
+        yield from extend([node], later[node], 1)
+
+
+def count_cliques(graph: Graph, h: int) -> int:
+    """Return the number of h-cliques, mu_h(G) (Definition 2)."""
+    return sum(1 for _ in enumerate_cliques(graph, h))
+
+
+def clique_degrees(graph: Graph, h: int) -> Dict[Node, int]:
+    """Return ``deg_G(v, h)`` for every node (Definition 6).
+
+    The h-clique degree of ``v`` is the number of h-cliques containing it.
+    Nodes in no h-clique map to 0.
+    """
+    degrees: Dict[Node, int] = {node: 0 for node in graph}
+    for clique in enumerate_cliques(graph, h):
+        for node in clique:
+            degrees[node] += 1
+    return degrees
+
+
+def sub_cliques_of_h_cliques(
+    graph: Graph, h: int
+) -> Tuple[List[Clique], Dict[Clique, List[Node]]]:
+    """Return (Lambda, completions) for Algorithm 2 / Algorithm 6.
+
+    ``Lambda`` is the set of all (h-1)-cliques contained in at least one
+    h-clique (line 3 of Algorithm 2).  ``completions[lam]`` lists, with
+    multiplicity one, the nodes ``v`` such that ``lam + v`` is an h-clique;
+    these become the capacity-1 arcs ``v -> lam`` of the flow network.
+    """
+    completions: Dict[Clique, set] = {}
+    for clique in enumerate_cliques(graph, h):
+        members = set(clique)
+        for excluded in clique:
+            lam = tuple(sorted(members - {excluded}, key=repr))
+            completions.setdefault(lam, set()).add(excluded)
+    lambdas = sorted(completions, key=repr)
+    return lambdas, {lam: sorted(nodes, key=repr) for lam, nodes in completions.items()}

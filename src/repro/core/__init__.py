@@ -1,0 +1,80 @@
+"""The paper's primary contribution: MPDS and NDS estimation."""
+
+from .measures import CliqueDensity, DensityMeasure, EdgeDensity, PatternDensity
+from .extensions import EdgeSurplus
+from .results import MPDSResult, NDSResult, ScoredNodeSet
+from .mpds import estimate_tau, top_k_mpds
+from .nds import estimate_gamma, top_k_nds
+from .exact_bitmask import (
+    bitmask_candidate_probabilities,
+    bitmask_gamma,
+    bitmask_top_k_mpds,
+    bitmask_top_k_nds,
+    bitmask_union_distribution,
+)
+from .exact import (
+    exact_candidate_probabilities,
+    exact_expected_densities,
+    exact_gamma,
+    exact_tau,
+    exact_top_k_mpds,
+    exact_top_k_nds,
+)
+from .heuristics import HeuristicMeasure, heuristic_dense_sets
+from .parallel import parallel_top_k_mpds, parallel_top_k_nds
+from .adaptive import AdaptiveResult, adaptive_top_k_mpds, adaptive_top_k_nds
+from .whatif import EdgeInfluence, exact_edge_influence, sampled_edge_influence
+from .guarantees import (
+    convergence_theta,
+    hoeffding_separation_bound,
+    plan_theta_for_inclusion,
+    plan_theta_for_separation,
+    theorem2_candidate_inclusion_bound,
+    theorem3_return_bound,
+    theorem5_closedness_bound,
+    theorem6_return_bound,
+)
+
+__all__ = [
+    "CliqueDensity",
+    "DensityMeasure",
+    "EdgeDensity",
+    "EdgeSurplus",
+    "PatternDensity",
+    "MPDSResult",
+    "NDSResult",
+    "ScoredNodeSet",
+    "estimate_tau",
+    "top_k_mpds",
+    "estimate_gamma",
+    "top_k_nds",
+    "bitmask_candidate_probabilities",
+    "bitmask_gamma",
+    "bitmask_top_k_mpds",
+    "bitmask_top_k_nds",
+    "bitmask_union_distribution",
+    "exact_candidate_probabilities",
+    "exact_expected_densities",
+    "exact_gamma",
+    "exact_tau",
+    "exact_top_k_mpds",
+    "exact_top_k_nds",
+    "HeuristicMeasure",
+    "heuristic_dense_sets",
+    "parallel_top_k_mpds",
+    "parallel_top_k_nds",
+    "AdaptiveResult",
+    "EdgeInfluence",
+    "exact_edge_influence",
+    "sampled_edge_influence",
+    "adaptive_top_k_mpds",
+    "adaptive_top_k_nds",
+    "convergence_theta",
+    "hoeffding_separation_bound",
+    "plan_theta_for_inclusion",
+    "plan_theta_for_separation",
+    "theorem2_candidate_inclusion_bound",
+    "theorem3_return_bound",
+    "theorem5_closedness_bound",
+    "theorem6_return_bound",
+]

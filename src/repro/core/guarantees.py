@@ -1,0 +1,160 @@
+"""End-to-end accuracy guarantees as computable bounds (Theorems 2, 3, 5, 6).
+
+These functions turn the paper's guarantees into numbers:
+
+* Theorem 2: probability that the true top-k node sets appear among the
+  candidates after ``theta`` rounds.
+* Theorem 3: probability that Algorithm 1 returns exactly the true top-k
+  (candidate-inclusion bound times a Hoeffding separation bound around
+  ``mid = (tau_k + tau_{k+1}) / 2``).
+* Theorems 5/6: the NDS analogues (closedness + separation).
+
+They accept true (or estimated) probabilities and a sample size, and also
+invert the bounds into sample-size planners.  ``convergence_theta``
+implements the empirical protocol of Fig. 19: double theta until the
+returned top-k stabilises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..metrics.quality import top_k_similarity
+
+
+def theorem2_candidate_inclusion_bound(
+    top_taus: Sequence[float], theta: int
+) -> float:
+    """Lower-bound Pr[true top-k are all candidates] (Theorem 2, Eq. 9)."""
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    miss = sum((1.0 - tau) ** theta for tau in top_taus)
+    return max(0.0, 1.0 - miss)
+
+
+def hoeffding_separation_bound(
+    top_probs: Sequence[float],
+    other_probs: Sequence[float],
+    theta: int,
+) -> float:
+    """Lower-bound Pr[all top estimates beat all other estimates].
+
+    The shared core of Theorems 3 and 6: with
+    ``mid = (min(top) + max(other)) / 2`` and ``d_U`` the distance of each
+    probability from ``mid``, the failure probability is at most
+    ``sum exp(-2 d_U^2 theta)`` by Hoeffding + union bound.
+    """
+    if not top_probs:
+        return 1.0
+    mid_low = min(top_probs)
+    mid_high = max(other_probs) if other_probs else 0.0
+    mid = 0.5 * (mid_low + mid_high)
+    failure = 0.0
+    for p in top_probs:
+        failure += math.exp(-2.0 * (p - mid) ** 2 * theta)
+    for p in other_probs:
+        failure += math.exp(-2.0 * (mid - p) ** 2 * theta)
+    return max(0.0, 1.0 - failure)
+
+
+def theorem3_return_bound(
+    top_taus: Sequence[float],
+    other_taus: Sequence[float],
+    theta: int,
+) -> float:
+    """Lower-bound Pr[Algorithm 1 returns the true top-k] (Theorem 3, Eq. 11).
+
+    ``top_taus`` are tau(V_1)..tau(V_k); ``other_taus`` the remaining
+    candidates' probabilities (at least tau(V_{k+1})).
+    """
+    inclusion = theorem2_candidate_inclusion_bound(top_taus, theta)
+    separation = hoeffding_separation_bound(top_taus, other_taus, theta)
+    return max(0.0, inclusion * separation)
+
+
+def theorem5_closedness_bound(
+    world_probabilities: Iterable[float], theta: int
+) -> float:
+    """Lower-bound Pr[true top-k NDS are closed w.r.t. gamma-hat] (Thm. 5).
+
+    ``world_probabilities`` are Pr(G) for every possible world whose
+    densest subgraphs contain one of the true top-k node sets (the set
+    ``G`` of Eq. 14).
+    """
+    miss = sum((1.0 - p) ** theta for p in world_probabilities)
+    return max(0.0, 1.0 - miss)
+
+
+def theorem6_return_bound(
+    world_probabilities: Iterable[float],
+    top_gammas: Sequence[float],
+    other_gammas: Sequence[float],
+    theta: int,
+) -> float:
+    """Lower-bound Pr[Algorithm 5 returns the true top-k] (Theorem 6, Eq. 16)."""
+    closedness = theorem5_closedness_bound(world_probabilities, theta)
+    separation = hoeffding_separation_bound(top_gammas, other_gammas, theta)
+    return max(0.0, closedness * separation)
+
+
+def plan_theta_for_inclusion(
+    min_tau: float, k: int, confidence: float = 0.95
+) -> int:
+    """Smallest theta making the Theorem 2 bound reach ``confidence``.
+
+    Assumes all top-k probabilities are at least ``min_tau``:
+    ``k (1 - min_tau)^theta <= 1 - confidence``.
+    """
+    if not 0.0 < min_tau <= 1.0:
+        raise ValueError(f"min_tau must be in (0, 1], got {min_tau}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if min_tau >= 1.0:
+        return 1
+    return max(1, math.ceil(
+        math.log((1.0 - confidence) / k) / math.log(1.0 - min_tau)
+    ))
+
+
+def plan_theta_for_separation(
+    gap: float, candidates: int, confidence: float = 0.95
+) -> int:
+    """Smallest theta making the Hoeffding bound reach ``confidence``.
+
+    ``gap`` is the minimum distance ``d_U`` of any candidate from ``mid``;
+    ``candidates`` the candidate-set size:
+    ``candidates * exp(-2 gap^2 theta) <= 1 - confidence``.
+    """
+    if gap <= 0.0:
+        raise ValueError(f"gap must be positive, got {gap}")
+    return max(1, math.ceil(
+        math.log(candidates / (1.0 - confidence)) / (2.0 * gap * gap)
+    ))
+
+
+def convergence_theta(
+    run: Callable[[int], Sequence[Iterable]],
+    start_theta: int = 20,
+    max_theta: int = 5120,
+    threshold: float = 0.99,
+) -> Tuple[int, List[Tuple[int, float]]]:
+    """Empirical theta selection (the Fig. 19 protocol).
+
+    ``run(theta)`` returns the top-k node sets for that sample size.  Theta
+    doubles from ``start_theta``; convergence is declared when the top-k
+    similarity to the previous theta's result reaches ``threshold``.
+    Returns ``(chosen_theta, [(theta, similarity), ...])``.
+    """
+    history: List[Tuple[int, float]] = []
+    previous = run(start_theta)
+    theta = start_theta * 2
+    while theta <= max_theta:
+        current = run(theta)
+        similarity = top_k_similarity(current, previous)
+        history.append((theta, similarity))
+        if similarity >= threshold:
+            return theta, history
+        previous = current
+        theta *= 2
+    return max_theta, history

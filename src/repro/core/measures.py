@@ -1,0 +1,148 @@
+"""Density measures: the pluggable notion of "densest" (Section II-A).
+
+Algorithm 1 and Algorithm 5 are parametric in the density notion: edge
+density (Definition 1), h-clique density (Definition 2), or pattern density
+(Definition 3).  A :class:`DensityMeasure` bundles the three per-world
+operations the estimators need:
+
+* ``all_densest(world)`` -- every densest node set (Algorithm 1 line 5);
+* ``one_densest(world)`` -- a single densest node set (the Table IX
+  ablation: "considering all vs. one densest subgraph");
+* ``maximum_sized_densest(world)`` -- the maximum-sized densest subgraph
+  (Algorithm 5 line 4);
+* ``density(world, nodes)`` -- the induced density, for reporting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Optional
+
+from ..cliques.enumeration import count_cliques
+from ..dense.all_densest import (
+    enumerate_all_densest_subgraphs,
+    maximum_sized_densest_subgraph,
+)
+from ..dense.clique_density import (
+    clique_densest_subgraph,
+    enumerate_all_clique_densest_subgraphs,
+    maximum_sized_clique_densest_subgraph,
+)
+from ..dense.goldberg import densest_subgraph
+from ..dense.pattern_density import (
+    enumerate_all_pattern_densest_subgraphs,
+    maximum_sized_pattern_densest_subgraph,
+    pattern_densest_subgraph,
+)
+from ..graph.graph import Graph, Node
+from ..patterns.matching import count_instances
+from ..patterns.pattern import Pattern
+
+NodeSet = FrozenSet[Node]
+
+
+class DensityMeasure:
+    """Abstract density notion; see :class:`EdgeDensity` etc."""
+
+    name: str = "abstract"
+
+    def all_densest(self, world: Graph, limit: Optional[int] = None) -> List[NodeSet]:
+        """Return all densest node sets of ``world`` (empty if density 0)."""
+        raise NotImplementedError
+
+    def one_densest(self, world: Graph) -> Optional[NodeSet]:
+        """Return one densest node set, or None if the max density is 0."""
+        raise NotImplementedError
+
+    def maximum_sized_densest(self, world: Graph) -> Optional[NodeSet]:
+        """Return the maximum-sized densest node set, or None."""
+        raise NotImplementedError
+
+    def density(self, world: Graph, nodes: Iterable[Node]) -> Fraction:
+        """Return the density of the subgraph induced by ``nodes``."""
+        raise NotImplementedError
+
+
+class EdgeDensity(DensityMeasure):
+    """Edge density rho_e = |E| / |V| (Definition 1)."""
+
+    name = "edge"
+
+    def all_densest(self, world: Graph, limit: Optional[int] = None) -> List[NodeSet]:
+        return list(enumerate_all_densest_subgraphs(world, limit))
+
+    def one_densest(self, world: Graph) -> Optional[NodeSet]:
+        result = densest_subgraph(world)
+        return result.nodes if result.density > 0 else None
+
+    def maximum_sized_densest(self, world: Graph) -> Optional[NodeSet]:
+        density, nodes = maximum_sized_densest_subgraph(world)
+        return nodes if density > 0 else None
+
+    def density(self, world: Graph, nodes: Iterable[Node]) -> Fraction:
+        return world.subgraph(nodes).edge_density()
+
+    def __repr__(self) -> str:
+        return "EdgeDensity()"
+
+
+class CliqueDensity(DensityMeasure):
+    """h-clique density rho_h = mu_h / |V| (Definition 2)."""
+
+    def __init__(self, h: int) -> None:
+        if h < 2:
+            raise ValueError(f"h must be >= 2, got {h}")
+        self.h = h
+        self.name = f"{h}-clique"
+
+    def all_densest(self, world: Graph, limit: Optional[int] = None) -> List[NodeSet]:
+        return list(enumerate_all_clique_densest_subgraphs(world, self.h, limit))
+
+    def one_densest(self, world: Graph) -> Optional[NodeSet]:
+        result = clique_densest_subgraph(world, self.h)
+        return result.nodes if result.density > 0 else None
+
+    def maximum_sized_densest(self, world: Graph) -> Optional[NodeSet]:
+        density, nodes = maximum_sized_clique_densest_subgraph(world, self.h)
+        return nodes if density > 0 else None
+
+    def density(self, world: Graph, nodes: Iterable[Node]) -> Fraction:
+        sub = world.subgraph(nodes)
+        n = sub.number_of_nodes()
+        if n == 0:
+            return Fraction(0)
+        return Fraction(count_cliques(sub, self.h), n)
+
+    def __repr__(self) -> str:
+        return f"CliqueDensity(h={self.h})"
+
+
+class PatternDensity(DensityMeasure):
+    """Pattern density rho_psi = mu_psi / |V| (Definition 3)."""
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.name = pattern.name
+
+    def all_densest(self, world: Graph, limit: Optional[int] = None) -> List[NodeSet]:
+        return list(
+            enumerate_all_pattern_densest_subgraphs(world, self.pattern, limit)
+        )
+
+    def one_densest(self, world: Graph) -> Optional[NodeSet]:
+        result = pattern_densest_subgraph(world, self.pattern)
+        return result.nodes if result.density > 0 else None
+
+    def maximum_sized_densest(self, world: Graph) -> Optional[NodeSet]:
+        density, nodes = maximum_sized_pattern_densest_subgraph(world, self.pattern)
+        return nodes if density > 0 else None
+
+    def density(self, world: Graph, nodes: Iterable[Node]) -> Fraction:
+        sub = world.subgraph(nodes)
+        n = sub.number_of_nodes()
+        if n == 0:
+            return Fraction(0)
+        return Fraction(count_instances(sub, self.pattern), n)
+
+    def __repr__(self) -> str:
+        return f"PatternDensity({self.pattern.name!r})"

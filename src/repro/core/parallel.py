@@ -1,0 +1,177 @@
+"""Multiprocess fan-out for the sampling estimators (Algorithms 1 and 5).
+
+The paper's C++ implementation is fast enough single-threaded; in pure
+Python the per-world densest-subgraph computation dominates, and the worlds
+are independent, so the sampling loop parallelises embarrassingly.  These
+wrappers split ``theta`` across worker processes (each with a distinct
+derived seed), run the sequential estimator per chunk, and merge:
+
+* MPDS: per-chunk candidate estimates are tau-hats over ``theta_i`` worlds;
+  the merged estimate is the theta-weighted average, identical in
+  distribution to a single run with ``sum(theta_i)`` worlds.
+* NDS: workers return their worlds' maximum-sized densest subgraphs
+  (transactions); the parent mines them with TFP once.
+
+Merging preserves unbiasedness (Lemma 1 applies per world).  Determinism:
+``seed`` fixes the per-chunk seeds, so results are reproducible for a fixed
+``workers`` count (different counts chunk the stream differently).
+
+Only Monte Carlo sampling is supported here -- LP and RSS keep cross-world
+state that does not shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.uncertain import UncertainGraph
+from ..itemsets.tfp import top_k_closed_itemsets
+from ..sampling.monte_carlo import MonteCarloSampler
+from .measures import DensityMeasure, EdgeDensity
+from .mpds import top_k_mpds
+from .results import MPDSResult, NDSResult, NodeSet, ScoredNodeSet
+
+
+def _chunk_thetas(theta: int, workers: int) -> List[int]:
+    """Split ``theta`` into ``workers`` near-equal positive chunks."""
+    base, extra = divmod(theta, workers)
+    chunks = [base + (1 if i < extra else 0) for i in range(workers)]
+    return [c for c in chunks if c > 0]
+
+
+def _derive_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
+    if seed is None:
+        return [None] * count
+    # simple splitmix-style derivation keeps chunks decorrelated
+    return [(seed * 0x9E3779B1 + i * 0x85EBCA77) % (2**63) for i in range(count)]
+
+
+def _mpds_chunk(
+    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], bool, Optional[int]]
+) -> Tuple[int, Dict[NodeSet, float], List[int]]:
+    graph, theta, measure, seed, enumerate_all, per_world_limit = args
+    result = top_k_mpds(
+        graph,
+        k=1,
+        theta=theta,
+        measure=measure,
+        seed=seed,
+        enumerate_all=enumerate_all,
+        per_world_limit=per_world_limit,
+    )
+    return result.theta, result.candidates, result.densest_counts
+
+
+def _nds_chunk(
+    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int]]
+) -> List[NodeSet]:
+    graph, theta, measure, seed = args
+    sampler = MonteCarloSampler(graph, seed)
+    transactions: List[NodeSet] = []
+    for weighted in sampler.worlds(theta):
+        maximal = measure.maximum_sized_densest(weighted.graph)
+        if maximal:
+            transactions.append(maximal)
+    return transactions
+
+
+def _run_pool(worker, job_args: Sequence, workers: int) -> List:
+    """Map jobs over a process pool; fall back to in-process for 1 worker."""
+    if workers <= 1 or len(job_args) <= 1:
+        return [worker(args) for args in job_args]
+    context = multiprocessing.get_context()
+    with context.Pool(processes=min(workers, len(job_args))) as pool:
+        return pool.map(worker, job_args)
+
+
+def parallel_top_k_mpds(
+    graph: UncertainGraph,
+    k: int = 1,
+    theta: int = 160,
+    measure: Optional[DensityMeasure] = None,
+    seed: Optional[int] = None,
+    workers: int = 2,
+    enumerate_all: bool = True,
+    per_world_limit: Optional[int] = 100_000,
+) -> MPDSResult:
+    """Algorithm 1 with the sampling loop fanned out over processes.
+
+    Semantically equivalent to :func:`repro.core.mpds.top_k_mpds` with the
+    same total ``theta`` (worlds are merely processed by different workers).
+    See the module docstring for determinism caveats.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    measure = measure or EdgeDensity()
+    chunks = _chunk_thetas(theta, workers)
+    seeds = _derive_seeds(seed, len(chunks))
+    job_args = [
+        (graph, chunk, measure, chunk_seed, enumerate_all, per_world_limit)
+        for chunk, chunk_seed in zip(chunks, seeds)
+    ]
+    outputs = _run_pool(_mpds_chunk, job_args, workers)
+    merged: Dict[NodeSet, float] = {}
+    total_theta = 0
+    densest_counts: List[int] = []
+    for chunk_theta, candidates, counts in outputs:
+        total_theta += chunk_theta
+        densest_counts.extend(counts)
+        for nodes, estimate in candidates.items():
+            merged[nodes] = merged.get(nodes, 0.0) + estimate * chunk_theta
+    merged = {nodes: value / total_theta for nodes, value in merged.items()}
+    ranked = sorted(
+        merged.items(),
+        key=lambda item: (-item[1], len(item[0]), sorted(map(repr, item[0]))),
+    )
+    top = [ScoredNodeSet(nodes, prob) for nodes, prob in ranked[:k]]
+    return MPDSResult(
+        top=top,
+        candidates=merged,
+        theta=total_theta,
+        worlds_with_densest=sum(1 for c in densest_counts if c > 0),
+        densest_counts=densest_counts,
+    )
+
+
+def parallel_top_k_nds(
+    graph: UncertainGraph,
+    k: int = 1,
+    min_size: int = 2,
+    theta: int = 640,
+    measure: Optional[DensityMeasure] = None,
+    seed: Optional[int] = None,
+    workers: int = 2,
+) -> NDSResult:
+    """Algorithm 5 with transaction collection fanned out over processes."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if min_size < 1:
+        raise ValueError(f"min_size (l_m) must be >= 1, got {min_size}")
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    measure = measure or EdgeDensity()
+    chunks = _chunk_thetas(theta, workers)
+    seeds = _derive_seeds(seed, len(chunks))
+    job_args = [
+        (graph, chunk, measure, chunk_seed)
+        for chunk, chunk_seed in zip(chunks, seeds)
+    ]
+    outputs = _run_pool(_nds_chunk, job_args, workers)
+    transactions: List[NodeSet] = []
+    for chunk_transactions in outputs:
+        transactions.extend(chunk_transactions)
+    if not transactions:
+        return NDSResult(top=[], theta=theta, transactions=0)
+    mined = top_k_closed_itemsets(transactions, k, min_size)
+    top = [
+        ScoredNodeSet(frozenset(closed.items), closed.support / theta)
+        for closed in mined
+    ]
+    return NDSResult(top=top, theta=theta, transactions=len(transactions))

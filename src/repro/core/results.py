@@ -1,0 +1,78 @@
+"""Result containers for the MPDS / NDS estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+NodeSet = FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class ScoredNodeSet:
+    """A node set with its estimated probability (tau-hat or gamma-hat)."""
+
+    nodes: NodeSet
+    probability: float
+
+
+@dataclass
+class MPDSResult:
+    """Output of the top-k MPDS estimator (Algorithm 1).
+
+    Attributes
+    ----------
+    top:
+        The top-k node sets with their estimated densest subgraph
+        probabilities, sorted by decreasing probability.
+    candidates:
+        Estimated probability of *every* candidate node set (those that
+        induced a densest subgraph in at least one sampled world).
+    theta:
+        Number of sampled possible worlds.
+    worlds_with_densest:
+        Number of sampled worlds that had a (non-trivial) densest subgraph.
+    densest_counts:
+        Per sampled world, the number of densest subgraphs found -- the
+        statistic summarised in Table VIII.
+    """
+
+    top: List[ScoredNodeSet]
+    candidates: Dict[NodeSet, float]
+    theta: int
+    worlds_with_densest: int
+    densest_counts: List[int] = field(default_factory=list)
+
+    def top_sets(self) -> List[NodeSet]:
+        """Return just the node sets of the top-k, in rank order."""
+        return [scored.nodes for scored in self.top]
+
+    def best(self) -> ScoredNodeSet:
+        """Return the rank-1 MPDS estimate (raises on empty result)."""
+        if not self.top:
+            raise ValueError("no candidate induced a densest subgraph")
+        return self.top[0]
+
+
+@dataclass
+class NDSResult:
+    """Output of the top-k NDS estimator (Algorithm 5).
+
+    ``top`` holds the closed node sets of size >= l_m with the highest
+    estimated containment probabilities; ``transactions`` is the number of
+    candidate maximum-sized densest subgraphs fed to the TFP miner.
+    """
+
+    top: List[ScoredNodeSet]
+    theta: int
+    transactions: int
+
+    def top_sets(self) -> List[NodeSet]:
+        """Return just the node sets of the top-k, in rank order."""
+        return [scored.nodes for scored in self.top]
+
+    def best(self) -> ScoredNodeSet:
+        """Return the rank-1 NDS estimate (raises on empty result)."""
+        if not self.top:
+            raise ValueError("no closed node set of the requested size found")
+        return self.top[0]

@@ -1,0 +1,55 @@
+"""Datasets: Karate Club (real), paper examples, brain networks, stand-ins."""
+
+from .karate import (
+    KARATE_EDGES,
+    KARATE_FACTIONS,
+    karate_club_topology,
+    karate_club_uncertain,
+)
+from .paper_examples import (
+    TABLE1_EXPECTED_DSP,
+    TABLE1_EXPECTED_EED,
+    figure1_graph,
+    figure3_world_graph,
+)
+from .brain import (
+    ASD_NUCLEUS,
+    TD_NUCLEUS,
+    brain_network,
+    counterpart,
+    hemisphere,
+    roi_lobes,
+    roi_names,
+)
+from .synthetic import (
+    make_biomine_like,
+    make_friendster_like,
+    make_homo_sapiens_like,
+    make_intel_lab_like,
+    make_lastfm_like,
+    make_twitter_like,
+)
+
+__all__ = [
+    "KARATE_EDGES",
+    "KARATE_FACTIONS",
+    "karate_club_topology",
+    "karate_club_uncertain",
+    "TABLE1_EXPECTED_DSP",
+    "TABLE1_EXPECTED_EED",
+    "figure1_graph",
+    "figure3_world_graph",
+    "ASD_NUCLEUS",
+    "TD_NUCLEUS",
+    "brain_network",
+    "counterpart",
+    "hemisphere",
+    "roi_lobes",
+    "roi_names",
+    "make_biomine_like",
+    "make_friendster_like",
+    "make_homo_sapiens_like",
+    "make_intel_lab_like",
+    "make_lastfm_like",
+    "make_twitter_like",
+]

@@ -1,0 +1,238 @@
+"""All h-clique-densest subgraphs of a deterministic graph (Algorithms 2/3/6).
+
+This is one of the paper's novel technical contributions: no prior work
+enumerated *all* clique-densest subgraphs.  The pipeline mirrors Algorithm 2:
+
+1. ``rho~`` from h-clique peeling [19]; shrink to the (ceil(rho~), h)-core;
+2. ``Lambda`` = all (h-1)-cliques contained in h-cliques [56];
+3. compute the exact optimum ``rho*_h`` (the paper uses the convex-program
+   solver of [57]; we binary-search the same flow network, which is exact --
+   see DESIGN.md substitutions -- and also ship a kClist++-style solver in
+   :mod:`repro.dense.kclistpp` for the ablation);
+4. build the flow network of Algorithm 6 at ``alpha = rho*_h``, max-flow,
+   condense the residual graph, and enumerate independent component sets
+   (Algorithm 3, Theorem 4: each densest subgraph exactly once).
+
+The minimum s-t cut at ``alpha = rho*_h`` has capacity ``h * mu_h(G)``
+(Corollary 1), which we assert after scaling capacities to integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..cliques.enumeration import (
+    Clique,
+    enumerate_cliques,
+    sub_cliques_of_h_cliques,
+)
+from ..flow.maxflow import max_flow, min_cut_maximal_source_side, min_cut_source_side
+from ..flow.network import FlowNetwork
+from ..graph.graph import Graph, Node
+from .component_enum import (
+    ComponentStructure,
+    build_component_structure,
+    enumerate_independent_sets,
+)
+from .kcore import kh_core
+from .peeling import peel_clique_density
+
+SOURCE = ("__source__",)
+SINK = ("__sink__",)
+
+
+def _clique_label(lam: Clique) -> Tuple[str, Clique]:
+    """Network label for an (h-1)-clique node (disjoint from graph nodes)."""
+    return ("__clique__", lam)
+
+
+def build_clique_density_network(
+    graph: Graph,
+    h: int,
+    alpha: Fraction,
+    lambdas: List[Clique],
+    completions: Dict[Clique, List[Node]],
+) -> FlowNetwork:
+    """Construct the flow network of Algorithm 6, scaled by ``alpha``'s denominator.
+
+    * ``c(s, v) = q * deg_G(v, h)`` (h-clique degree),
+    * ``c(v, t) = h * p`` where ``alpha = p / q``,
+    * ``c(lam, v) = infinity`` for each node ``v`` of the (h-1)-clique,
+    * ``c(v, lam) = q`` for each ``v`` completing ``lam`` into an h-clique.
+    """
+    alpha = Fraction(alpha)
+    p, q = alpha.numerator, alpha.denominator
+    degrees: Dict[Node, int] = {node: 0 for node in graph}
+    for lam, nodes in completions.items():
+        for node in nodes:
+            degrees[node] += 1
+    # deg(v, h) counts h-cliques containing v; each h-clique containing v
+    # appears exactly once as (lam, v) with lam = clique minus v.
+    network = FlowNetwork()
+    network.add_node(SOURCE)
+    network.add_node(SINK)
+    total_cliques = sum(len(nodes) for nodes in completions.values()) // h
+    infinite = h * max(total_cliques, 1) * q + 1
+    for node in graph:
+        network.add_arc(SOURCE, node, q * degrees[node])
+        network.add_arc(node, SINK, h * p)
+    for lam in lambdas:
+        label = _clique_label(lam)
+        for member in lam:
+            network.add_arc(label, member, infinite)
+        for completer in completions[lam]:
+            network.add_arc(completer, label, q)
+    return network
+
+
+@dataclass(frozen=True)
+class CliqueDensestResult:
+    """Exact maximum h-clique density and one witness subgraph."""
+
+    density: Fraction
+    nodes: FrozenSet[Node]
+
+
+def _count_induced_cliques(graph: Graph, nodes: FrozenSet[Node], h: int) -> int:
+    return sum(1 for _ in enumerate_cliques(graph.subgraph(nodes), h))
+
+
+def _exists_denser(
+    core: Graph,
+    h: int,
+    alpha: Fraction,
+    lambdas: List[Clique],
+    completions: Dict[Clique, List[Node]],
+    mu: int,
+) -> Tuple[bool, Optional[FrozenSet[Node]]]:
+    """Check whether some subgraph has h-clique density > alpha (Lemma 3)."""
+    network = build_clique_density_network(core, h, alpha, lambdas, completions)
+    value = max_flow(network, SOURCE, SINK)
+    target = h * mu * Fraction(alpha).denominator
+    if value >= target:
+        return False, None
+    side = set(min_cut_source_side(network, SOURCE))
+    witness = frozenset(node for node in core if node in side)
+    return True, witness
+
+
+def clique_densest_subgraph(graph: Graph, h: int) -> CliqueDensestResult:
+    """Return the exact maximum h-clique density ``rho*_h`` and a witness.
+
+    A graph with no h-clique has density 0 and an empty witness (an
+    h-cliqueless world contributes to no clique-MPDS candidate).
+    """
+    if h == 2:
+        from .goldberg import densest_subgraph as _edge_densest
+        result = _edge_densest(graph)
+        return CliqueDensestResult(result.density, result.nodes)
+    peel = peel_clique_density(graph, h)
+    if peel.density == 0 and not any(True for _ in enumerate_cliques(graph, h)):
+        return CliqueDensestResult(Fraction(0), frozenset())
+    ceil_density = -(-peel.density.numerator // peel.density.denominator)
+    core = kh_core(graph, max(ceil_density, 1), h)
+    if core.number_of_nodes() == 0:
+        core = graph
+    lambdas, completions = sub_cliques_of_h_cliques(core, h)
+    mu = sum(len(nodes) for nodes in completions.values()) // h
+    if mu == 0:
+        return CliqueDensestResult(Fraction(0), frozenset())
+    n = core.number_of_nodes()
+    lo = max(peel.density, Fraction(1, n))
+    hi = Fraction(mu, 1)
+    best_nodes = peel.nodes if peel.density > 0 else core.node_set()
+    gap = Fraction(1, n * n)
+    while hi - lo >= gap:
+        alpha = (lo + hi) / 2
+        exists, witness = _exists_denser(core, h, alpha, lambdas, completions, mu)
+        if exists:
+            assert witness
+            lo = Fraction(_count_induced_cliques(core, witness, h), len(witness))
+            best_nodes = witness
+        else:
+            hi = alpha
+    density = Fraction(
+        _count_induced_cliques(graph, frozenset(best_nodes), h), len(best_nodes)
+    )
+    return CliqueDensestResult(density, frozenset(best_nodes))
+
+
+@dataclass
+class _PreparedClique:
+    density: Fraction
+    structure: Optional[ComponentStructure]
+    maximal_nodes: FrozenSet[Node]
+
+
+def _prepare(graph: Graph, h: int) -> _PreparedClique:
+    exact = clique_densest_subgraph(graph, h)
+    if exact.density == 0:
+        return _PreparedClique(Fraction(0), None, frozenset())
+    ceil_density = -(-exact.density.numerator // exact.density.denominator)
+    core = kh_core(graph, max(ceil_density, 1), h)
+    if core.number_of_nodes() == 0:
+        core = graph
+    lambdas, completions = sub_cliques_of_h_cliques(core, h)
+    mu = sum(len(nodes) for nodes in completions.values()) // h
+    network = build_clique_density_network(
+        core, h, exact.density, lambdas, completions
+    )
+    value = max_flow(network, SOURCE, SINK)
+    expected = h * mu * exact.density.denominator
+    if value != expected:  # pragma: no cover - exactness guard
+        raise AssertionError(
+            f"max flow {value} != h mu q = {expected}; rho*_h not exact?"
+        )
+    graph_node_set = core.node_set()
+    structure = build_component_structure(
+        network, SOURCE, SINK, is_graph_node=lambda label: label in graph_node_set
+    )
+    maximal = frozenset(
+        label
+        for label in min_cut_maximal_source_side(network, SINK)
+        if label in graph_node_set
+    )
+    return _PreparedClique(exact.density, structure, maximal)
+
+
+def enumerate_all_clique_densest_subgraphs(
+    graph: Graph, h: int, limit: Optional[int] = None
+) -> Iterator[FrozenSet[Node]]:
+    """Yield every h-clique-densest subgraph exactly once (Theorem 4).
+
+    For ``h = 2`` this delegates to the edge-density enumeration, as a
+    2-clique is an edge.
+    """
+    if h == 2:
+        from .all_densest import enumerate_all_densest_subgraphs
+        yield from enumerate_all_densest_subgraphs(graph, limit)
+        return
+    prepared = _prepare(graph, h)
+    if prepared.structure is None:
+        return
+    yield from enumerate_independent_sets(prepared.structure, limit)
+
+
+def all_clique_densest_subgraphs(
+    graph: Graph, h: int, limit: Optional[int] = None
+) -> List[FrozenSet[Node]]:
+    """Return all h-clique-densest subgraphs as a list."""
+    return list(enumerate_all_clique_densest_subgraphs(graph, h, limit))
+
+
+def maximum_sized_clique_densest_subgraph(
+    graph: Graph, h: int
+) -> Tuple[Fraction, FrozenSet[Node]]:
+    """Return ``(rho*_h, nodes)`` of the maximum-sized h-clique-densest subgraph."""
+    if h == 2:
+        from .all_densest import maximum_sized_densest_subgraph
+        return maximum_sized_densest_subgraph(graph)
+    prepared = _prepare(graph, h)
+    return prepared.density, prepared.maximal_nodes
+
+
+def maximum_clique_density(graph: Graph, h: int) -> Fraction:
+    """Return rho*_h, the maximum h-clique density over all subgraphs."""
+    return clique_densest_subgraph(graph, h).density

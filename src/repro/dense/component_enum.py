@@ -1,0 +1,193 @@
+"""Algorithm 3: enumerate all densest subgraphs via independent component sets.
+
+After a maximum flow at ``alpha = rho*``, the SCC condensation of the
+residual graph encodes every densest subgraph: by Corollary 2 of the paper,
+densest subgraphs are in bijection with *independent component sets* --
+sets of non-trivial SCCs (no source, no sink) that each contain at least one
+graph node and are pairwise non-reachable in the SCC DAG.  The densest
+subgraph of an independent set ``C`` is the union of graph nodes over
+``C`` and all its descendants.
+
+This module is shared by the edge-density enumeration ([46]), Algorithm 2
+(cliques), and Algorithm 4 (patterns); the flow-network node universes
+differ but the condensation logic is identical.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from ..flow.network import FlowNetwork, NetNode
+from ..flow.scc import condensation_successors, strongly_connected_components
+
+NodeSet = FrozenSet[Hashable]
+
+
+class ComponentStructure:
+    """The SCC condensation of a residual graph, minus source and sink SCCs.
+
+    Attributes
+    ----------
+    components:
+        Node sets (network labels) of the non-trivial components.
+    graph_nodes:
+        Per component, its members that are *graph* nodes (in ``V``).
+    descendants / ancestors:
+        Per component, the indices reachable from / reaching it in the DAG.
+    """
+
+    def __init__(
+        self,
+        components: List[FrozenSet[NetNode]],
+        graph_nodes: List[FrozenSet[NetNode]],
+        descendants: List[Set[int]],
+        ancestors: List[Set[int]],
+    ) -> None:
+        self.components = components
+        self.graph_nodes = graph_nodes
+        self.descendants = descendants
+        self.ancestors = ancestors
+        # closure_nodes[i]: graph nodes of component i plus all descendants
+        self.closure_nodes: List[FrozenSet[NetNode]] = []
+        for i in range(len(components)):
+            closure: Set[NetNode] = set(graph_nodes[i])
+            for j in descendants[i]:
+                closure |= graph_nodes[j]
+            self.closure_nodes.append(frozenset(closure))
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+
+def build_component_structure(
+    network: FlowNetwork,
+    source: NetNode,
+    sink: NetNode,
+    is_graph_node: Callable[[NetNode], bool],
+) -> ComponentStructure:
+    """Condense the residual graph of ``network`` under its current flow.
+
+    Residual arcs are those with positive residual capacity (line 7 of
+    Algorithms 2/4: "excluding the SCCs of s and t").
+    """
+    indices = list(range(network.number_of_nodes()))
+
+    def successors(index: int) -> Iterator[int]:
+        return network.residual_successors(index)
+
+    raw_components = strongly_connected_components(indices, successors)
+    dag = condensation_successors(raw_components, successors)
+
+    source_index = network.index_of(source)
+    sink_index = network.index_of(sink)
+    keep: List[int] = []
+    for position, component in enumerate(raw_components):
+        if source_index in component or sink_index in component:
+            continue
+        keep.append(position)
+    renumber = {old: new for new, old in enumerate(keep)}
+
+    components: List[FrozenSet[NetNode]] = []
+    graph_nodes: List[FrozenSet[NetNode]] = []
+    for old in keep:
+        labels = frozenset(network.label_of(i) for i in raw_components[old])
+        components.append(labels)
+        graph_nodes.append(frozenset(l for l in labels if is_graph_node(l)))
+
+    # restrict the DAG to kept components and compute reachability closures
+    restricted: List[List[int]] = [[] for _ in keep]
+    for old in keep:
+        new = renumber[old]
+        for child in dag[old]:
+            if child in renumber:
+                restricted[new].append(renumber[child])
+
+    descendants: List[Set[int]] = [set() for _ in keep]
+    # Tarjan emits components in reverse topological order: every DAG edge
+    # goes from a later-emitted component to an earlier one, so iterating in
+    # emission order processes children before parents.
+    for new in range(len(keep)):
+        acc: Set[int] = set()
+        for child in restricted[new]:
+            acc.add(child)
+            acc |= descendants[child]
+        descendants[new] = acc
+    ancestors: List[Set[int]] = [set() for _ in keep]
+    for new, desc in enumerate(descendants):
+        for child in desc:
+            ancestors[child].add(new)
+    return ComponentStructure(components, graph_nodes, descendants, ancestors)
+
+
+def enumerate_independent_sets(
+    structure: ComponentStructure,
+    limit: Optional[int] = None,
+) -> Iterator[FrozenSet[NetNode]]:
+    """Yield the graph-node set of every densest subgraph (Algorithm 3).
+
+    Follows the recursion of Algorithm 3: grow an independent component set
+    one component at a time; each chosen component must contain a graph
+    node; after choosing ``C``, its descendants and ancestors (and ``C``
+    itself) leave the candidate pool, and components already iterated over
+    in the current call never return -- guaranteeing each independent set,
+    hence each densest subgraph, is produced exactly once.
+
+    ``limit`` truncates the enumeration (the number of densest subgraphs
+    can be exponential; see Table VIII).
+    """
+    produced = 0
+    eligible = [
+        i for i in range(len(structure)) if structure.graph_nodes[i]
+    ]
+
+    def recurse(
+        chosen_nodes: Set[NetNode], candidates: Sequence[int]
+    ) -> Iterator[FrozenSet[NetNode]]:
+        nonlocal produced
+        for position, component in enumerate(candidates):
+            if limit is not None and produced >= limit:
+                return
+            union = set(chosen_nodes)
+            union |= structure.closure_nodes[component]
+            produced += 1
+            yield frozenset(union)
+            blocked = structure.descendants[component] | structure.ancestors[component]
+            remaining = [
+                other
+                for other in candidates[position + 1 :]
+                if other not in blocked
+            ]
+            if remaining:
+                yield from recurse(union, remaining)
+
+    yield from recurse(set(), eligible)
+
+
+def count_independent_sets(structure: ComponentStructure) -> int:
+    """Count densest subgraphs without materialising their node sets."""
+    eligible = [i for i in range(len(structure)) if structure.graph_nodes[i]]
+
+    def recurse(candidates: Sequence[int]) -> int:
+        total = 0
+        for position, component in enumerate(candidates):
+            total += 1
+            blocked = structure.descendants[component] | structure.ancestors[component]
+            remaining = [
+                other
+                for other in candidates[position + 1 :]
+                if other not in blocked
+            ]
+            total += recurse(remaining)
+        return total
+    return recurse(eligible)

@@ -1,0 +1,173 @@
+"""Core decompositions: k-core, (k, h)-core, and (k, psi)-core.
+
+* The classic k-core (maximal subgraph with min degree >= k) is computed
+  with the O(m) bucket-peeling of Batagelj & Zaversnik [53]; Algorithm 1
+  uses it to shrink each sampled world before Goldberg's algorithm.
+* The (k, h)-core (Definition 7) generalises degree to the h-clique degree
+  (Definition 6); Algorithm 2 reduces to the (ceil(rho~), h)-core.
+* The (k, psi)-core generalises further to pattern degrees (Algorithm 4 and
+  the heuristic of Section III-C).
+
+The generalised cores are computed by *incidence peeling*: enumerate all
+h-cliques (or pattern instances) once, then repeatedly delete nodes whose
+count of live incidences is below ``k``, marking incidences dead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..cliques.enumeration import enumerate_cliques
+from ..graph.graph import Graph, Node
+from ..patterns.matching import enumerate_instances, instance_nodes
+from ..patterns.pattern import Pattern
+
+
+def core_decomposition(graph: Graph) -> Dict[Node, int]:
+    """Return the core number of every node (Batagelj-Zaversnik peeling)."""
+    degrees = {node: graph.degree(node) for node in graph}
+    max_degree = max(degrees.values(), default=0)
+    buckets: List[set] = [set() for _ in range(max_degree + 1)]
+    for node, degree in degrees.items():
+        buckets[degree].add(node)
+    core: Dict[Node, int] = {}
+    current = 0
+    removed: set = set()
+    for _ in range(len(degrees)):
+        level = 0
+        while not buckets[level]:
+            level += 1
+        current = max(current, level)
+        node = buckets[level].pop()
+        core[node] = current
+        removed.add(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor in removed:
+                continue
+            d = degrees[neighbor]
+            if d > level:
+                buckets[d].discard(neighbor)
+                degrees[neighbor] = d - 1
+                buckets[d - 1].add(neighbor)
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """Return the k-core: the maximal subgraph with minimum degree >= k."""
+    if k <= 0:
+        return graph.copy()
+    core = core_decomposition(graph)
+    return graph.subgraph(node for node, c in core.items() if c >= k)
+
+
+def _incidence_peeling_core(
+    graph: Graph,
+    incidences: Sequence[FrozenSet[Node]],
+    k: int,
+) -> Graph:
+    """Return the maximal subgraph where every node lies in >= k incidences.
+
+    ``incidences`` are node sets (h-cliques or pattern-instance node sets);
+    an incidence dies as soon as any of its nodes is deleted.
+    """
+    member_of: Dict[Node, List[int]] = {node: [] for node in graph}
+    for index, members in enumerate(incidences):
+        for node in members:
+            member_of[node].append(index)
+    live_count = {node: len(ids) for node, ids in member_of.items()}
+    incidence_alive = [True] * len(incidences)
+    node_alive = {node: True for node in graph}
+    queue = [node for node, count in live_count.items() if count < k]
+    while queue:
+        node = queue.pop()
+        if not node_alive[node]:
+            continue
+        node_alive[node] = False
+        for index in member_of[node]:
+            if not incidence_alive[index]:
+                continue
+            incidence_alive[index] = False
+            for other in incidences[index]:
+                if other == node or not node_alive[other]:
+                    continue
+                live_count[other] -= 1
+                if live_count[other] == k - 1:
+                    queue.append(other)
+    return graph.subgraph(node for node, alive in node_alive.items() if alive)
+
+
+def kh_core(graph: Graph, k: int, h: int) -> Graph:
+    """Return the (k, h)-core of ``graph`` (Definition 7).
+
+    The largest subgraph in which every node has h-clique degree >= k.
+    """
+    if k <= 0:
+        return graph.copy()
+    incidences = [frozenset(c) for c in enumerate_cliques(graph, h)]
+    return _incidence_peeling_core(graph, incidences, k)
+
+
+def kpsi_core(graph: Graph, k: int, pattern: Pattern) -> Graph:
+    """Return the (k, psi)-core: min pattern degree >= k (Section III-C)."""
+    if k <= 0:
+        return graph.copy()
+    incidences = [
+        instance_nodes(instance)
+        for instance in enumerate_instances(graph, pattern)
+    ]
+    return _incidence_peeling_core(graph, incidences, k)
+
+
+def _incidence_core_decomposition(
+    graph: Graph, incidences: Sequence[FrozenSet[Node]]
+) -> Dict[Node, int]:
+    """Generalised core numbers via min-degree incidence peeling."""
+    member_of: Dict[Node, List[int]] = {node: [] for node in graph}
+    for index, members in enumerate(incidences):
+        for node in members:
+            member_of[node].append(index)
+    live_count = {node: len(ids) for node, ids in member_of.items()}
+    incidence_alive = [True] * len(incidences)
+    node_alive = {node: True for node in graph}
+    core: Dict[Node, int] = {}
+    current = 0
+    remaining = set(graph.nodes())
+    while remaining:
+        node = min(remaining, key=lambda v: (live_count[v], repr(v)))
+        current = max(current, live_count[node])
+        core[node] = current
+        remaining.discard(node)
+        node_alive[node] = False
+        for index in member_of[node]:
+            if not incidence_alive[index]:
+                continue
+            incidence_alive[index] = False
+            for other in incidences[index]:
+                if other != node and node_alive[other]:
+                    live_count[other] -= 1
+    return core
+
+
+def kh_core_decomposition(graph: Graph, h: int) -> Dict[Node, int]:
+    """Return (k, h)-core numbers for every node."""
+    incidences = [frozenset(c) for c in enumerate_cliques(graph, h)]
+    return _incidence_core_decomposition(graph, incidences)
+
+
+def kpsi_core_decomposition(graph: Graph, pattern: Pattern) -> Dict[Node, int]:
+    """Return (k, psi)-core numbers for every node."""
+    incidences = [
+        instance_nodes(instance)
+        for instance in enumerate_instances(graph, pattern)
+    ]
+    return _incidence_core_decomposition(graph, incidences)
+
+
+def innermost_core_nodes(core_numbers: Dict[Node, int]) -> Tuple[int, FrozenSet[Node]]:
+    """Return ``(k_max, nodes)`` of the innermost (largest-k) core."""
+    if not core_numbers:
+        return 0, frozenset()
+    k_max = max(core_numbers.values())
+    return k_max, frozenset(
+        node for node, k in core_numbers.items() if k >= k_max
+    )

@@ -1,0 +1,179 @@
+"""Charikar's LP relaxation for densest subgraphs ([2]; ablation substrate).
+
+The paper's exact engines are flow-based (Goldberg [1] for edge density,
+Algorithm 6 for cliques, Algorithm 7 for patterns).  Charikar [2] showed the
+same optimum is the value of a small linear program; this module implements
+that LP as an independent cross-check and ablation:
+
+    maximize    sum_I y_I                 (one variable per instance I)
+    subject to  y_I <= x_v                for every node v in instance I
+                sum_v x_v <= 1
+                x, y >= 0
+
+where an *instance* is an edge (edge density), an h-clique (h-clique
+density, Tsourakakis [19]), or a pattern occurrence (Fang et al. [5]).  The
+LP optimum equals ``rho* = max_U mu(U) / |U|``, and a densest subgraph can
+be read off any optimal solution as a super-level set ``{v : x_v >= r}``.
+
+Solving uses ``scipy.optimize.linprog`` (HiGHS); scipy is an *optional*
+dependency -- the flow engines remain the library's primary, dependency-free
+path.  Because the LP solver returns floats, the optimum is rounded to the
+nearest rational with denominator at most ``n`` (densities are such
+rationals) and then *verified* by recomputing the density of the extracted
+node set exactly; a mismatch raises, it never silently returns a float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..cliques.enumeration import enumerate_cliques
+from ..graph.graph import Graph, Node
+from ..patterns.matching import enumerate_instances, instance_nodes
+from ..patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class LPDensestResult:
+    """Exact densest-subgraph answer recovered from the LP optimum.
+
+    ``density`` is the verified rational optimum; ``nodes`` a node set
+    achieving it; ``lp_value`` the raw (float) LP objective before
+    rationalisation.
+    """
+
+    density: Fraction
+    nodes: FrozenSet[Node]
+    lp_value: float
+
+
+def _require_scipy():
+    try:
+        from scipy.optimize import linprog
+    except ImportError as exc:  # pragma: no cover - scipy present in CI
+        raise ImportError(
+            "repro.dense.lp requires scipy; install it or use the "
+            "flow-based engines in repro.dense instead"
+        ) from exc
+    return linprog
+
+
+def _instance_density(
+    instances: Sequence[Tuple[Node, ...]], nodes: FrozenSet[Node]
+) -> Fraction:
+    """Exact density of ``nodes`` w.r.t. an instance list: mu(U) / |U|."""
+    if not nodes:
+        return Fraction(0)
+    count = sum(1 for instance in instances if nodes.issuperset(instance))
+    return Fraction(count, len(nodes))
+
+
+def lp_densest_from_instances(
+    graph: Graph, instances: Sequence[Tuple[Node, ...]]
+) -> LPDensestResult:
+    """Solve Charikar's LP over an explicit instance hypergraph.
+
+    ``instances`` is a sequence of node tuples (edges, cliques or pattern
+    occurrences); the LP maximises the instance count per node.  Returns a
+    verified rational optimum; on an instance-free graph the density is 0.
+    """
+    nodes = graph.nodes()
+    if not instances or not nodes:
+        return LPDensestResult(Fraction(0), frozenset(), 0.0)
+    for instance in instances:
+        for member in instance:
+            if member not in graph:
+                raise ValueError(f"instance node {member!r} is not in the graph")
+    linprog = _require_scipy()
+    node_index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    t = len(instances)
+    # variables: x_0..x_{n-1}, y_0..y_{t-1}; maximise sum y  <=>  minimise -sum y
+    objective = [0.0] * n + [-1.0] * t
+    rows: List[List[float]] = []
+    bounds_rhs: List[float] = []
+    for j, instance in enumerate(instances):
+        for member in set(instance):
+            # y_j - x_member <= 0
+            row = [0.0] * (n + t)
+            row[node_index[member]] = -1.0
+            row[n + j] = 1.0
+            rows.append(row)
+            bounds_rhs.append(0.0)
+    mass = [1.0] * n + [0.0] * t
+    rows.append(mass)
+    bounds_rhs.append(1.0)
+    result = linprog(
+        objective,
+        A_ub=rows,
+        b_ub=bounds_rhs,
+        bounds=[(0.0, None)] * (n + t),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - HiGHS is robust on these LPs
+        raise RuntimeError(f"LP solver failed: {result.message}")
+    lp_value = -float(result.fun)
+    x = result.x[:n]
+    best_density = Fraction(0)
+    best_nodes: FrozenSet[Node] = frozenset()
+    # sweep super-level sets of x; at least one is a densest subgraph
+    order = sorted(range(n), key=lambda i: -x[i])
+    chosen: set = set()
+    for i in order:
+        if x[i] <= 1e-12:
+            break
+        chosen.add(nodes[i])
+        level_set = frozenset(chosen)
+        density = _instance_density(instances, level_set)
+        if density > best_density:
+            best_density = density
+            best_nodes = level_set
+    expected = Fraction(lp_value).limit_denominator(max(n, 1))
+    if best_density != expected:
+        raise AssertionError(
+            f"LP level-set extraction disagrees with the LP optimum: "
+            f"{best_density} != {expected} (raw {lp_value})"
+        )
+    return LPDensestResult(best_density, best_nodes, lp_value)
+
+
+def lp_edge_densest(graph: Graph) -> LPDensestResult:
+    """Exact edge-densest subgraph via Charikar's LP [2]."""
+    return lp_densest_from_instances(graph, [tuple(e) for e in graph.edges()])
+
+
+def lp_clique_densest(graph: Graph, h: int) -> LPDensestResult:
+    """Exact h-clique-densest subgraph via the k-clique LP [19]."""
+    if h < 2:
+        raise ValueError(f"h must be >= 2, got {h}")
+    return lp_densest_from_instances(graph, list(enumerate_cliques(graph, h)))
+
+
+def lp_pattern_densest(graph: Graph, pattern: Pattern) -> LPDensestResult:
+    """Exact pattern-densest subgraph via the instance LP ([5] LP view)."""
+    instances = [
+        tuple(instance_nodes(inst)) for inst in enumerate_instances(graph, pattern)
+    ]
+    return lp_densest_from_instances(graph, instances)
+
+
+def lp_maximum_density(
+    graph: Graph,
+    h: Optional[int] = None,
+    pattern: Optional[Pattern] = None,
+) -> Fraction:
+    """Return the verified rational optimum density for the chosen notion.
+
+    With neither ``h`` nor ``pattern``: edge density; with ``h``: h-clique
+    density; with ``pattern``: pattern density.  ``h`` and ``pattern`` are
+    mutually exclusive.
+    """
+    if h is not None and pattern is not None:
+        raise ValueError("pass at most one of h and pattern")
+    if h is not None:
+        return lp_clique_densest(graph, h).density
+    if pattern is not None:
+        return lp_pattern_densest(graph, pattern).density
+    return lp_edge_densest(graph).density

@@ -1,0 +1,165 @@
+"""Optimal quasi-cliques via edge surplus (Tsourakakis et al., KDD 2013).
+
+The paper's introduction lists *edge surplus* among the density metrics a
+densest-subgraph notion can build on ([3], [18], [19]).  The edge surplus
+of a node set ``S`` is::
+
+    f_alpha(S) = e(S) - alpha * |S| (|S| - 1) / 2
+
+i.e. the number of induced edges minus an ``alpha``-fraction of the edges
+a clique on ``S`` would have.  Maximising it favours *quasi-cliques*:
+small sets close to complete, rather than the large sparse sets edge
+density can return.  Maximisation is NP-hard, so this module provides
+
+* :func:`greedy_oqc` -- the GreedyOQC peeling algorithm (remove the
+  minimum-degree node, keep the best prefix),
+* :func:`local_search_oqc` -- the LocalSearchOQC hill-climber (add/remove
+  single nodes while the surplus improves),
+* :func:`exact_oqc` -- brute force over all subsets, for cross-validation
+  on tiny graphs.
+
+:class:`repro.core.extensions.EdgeSurplus` wraps these as a
+``DensityMeasure`` so the uncertain-graph estimators extend to a "most
+probable optimal quasi-clique" (see that module for the caveats).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph, Node
+
+NodeSet = FrozenSet[Node]
+
+
+def edge_surplus(graph: Graph, nodes: NodeSet, alpha: Fraction) -> Fraction:
+    """Return ``f_alpha`` of the subgraph of ``graph`` induced by ``nodes``."""
+    sub = graph.subgraph(nodes)
+    size = sub.number_of_nodes()
+    return Fraction(sub.number_of_edges()) - alpha * Fraction(
+        size * (size - 1), 2
+    )
+
+
+def greedy_oqc(
+    graph: Graph, alpha: Fraction = Fraction(1, 3)
+) -> Tuple[Fraction, NodeSet]:
+    """GreedyOQC: peel minimum-degree nodes, return the best prefix.
+
+    Runs in O(m log n); the returned surplus is a lower bound on the
+    optimum.  Ties in the peeling order are broken by node repr for
+    determinism.
+    """
+    degrees: Dict[Node, int] = {v: graph.degree(v) for v in graph.nodes()}
+    alive: Set[Node] = set(degrees)
+    edges_left = graph.number_of_edges()
+
+    def surplus(num_edges: int, size: int) -> Fraction:
+        return Fraction(num_edges) - alpha * Fraction(size * (size - 1), 2)
+
+    best = surplus(edges_left, len(alive)) if alive else Fraction(0)
+    best_set: NodeSet = frozenset(alive)
+    while alive:
+        victim = min(alive, key=lambda v: (degrees[v], repr(v)))
+        for neighbor in graph.neighbors(victim):
+            if neighbor in alive:
+                degrees[neighbor] -= 1
+                edges_left -= 1
+        alive.discard(victim)
+        if alive:
+            current = surplus(edges_left, len(alive))
+            if current > best:
+                best = current
+                best_set = frozenset(alive)
+    if best <= 0:
+        return Fraction(0), frozenset()
+    return best, best_set
+
+
+def local_search_oqc(
+    graph: Graph,
+    alpha: Fraction = Fraction(1, 3),
+    seed_nodes: Optional[NodeSet] = None,
+    max_iterations: int = 50,
+) -> Tuple[Fraction, NodeSet]:
+    """LocalSearchOQC: hill-climb by single-node additions and removals.
+
+    Starts from ``seed_nodes`` (default: the GreedyOQC result) and
+    alternates best-improvement add and remove moves until a local
+    optimum or ``max_iterations`` full passes.
+    """
+    if seed_nodes is None:
+        _, seed_nodes = greedy_oqc(graph, alpha)
+    current: Set[Node] = set(seed_nodes)
+    if not current:
+        top = max(
+            graph.nodes(),
+            key=lambda v: (graph.degree(v), repr(v)),
+            default=None,
+        )
+        if top is None:
+            return Fraction(0), frozenset()
+        current = {top}
+    value = edge_surplus(graph, frozenset(current), alpha)
+    for _ in range(max_iterations):
+        improved = False
+        # best single addition
+        candidates = {
+            u
+            for v in current
+            for u in graph.neighbors(v)
+            if u not in current
+        }
+        best_gain = Fraction(0)
+        best_node: Optional[Node] = None
+        for u in sorted(candidates, key=repr):
+            inside = sum(1 for w in graph.neighbors(u) if w in current)
+            gain = Fraction(inside) - alpha * Fraction(len(current))
+            if gain > best_gain:
+                best_gain, best_node = gain, u
+        if best_node is not None:
+            current.add(best_node)
+            value += best_gain
+            improved = True
+        # best single removal
+        best_gain = Fraction(0)
+        best_node = None
+        for u in sorted(current, key=repr):
+            inside = sum(1 for w in graph.neighbors(u) if w in current)
+            gain = alpha * Fraction(len(current) - 1) - Fraction(inside)
+            if gain > best_gain:
+                best_gain, best_node = gain, u
+        if best_node is not None:
+            current.discard(best_node)
+            value += best_gain
+            improved = True
+        if not improved:
+            break
+    if value <= 0 or not current:
+        return Fraction(0), frozenset()
+    return value, frozenset(current)
+
+
+def exact_oqc(
+    graph: Graph, alpha: Fraction = Fraction(1, 3)
+) -> Tuple[Fraction, List[NodeSet]]:
+    """Brute-force all maximisers of ``f_alpha`` (non-empty subsets only).
+
+    Exponential; intended for graphs of at most ~15 nodes, as ground
+    truth in tests and the Table-XV-style exact-vs-approx comparison.
+    """
+    nodes = graph.nodes()
+    best = Fraction(0)
+    maximisers: List[NodeSet] = []
+    for r in range(1, len(nodes) + 1):
+        for subset in itertools.combinations(nodes, r):
+            candidate = frozenset(subset)
+            value = edge_surplus(graph, candidate, alpha)
+            if value > best:
+                best = value
+                maximisers = [candidate]
+            elif value == best and best > 0:
+                maximisers.append(candidate)
+    return best, maximisers

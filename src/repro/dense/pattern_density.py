@@ -1,0 +1,203 @@
+"""All pattern-densest subgraphs of a deterministic graph (Algorithms 4/3/7).
+
+The second novel enumeration contribution of the paper.  The pipeline is
+the pattern analogue of Algorithm 2, with one twist (Algorithm 7, from
+Fang et al. [5]): the flow network contains one node per *group* of
+pattern instances sharing a node set, not one per instance, shrinking the
+network.  For a group ``g`` with node set ``lam``:
+
+* ``c(v, lam) = |g|`` and ``c(lam, v) = |g| (|V_psi| - 1)`` for ``v in lam``,
+* ``c(s, v) = deg_G(v, psi)`` (instances containing ``v``),
+* ``c(v, t) = |V_psi| * alpha``.
+
+At ``alpha = rho*_psi`` the minimum cut has capacity ``|V_psi| mu_psi(G)``
+(Lemma 11), and the residual SCC enumeration of Algorithm 3 produces every
+pattern-densest subgraph exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..flow.maxflow import max_flow, min_cut_maximal_source_side, min_cut_source_side
+from ..flow.network import FlowNetwork
+from ..graph.graph import Graph, Node
+from ..patterns.matching import NodeSet, count_instances, group_instances
+from ..patterns.pattern import Pattern
+from .component_enum import (
+    ComponentStructure,
+    build_component_structure,
+    enumerate_independent_sets,
+)
+from .kcore import kpsi_core
+from .peeling import peel_pattern_density
+
+SOURCE = ("__source__",)
+SINK = ("__sink__",)
+
+
+def _group_label(nodes: NodeSet) -> Tuple[str, NodeSet]:
+    """Network label for an instance group (disjoint from graph nodes)."""
+    return ("__group__", nodes)
+
+
+def build_pattern_density_network(
+    graph: Graph,
+    pattern: Pattern,
+    alpha: Fraction,
+    groups: Dict[NodeSet, int],
+) -> FlowNetwork:
+    """Construct the flow network of Algorithm 7, scaled to integers."""
+    alpha = Fraction(alpha)
+    p, q = alpha.numerator, alpha.denominator
+    size = pattern.number_of_nodes()
+    degrees: Dict[Node, int] = {node: 0 for node in graph}
+    for nodes, multiplicity in groups.items():
+        for node in nodes:
+            degrees[node] += multiplicity
+    network = FlowNetwork()
+    network.add_node(SOURCE)
+    network.add_node(SINK)
+    for node in graph:
+        network.add_arc(SOURCE, node, q * degrees[node])
+        network.add_arc(node, SINK, size * p)
+    for nodes, multiplicity in groups.items():
+        label = _group_label(nodes)
+        for member in nodes:
+            network.add_arc_pair(
+                member,
+                label,
+                q * multiplicity,
+                q * multiplicity * (size - 1),
+            )
+    return network
+
+
+@dataclass(frozen=True)
+class PatternDensestResult:
+    """Exact maximum pattern density and one witness subgraph."""
+
+    density: Fraction
+    nodes: FrozenSet[Node]
+
+
+def _exists_denser(
+    core: Graph,
+    pattern: Pattern,
+    alpha: Fraction,
+    groups: Dict[NodeSet, int],
+    mu: int,
+) -> Tuple[bool, Optional[FrozenSet[Node]]]:
+    network = build_pattern_density_network(core, pattern, alpha, groups)
+    value = max_flow(network, SOURCE, SINK)
+    target = pattern.number_of_nodes() * mu * Fraction(alpha).denominator
+    if value >= target:
+        return False, None
+    side = set(min_cut_source_side(network, SOURCE))
+    witness = frozenset(node for node in core if node in side)
+    return True, witness
+
+
+def pattern_densest_subgraph(
+    graph: Graph, pattern: Pattern
+) -> PatternDensestResult:
+    """Return the exact maximum pattern density ``rho*_psi`` and a witness."""
+    peel = peel_pattern_density(graph, pattern)
+    if peel.density == 0:
+        return PatternDensestResult(Fraction(0), frozenset())
+    ceil_density = -(-peel.density.numerator // peel.density.denominator)
+    core = kpsi_core(graph, max(ceil_density, 1), pattern)
+    if core.number_of_nodes() == 0:
+        core = graph
+    groups = group_instances(core, pattern)
+    mu = sum(groups.values())
+    if mu == 0:
+        return PatternDensestResult(Fraction(0), frozenset())
+    n = core.number_of_nodes()
+    lo = max(peel.density, Fraction(1, n))
+    hi = Fraction(mu, 1)
+    best_nodes = peel.nodes
+    gap = Fraction(1, n * n)
+    while hi - lo >= gap:
+        alpha = (lo + hi) / 2
+        exists, witness = _exists_denser(core, pattern, alpha, groups, mu)
+        if exists:
+            assert witness
+            lo = Fraction(
+                count_instances(core.subgraph(witness), pattern), len(witness)
+            )
+            best_nodes = witness
+        else:
+            hi = alpha
+    density = Fraction(
+        count_instances(graph.subgraph(best_nodes), pattern), len(best_nodes)
+    )
+    return PatternDensestResult(density, frozenset(best_nodes))
+
+
+@dataclass
+class _PreparedPattern:
+    density: Fraction
+    structure: Optional[ComponentStructure]
+    maximal_nodes: FrozenSet[Node]
+
+
+def _prepare(graph: Graph, pattern: Pattern) -> _PreparedPattern:
+    exact = pattern_densest_subgraph(graph, pattern)
+    if exact.density == 0:
+        return _PreparedPattern(Fraction(0), None, frozenset())
+    ceil_density = -(-exact.density.numerator // exact.density.denominator)
+    core = kpsi_core(graph, max(ceil_density, 1), pattern)
+    if core.number_of_nodes() == 0:
+        core = graph
+    groups = group_instances(core, pattern)
+    mu = sum(groups.values())
+    network = build_pattern_density_network(core, pattern, exact.density, groups)
+    value = max_flow(network, SOURCE, SINK)
+    expected = pattern.number_of_nodes() * mu * exact.density.denominator
+    if value != expected:  # pragma: no cover - exactness guard
+        raise AssertionError(
+            f"max flow {value} != |V_psi| mu q = {expected}; rho*_psi not exact?"
+        )
+    graph_node_set = core.node_set()
+    structure = build_component_structure(
+        network, SOURCE, SINK, is_graph_node=lambda label: label in graph_node_set
+    )
+    maximal = frozenset(
+        label
+        for label in min_cut_maximal_source_side(network, SINK)
+        if label in graph_node_set
+    )
+    return _PreparedPattern(exact.density, structure, maximal)
+
+
+def enumerate_all_pattern_densest_subgraphs(
+    graph: Graph, pattern: Pattern, limit: Optional[int] = None
+) -> Iterator[FrozenSet[Node]]:
+    """Yield every pattern-densest subgraph exactly once (Appendix B)."""
+    prepared = _prepare(graph, pattern)
+    if prepared.structure is None:
+        return
+    yield from enumerate_independent_sets(prepared.structure, limit)
+
+
+def all_pattern_densest_subgraphs(
+    graph: Graph, pattern: Pattern, limit: Optional[int] = None
+) -> List[FrozenSet[Node]]:
+    """Return all pattern-densest subgraphs as a list."""
+    return list(enumerate_all_pattern_densest_subgraphs(graph, pattern, limit))
+
+
+def maximum_sized_pattern_densest_subgraph(
+    graph: Graph, pattern: Pattern
+) -> Tuple[Fraction, FrozenSet[Node]]:
+    """Return ``(rho*_psi, nodes)`` of the maximum-sized pattern-densest subgraph."""
+    prepared = _prepare(graph, pattern)
+    return prepared.density, prepared.maximal_nodes
+
+
+def maximum_pattern_density(graph: Graph, pattern: Pattern) -> Fraction:
+    """Return rho*_psi, the maximum pattern density over all subgraphs."""
+    return pattern_densest_subgraph(graph, pattern).density

@@ -1,0 +1,103 @@
+"""Experiment drivers: one per table / figure of the paper's Section VI.
+
+See DESIGN.md's per-experiment index for the mapping.  Each driver
+returns structured rows and has a ``format_*`` companion that renders the
+paper-style text table; the ``benchmarks/`` suite times and prints them.
+"""
+
+from .table1 import Table1Result, format_table1, run_table1
+from .table3_4_baselines import (
+    BaselineComparisonRow,
+    format_table3_or_4,
+    run_table3,
+    run_table4,
+)
+from .table5_6_cohesiveness import (
+    CohesivenessRow,
+    format_cohesiveness,
+    run_cohesiveness,
+)
+from .table7_dds import DDSRow, format_table7, run_table7
+from .table8_9_all_vs_one import (
+    AllVsOneRow,
+    DensestCountRow,
+    format_table8,
+    format_table9,
+    run_table8,
+    run_table9,
+)
+from .table10_purity import PurityRow, format_table10, run_table10
+from .table11_12_heuristics import (
+    HeuristicRow,
+    format_table11_12,
+    run_table11,
+    run_table12,
+)
+from .table13_14_sampling import (
+    SamplerRow,
+    format_table13_14,
+    run_table13,
+    run_table14,
+)
+from .table15_fig17_18_exact import (
+    EdgeProbabilityRow,
+    ExactVsApproxRow,
+    F1Row,
+    format_fig17,
+    format_fig18,
+    format_table15,
+    run_fig17,
+    run_fig18,
+    run_table15,
+    synthetic_graphs,
+)
+from .fig16_runtimes import (
+    RuntimeRow,
+    clique_measures,
+    format_fig16,
+    pattern_measures,
+    run_fig16_mpds,
+    run_fig16_nds,
+)
+from .fig19_20_sensitivity import (
+    KPoint,
+    LmPoint,
+    ThetaPoint,
+    format_fig19,
+    format_fig20,
+    run_fig19,
+    run_fig20_k,
+    run_fig20_lm,
+)
+from .registry import EXPERIMENTS, experiment_names, run_experiment
+from .case_studies import (
+    BrainGroupResult,
+    KarateCaseResult,
+    format_brain_case,
+    format_karate_case,
+    run_brain_case,
+    run_karate_case,
+)
+
+__all__ = [
+    "EXPERIMENTS", "experiment_names", "run_experiment",
+    "Table1Result", "format_table1", "run_table1",
+    "BaselineComparisonRow", "format_table3_or_4", "run_table3", "run_table4",
+    "CohesivenessRow", "format_cohesiveness", "run_cohesiveness",
+    "DDSRow", "format_table7", "run_table7",
+    "AllVsOneRow", "DensestCountRow", "format_table8", "format_table9",
+    "run_table8", "run_table9",
+    "PurityRow", "format_table10", "run_table10",
+    "HeuristicRow", "format_table11_12", "run_table11", "run_table12",
+    "SamplerRow", "format_table13_14", "run_table13", "run_table14",
+    "EdgeProbabilityRow", "ExactVsApproxRow", "F1Row",
+    "format_fig17", "format_fig18", "format_table15",
+    "run_fig17", "run_fig18", "run_table15", "synthetic_graphs",
+    "RuntimeRow", "clique_measures", "format_fig16", "pattern_measures",
+    "run_fig16_mpds", "run_fig16_nds",
+    "KPoint", "LmPoint", "ThetaPoint",
+    "format_fig19", "format_fig20", "run_fig19", "run_fig20_k", "run_fig20_lm",
+    "BrainGroupResult", "KarateCaseResult",
+    "format_brain_case", "format_karate_case",
+    "run_brain_case", "run_karate_case",
+]

@@ -1,0 +1,155 @@
+"""Case studies: Karate Club communities (Figs. 6-7) and brain networks
+(Figs. 8-15, Section VI-F).
+
+Karate Club: the MPDSs stay within one ground-truth faction and use
+high-probability edges; the deterministic densest subgraph, the EDS, and
+the innermost core/truss mix factions.
+
+Brain networks: the 3-clique MPDS of the ASD group lies entirely in the
+occipital lobe and is nearly hemisphere-symmetric (one unpaired ROI),
+while the TD group's MPDS spans into the temporal lobe and cerebellum with
+two unpaired ROIs -- matching the neuroscience findings the paper cites
+[95]-[97].  The EDS / core / truss span many regions for both groups and
+fail to distinguish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ..baselines.eds import expected_densest_subgraph
+from ..baselines.probabilistic_core import innermost_eta_core
+from ..baselines.probabilistic_truss import innermost_gamma_truss
+from ..baselines.dds import deterministic_densest_subgraph
+from ..core.measures import CliqueDensity
+from ..core.mpds import top_k_mpds
+from ..datasets.brain import brain_network, counterpart, roi_lobes
+from ..datasets.karate import KARATE_FACTIONS, karate_club_uncertain
+from ..metrics.quality import purity
+from .common import format_table
+
+ETA = 0.1
+GAMMA = 0.1
+
+
+@dataclass
+class KarateCaseResult:
+    """Karate Club comparison (Figs. 6-7 in table form)."""
+
+    mpds: FrozenSet[int]
+    dds: FrozenSet[int]
+    eds: FrozenSet[int]
+    core: FrozenSet[int]
+    truss: FrozenSet[int]
+    purities: Dict[str, float]
+
+
+def run_karate_case(theta: int = 160, seed: int = 7) -> KarateCaseResult:
+    """Compute the five Karate Club subgraphs and their purities."""
+    graph = karate_club_uncertain(seed=2023)
+    mpds = top_k_mpds(graph, k=1, theta=theta, seed=seed)
+    mpds_nodes = mpds.best().nodes if mpds.top else frozenset()
+    _d, dds_nodes = deterministic_densest_subgraph(graph)
+    eds_nodes = expected_densest_subgraph(graph).nodes
+    _kc, core_nodes = innermost_eta_core(graph, ETA)
+    _kt, truss_nodes = innermost_gamma_truss(graph, GAMMA)
+    subgraphs = {
+        "MPDS": mpds_nodes,
+        "DDS": dds_nodes,
+        "EDS": eds_nodes,
+        "Core": core_nodes,
+        "Truss": truss_nodes,
+    }
+    purities = {
+        name: purity(nodes, KARATE_FACTIONS)
+        for name, nodes in subgraphs.items()
+    }
+    return KarateCaseResult(
+        mpds=frozenset(mpds_nodes),
+        dds=frozenset(dds_nodes),
+        eds=frozenset(eds_nodes),
+        core=frozenset(core_nodes),
+        truss=frozenset(truss_nodes),
+        purities=purities,
+    )
+
+
+@dataclass
+class BrainGroupResult:
+    """One group's (TD or ASD) brain-network analysis."""
+
+    group: str
+    mpds: FrozenSet[str]
+    mpds_lobes: Set[str]
+    mpds_unpaired: Set[str]
+    eds: FrozenSet[str]
+    eds_lobes: Set[str]
+    core_lobes: Set[str]
+    truss_lobes: Set[str]
+
+
+def _lobes_of(nodes: FrozenSet[str], lobes: Dict[str, str]) -> Set[str]:
+    return {lobes[node] for node in nodes}
+
+
+def _unpaired(nodes: FrozenSet[str]) -> Set[str]:
+    """ROIs whose hemispheric counterpart is absent from the set."""
+    return {node for node in nodes if counterpart(node) not in nodes}
+
+
+def run_brain_case(
+    group: str,
+    subjects: int = 40,
+    theta: int = 48,
+    seed: int = 7,
+) -> BrainGroupResult:
+    """Compute the 3-clique MPDS and baselines for one brain group."""
+    graph = brain_network(group, subjects=subjects, seed=2023)
+    lobes = roi_lobes()
+    measure = CliqueDensity(3)
+    mpds = top_k_mpds(graph, k=1, theta=theta, measure=measure, seed=seed)
+    mpds_nodes = mpds.best().nodes if mpds.top else frozenset()
+    eds_nodes = expected_densest_subgraph(graph).nodes
+    _kc, core_nodes = innermost_eta_core(graph, ETA)
+    _kt, truss_nodes = innermost_gamma_truss(graph, GAMMA)
+    return BrainGroupResult(
+        group=group,
+        mpds=frozenset(mpds_nodes),
+        mpds_lobes=_lobes_of(frozenset(mpds_nodes), lobes),
+        mpds_unpaired=_unpaired(frozenset(mpds_nodes)),
+        eds=frozenset(eds_nodes),
+        eds_lobes=_lobes_of(frozenset(eds_nodes), lobes),
+        core_lobes=_lobes_of(frozenset(core_nodes), lobes),
+        truss_lobes=_lobes_of(frozenset(truss_nodes), lobes),
+    )
+
+
+def format_karate_case(result: KarateCaseResult) -> str:
+    """Render the Karate Club comparison."""
+    rows = []
+    for name, nodes in (
+        ("MPDS", result.mpds), ("DDS", result.dds), ("EDS", result.eds),
+        ("Core", result.core), ("Truss", result.truss),
+    ):
+        rows.append([name, len(nodes), result.purities[name],
+                     ",".join(map(str, sorted(nodes)))[:40]])
+    return format_table(["Subgraph", "Size", "Purity", "Nodes"], rows)
+
+
+def format_brain_case(td: BrainGroupResult, asd: BrainGroupResult) -> str:
+    """Render the TD-vs-ASD comparison."""
+    rows = []
+    for r in (td, asd):
+        rows.append([
+            r.group,
+            len(r.mpds),
+            "+".join(sorted(r.mpds_lobes)),
+            len(r.mpds_unpaired),
+            len(r.eds),
+            len(r.eds_lobes),
+        ])
+    return format_table(
+        ["Group", "|MPDS|", "MPDS lobes", "Unpaired", "|EDS|", "EDS #lobes"],
+        rows,
+    )

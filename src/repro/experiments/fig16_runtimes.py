@@ -1,0 +1,107 @@
+"""Fig. 16: running times of MPDS / NDS across density notions.
+
+Four panels in the paper: (a) edge & clique MPDS on the small datasets;
+(b) pattern MPDS on the small datasets; (c) edge & clique NDS on the large
+datasets; (d) heuristic pattern NDS on the large datasets.  Expected
+shapes: edge density is the cheapest (smallest flow networks); among
+cliques there is no uniform winner (bigger cliques are fewer but slower to
+list); the heuristic keeps patterns tractable on the large graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.heuristics import HeuristicMeasure
+from ..core.measures import CliqueDensity, DensityMeasure, EdgeDensity, PatternDensity
+from ..core.mpds import top_k_mpds
+from ..core.nds import top_k_nds
+from ..graph.uncertain import UncertainGraph
+from ..patterns.pattern import paper_patterns
+from .common import DEFAULT_THETA, LARGE_DATASETS, SMALL_DATASETS, format_table, timed
+
+
+@dataclass
+class RuntimeRow:
+    """One (dataset, notion) bar of Fig. 16."""
+
+    panel: str
+    dataset: str
+    notion: str
+    seconds: float
+
+
+def clique_measures(hs=(3, 4, 5)) -> Dict[str, DensityMeasure]:
+    """Edge plus h-clique measures (Fig. 16 panels a/c)."""
+    measures: Dict[str, DensityMeasure] = {"edge": EdgeDensity()}
+    for h in hs:
+        measures[f"{h}-clique"] = CliqueDensity(h)
+    return measures
+
+
+def pattern_measures() -> Dict[str, DensityMeasure]:
+    """The four paper patterns (Fig. 16 panels b/d)."""
+    return {p.name: PatternDensity(p) for p in paper_patterns()}
+
+
+def run_fig16_mpds(
+    datasets: Optional[Dict[str, Callable[[], UncertainGraph]]] = None,
+    measures: Optional[Dict[str, DensityMeasure]] = None,
+    panel: str = "a",
+    theta: Optional[int] = None,
+    seed: int = 7,
+) -> List[RuntimeRow]:
+    """Panels (a)/(b): MPDS runtimes on the small datasets."""
+    datasets = datasets or SMALL_DATASETS
+    measures = measures or clique_measures()
+    rows: List[RuntimeRow] = []
+    for name, loader in datasets.items():
+        graph = loader()
+        t = theta or DEFAULT_THETA.get(name, 64)
+        for notion, measure in measures.items():
+            _result, seconds = timed(
+                lambda: top_k_mpds(graph, k=1, theta=t, measure=measure, seed=seed)
+            )
+            rows.append(RuntimeRow(panel, name, notion, seconds))
+    return rows
+
+
+def run_fig16_nds(
+    datasets: Optional[Dict[str, Callable[[], UncertainGraph]]] = None,
+    measures: Optional[Dict[str, DensityMeasure]] = None,
+    panel: str = "c",
+    heuristic: bool = False,
+    theta: Optional[int] = None,
+    seed: int = 7,
+) -> List[RuntimeRow]:
+    """Panels (c)/(d): NDS runtimes on the large datasets.
+
+    ``heuristic=True`` wraps the measures in :class:`HeuristicMeasure`
+    (panel d: heuristic pattern NDS).
+    """
+    datasets = datasets or {
+        name: fn for name, fn in LARGE_DATASETS.items() if name != "Friendster"
+    }
+    measures = measures or clique_measures()
+    rows: List[RuntimeRow] = []
+    for name, loader in datasets.items():
+        graph = loader()
+        t = theta or DEFAULT_THETA.get(name, 32)
+        for notion, measure in measures.items():
+            effective = HeuristicMeasure(measure) if heuristic else measure
+            _result, seconds = timed(
+                lambda: top_k_nds(
+                    graph, k=1, min_size=2, theta=t,
+                    measure=effective, seed=seed,
+                )
+            )
+            rows.append(RuntimeRow(panel, name, notion, seconds))
+    return rows
+
+
+def format_fig16(rows: List[RuntimeRow]) -> str:
+    """Render the Fig. 16 bars as a table."""
+    headers = ["Panel", "Dataset", "Notion", "Time(s)"]
+    body = [[r.panel, r.dataset, r.notion, r.seconds] for r in rows]
+    return format_table(headers, body)

@@ -1,0 +1,145 @@
+"""Figs. 19 & 20: parameter sensitivity.
+
+Fig. 19: as theta doubles, the similarity of the returned top-k to the
+previous theta's result rises to ~1 (convergence) while runtime grows
+linearly -- the protocol used to pick the default theta per dataset.
+
+Fig. 20: for NDS queries, the average estimated containment probability
+(a) decreases as k grows (deeper results are weaker nuclei) and (b) stays
+flat in l_m until the closed sets run out, then decays to 0 -- which is
+how a feasible upper bound for l_m is chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.mpds import top_k_mpds
+from ..core.nds import top_k_nds
+from ..graph.uncertain import UncertainGraph
+from ..metrics.quality import top_k_similarity
+from .common import LARGE_DATASETS, format_table, timed
+from ..datasets.synthetic import make_biomine_like, make_intel_lab_like
+
+
+@dataclass
+class ThetaPoint:
+    """One theta point of Fig. 19: similarity to previous theta + runtime."""
+
+    theta: int
+    similarity: float
+    seconds: float
+
+
+def run_fig19(
+    loader: Optional[Callable[[], UncertainGraph]] = None,
+    mode: str = "mpds",
+    k: int = 5,
+    thetas: Sequence[int] = (20, 40, 80, 160, 320),
+    seed: int = 7,
+) -> List[ThetaPoint]:
+    """Convergence of the top-k with theta (MPDS on Intel-Lab-like or NDS
+    on Biomine-like by default)."""
+    if mode not in ("mpds", "nds"):
+        raise ValueError(f"mode must be 'mpds' or 'nds', got {mode!r}")
+    graph = (loader or (make_intel_lab_like if mode == "mpds" else make_biomine_like))()
+
+    def run(theta: int) -> List[frozenset]:
+        if mode == "mpds":
+            return top_k_mpds(graph, k=k, theta=theta, seed=seed).top_sets()
+        return top_k_nds(
+            graph, k=k, min_size=2, theta=theta, seed=seed
+        ).top_sets()
+
+    points: List[ThetaPoint] = []
+    previous: Optional[List[frozenset]] = None
+    for theta in thetas:
+        result, seconds = timed(lambda: run(theta))
+        similarity = (
+            top_k_similarity(result, previous) if previous is not None else 0.0
+        )
+        points.append(ThetaPoint(theta, similarity, seconds))
+        previous = result
+    return points
+
+
+@dataclass
+class KPoint:
+    """One k point of Fig. 20(a)."""
+
+    dataset: str
+    k: int
+    avg_containment: float
+
+
+@dataclass
+class LmPoint:
+    """One l_m point of Fig. 20(b)."""
+
+    lm: int
+    avg_containment: float
+
+
+def run_fig20_k(
+    datasets: Optional[Dict[str, Callable[[], UncertainGraph]]] = None,
+    ks: Sequence[int] = (1, 5, 10, 50, 100),
+    theta: int = 64,
+    min_size: int = 2,
+    seed: int = 7,
+) -> List[KPoint]:
+    """Average estimated containment probability of the top-k vs k."""
+    datasets = datasets or {
+        name: fn for name, fn in LARGE_DATASETS.items() if name != "Friendster"
+    }
+    points: List[KPoint] = []
+    for name, loader in datasets.items():
+        graph = loader()
+        result = top_k_nds(
+            graph, k=max(ks), min_size=min_size, theta=theta, seed=seed
+        )
+        for k in ks:
+            top = result.top[:k]
+            avg = sum(s.probability for s in top) / len(top) if top else 0.0
+            points.append(KPoint(name, k, avg))
+    return points
+
+
+def run_fig20_lm(
+    loader: Optional[Callable[[], UncertainGraph]] = None,
+    lms: Sequence[int] = (1, 2, 3, 5, 8, 12, 20),
+    k: int = 10,
+    theta: int = 64,
+    seed: int = 7,
+) -> List[LmPoint]:
+    """Average estimated containment probability vs the minimum size l_m."""
+    graph = (loader or LARGE_DATASETS["HomoSapiens"])()
+    points: List[LmPoint] = []
+    for lm in lms:
+        result = top_k_nds(graph, k=k, min_size=lm, theta=theta, seed=seed)
+        top = result.top
+        avg = sum(s.probability for s in top) / len(top) if top else 0.0
+        points.append(LmPoint(lm, avg))
+    return points
+
+
+def format_fig19(points: List[ThetaPoint]) -> str:
+    """Render the Fig. 19 series."""
+    headers = ["theta", "Similarity", "Time(s)"]
+    body = [[p.theta, p.similarity, p.seconds] for p in points]
+    return format_table(headers, body)
+
+
+def format_fig20(
+    k_points: List[KPoint], lm_points: List[LmPoint]
+) -> Tuple[str, str]:
+    """Render the two Fig. 20 panels."""
+    k_table = format_table(
+        ["Dataset", "k", "AvgContainment"],
+        [[p.dataset, p.k, p.avg_containment] for p in k_points],
+    )
+    lm_table = format_table(
+        ["l_m", "AvgContainment"],
+        [[p.lm, p.avg_containment] for p in lm_points],
+    )
+    return k_table, lm_table

@@ -1,0 +1,115 @@
+"""Tables XIII & XIV: Monte Carlo vs Lazy Propagation vs RSS.
+
+For MPDS (Intel-Lab-like) and NDS (Biomine-like): the converged sample
+size theta (the Fig. 19 doubling protocol), the running time at that
+theta, and the sampler's bookkeeping memory.  Expected shape (paper): all
+three strategies converge at similar theta with comparable running times,
+while MC consumes the least memory -- which is why it is the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.guarantees import convergence_theta
+from ..core.mpds import top_k_mpds
+from ..core.nds import top_k_nds
+from ..graph.uncertain import UncertainGraph
+from ..sampling import (
+    LazyPropagationSampler,
+    MonteCarloSampler,
+    RecursiveStratifiedSampler,
+)
+from .common import format_table, timed
+from ..datasets.synthetic import make_biomine_like, make_intel_lab_like
+
+
+@dataclass
+class SamplerRow:
+    """One sampler row of Table XIII (MPDS) or XIV (NDS)."""
+
+    method: str
+    theta: int
+    seconds: float
+    memory_units: int
+
+
+def _sampler_factory(name: str, graph: UncertainGraph, seed: int):
+    if name == "MC":
+        return MonteCarloSampler(graph, seed)
+    if name == "LP":
+        return LazyPropagationSampler(graph, seed)
+    if name == "RSS":
+        return RecursiveStratifiedSampler(graph, seed)
+    raise ValueError(f"unknown sampler {name!r}")
+
+
+def _compare_samplers(
+    graph: UncertainGraph,
+    run_with: Callable[[object, int], List[frozenset]],
+    start_theta: int,
+    max_theta: int,
+    seed: int,
+) -> List[SamplerRow]:
+    rows: List[SamplerRow] = []
+    for name in ("MC", "LP", "RSS"):
+        def run(theta: int) -> List[frozenset]:
+            sampler = _sampler_factory(name, graph, seed)
+            return run_with(sampler, theta)
+        theta, _history = convergence_theta(
+            run, start_theta=start_theta, max_theta=max_theta, threshold=0.98
+        )
+        final_sampler = _sampler_factory(name, graph, seed)
+        _result, seconds = timed(lambda: run_with(final_sampler, theta))
+        rows.append(SamplerRow(
+            method=name,
+            theta=theta,
+            seconds=seconds,
+            memory_units=final_sampler.memory_units(),
+        ))
+    return rows
+
+
+def run_table13(
+    loader: Optional[Callable[[], UncertainGraph]] = None,
+    k: int = 5,
+    start_theta: int = 20,
+    max_theta: int = 320,
+    seed: int = 7,
+) -> List[SamplerRow]:
+    """Sampler comparison for MPDS (Intel-Lab-like by default)."""
+    graph = (loader or make_intel_lab_like)()
+
+    def run_with(sampler, theta: int):
+        result = top_k_mpds(graph, k=k, theta=theta, sampler=sampler)
+        return result.top_sets()
+
+    return _compare_samplers(graph, run_with, start_theta, max_theta, seed)
+
+
+def run_table14(
+    loader: Optional[Callable[[], UncertainGraph]] = None,
+    k: int = 5,
+    min_size: int = 2,
+    start_theta: int = 20,
+    max_theta: int = 320,
+    seed: int = 7,
+) -> List[SamplerRow]:
+    """Sampler comparison for NDS (Biomine-like by default)."""
+    graph = (loader or make_biomine_like)()
+
+    def run_with(sampler, theta: int):
+        result = top_k_nds(
+            graph, k=k, min_size=min_size, theta=theta, sampler=sampler
+        )
+        return result.top_sets()
+
+    return _compare_samplers(graph, run_with, start_theta, max_theta, seed)
+
+
+def format_table13_14(rows: List[SamplerRow]) -> str:
+    """Render Table XIII / XIV."""
+    headers = ["Method", "theta", "Time(s)", "Memory(units)"]
+    body = [[r.method, r.theta, r.seconds, r.memory_units] for r in rows]
+    return format_table(headers, body)

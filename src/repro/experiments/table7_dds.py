@@ -1,0 +1,62 @@
+"""Table VII: MPDS versus the deterministic densest subgraph (DDS).
+
+The DDS ignores edge probabilities; its estimated densest subgraph
+probability should be far below the MPDS's (the paper: ~0 for Karate Club
+and LastFM, 0.044 vs 0.078 for Intel Lab).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.dds import deterministic_densest_subgraph
+from ..core.mpds import top_k_mpds
+from ..graph.uncertain import UncertainGraph
+from .common import DEFAULT_THETA, SMALL_DATASETS, format_table
+
+
+@dataclass
+class DDSRow:
+    """One dataset row of Table VII."""
+
+    dataset: str
+    mpds_probability: float
+    dds_probability: float
+    mpds_size: int
+    dds_size: int
+
+
+def run_table7(
+    datasets: Optional[Dict[str, Callable[[], UncertainGraph]]] = None,
+    theta: Optional[int] = None,
+    seed: int = 7,
+) -> List[DDSRow]:
+    """Estimate tau-hat of the MPDS and of the DDS on the small datasets."""
+    datasets = datasets or SMALL_DATASETS
+    rows: List[DDSRow] = []
+    for name, loader in datasets.items():
+        graph = loader()
+        t = theta or DEFAULT_THETA.get(name, 160)
+        result = top_k_mpds(graph, k=1, theta=t, seed=seed)
+        _density, dds_nodes = deterministic_densest_subgraph(graph)
+        mpds_nodes = result.best().nodes if result.top else frozenset()
+        rows.append(DDSRow(
+            dataset=name,
+            mpds_probability=result.best().probability if result.top else 0.0,
+            dds_probability=result.candidates.get(frozenset(dds_nodes), 0.0),
+            mpds_size=len(mpds_nodes),
+            dds_size=len(dds_nodes),
+        ))
+    return rows
+
+
+def format_table7(rows: List[DDSRow]) -> str:
+    """Render Table VII."""
+    headers = ["Dataset", "MPDS", "DDS", "|MPDS|", "|DDS|"]
+    body = [
+        [r.dataset, r.mpds_probability, r.dds_probability,
+         r.mpds_size, r.dds_size]
+        for r in rows
+    ]
+    return format_table(headers, body)

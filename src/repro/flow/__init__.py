@@ -1,0 +1,19 @@
+"""Max-flow substrate: networks with residual access, Dinic, SCCs."""
+
+from .network import Arc, Capacity, FlowNetwork, NetNode
+from .maxflow import max_flow, min_cut_maximal_source_side, min_cut_source_side
+from .push_relabel import push_relabel_max_flow
+from .scc import condensation_successors, strongly_connected_components
+
+__all__ = [
+    "Arc",
+    "Capacity",
+    "FlowNetwork",
+    "NetNode",
+    "max_flow",
+    "min_cut_maximal_source_side",
+    "min_cut_source_side",
+    "push_relabel_max_flow",
+    "condensation_successors",
+    "strongly_connected_components",
+]

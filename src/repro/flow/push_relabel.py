@@ -1,0 +1,112 @@
+"""FIFO push-relabel maximum flow (ablation / cross-check for Dinic).
+
+The library's primary max-flow engine is Dinic's algorithm
+(:mod:`repro.flow.maxflow`); this module provides the classic
+Goldberg-Tarjan FIFO push-relabel algorithm over the same
+:class:`~repro.flow.network.FlowNetwork` so the two can cross-validate each
+other (tests) and be compared on the paper's flow networks
+(``benchmarks/bench_ablation_maxflow.py``).
+
+Like Dinic, it runs on exact ``int`` / ``Fraction`` capacities and leaves
+the network's arcs carrying a valid maximum flow, so all residual-graph
+queries (min-cut sides, SCC condensation) work identically afterwards.
+
+Implementation notes: FIFO active-node queue, per-node current-arc
+pointers, and the gap heuristic (when a height level empties, every node
+above it is lifted past ``n``), which matters on the star-shaped networks
+Goldberg's construction produces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from .network import Capacity, FlowNetwork, NetNode
+
+
+def push_relabel_max_flow(
+    network: FlowNetwork, source: NetNode, sink: NetNode
+) -> Capacity:
+    """Push a maximum flow from ``source`` to ``sink``; return its value.
+
+    Mutates arc flows in place (call ``network.reset_flow()`` to start
+    over), exactly like :func:`repro.flow.maxflow.max_flow`.
+    """
+    s = network.index_of(source)
+    t = network.index_of(sink)
+    if s == t:
+        raise ValueError("source and sink must differ")
+    n = network.number_of_nodes()
+    height = [0] * n
+    excess: List[Capacity] = [0] * n
+    height[s] = n
+    count_at_height = [0] * (2 * n + 2)
+    count_at_height[0] = n - 1
+    count_at_height[n] = 1
+
+    active: deque = deque()
+    in_queue = [False] * n
+
+    def enqueue(node: int) -> None:
+        if not in_queue[node] and node != s and node != t and excess[node] > 0:
+            in_queue[node] = True
+            active.append(node)
+
+    # saturate every arc out of the source
+    for arc in network.arcs_from(s):
+        if arc.capacity <= 0:
+            continue
+        delta = arc.residual()
+        if delta <= 0:
+            continue
+        arc.flow = arc.flow + delta
+        arc.reverse.flow = arc.reverse.flow - delta
+        excess[arc.head] = excess[arc.head] + delta
+        excess[s] = excess[s] - delta
+        enqueue(arc.head)
+
+    pointers = [0] * n
+
+    def relabel(node: int) -> None:
+        old = height[node]
+        smallest = 2 * n
+        for arc in network.arcs_from(node):
+            if arc.residual() > 0:
+                smallest = min(smallest, height[arc.head])
+        height[node] = smallest + 1
+        count_at_height[old] -= 1
+        count_at_height[height[node]] += 1
+        pointers[node] = 0
+        # gap heuristic: a now-empty level below n disconnects everything
+        # above it from the sink; lift those nodes past n in one step
+        if count_at_height[old] == 0 and old < n:
+            for other in range(n):
+                if old < height[other] <= n and other != s:
+                    count_at_height[height[other]] -= 1
+                    height[other] = n + 1
+                    count_at_height[n + 1] += 1
+
+    while active:
+        node = active.popleft()
+        in_queue[node] = False
+        arcs = network.arcs_from(node)
+        while excess[node] > 0:
+            if pointers[node] >= len(arcs):
+                relabel(node)
+                if height[node] > 2 * n:  # pragma: no cover - defensive
+                    break
+                continue
+            arc = arcs[pointers[node]]
+            if arc.residual() > 0 and height[node] == height[arc.head] + 1:
+                delta = min(excess[node], arc.residual())
+                arc.flow = arc.flow + delta
+                arc.reverse.flow = arc.reverse.flow - delta
+                excess[node] = excess[node] - delta
+                excess[arc.head] = excess[arc.head] + delta
+                enqueue(arc.head)
+            else:
+                pointers[node] += 1
+        if excess[node] > 0:  # pragma: no cover - defensive re-queue
+            enqueue(node)
+    return excess[t]

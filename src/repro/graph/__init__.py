@@ -1,0 +1,55 @@
+"""Graph substrates: deterministic graphs, uncertain graphs, generators, I/O."""
+
+from .graph import Edge, Graph, Node, canonical_edge
+from .uncertain import UncertainGraph, edge_probability_statistics
+from .generators import (
+    assign_constant,
+    assign_exponential_cdf,
+    assign_normal,
+    assign_reciprocal_degree,
+    assign_uniform,
+    barabasi_albert,
+    erdos_renyi,
+    exponential_cdf_probability,
+    uncertain_barabasi_albert,
+    uncertain_erdos_renyi,
+)
+from .convert import (
+    from_networkx,
+    to_networkx,
+    uncertain_from_networkx,
+    uncertain_to_networkx,
+)
+from .io import (
+    read_edge_list,
+    read_uncertain_edge_list,
+    write_edge_list,
+    write_uncertain_edge_list,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "Node",
+    "UncertainGraph",
+    "canonical_edge",
+    "edge_probability_statistics",
+    "assign_constant",
+    "assign_exponential_cdf",
+    "assign_normal",
+    "assign_reciprocal_degree",
+    "assign_uniform",
+    "barabasi_albert",
+    "erdos_renyi",
+    "exponential_cdf_probability",
+    "uncertain_barabasi_albert",
+    "uncertain_erdos_renyi",
+    "from_networkx",
+    "to_networkx",
+    "uncertain_from_networkx",
+    "uncertain_to_networkx",
+    "read_edge_list",
+    "read_uncertain_edge_list",
+    "write_edge_list",
+    "write_uncertain_edge_list",
+]

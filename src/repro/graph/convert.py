@@ -1,0 +1,105 @@
+"""Interoperability with networkx (optional dependency).
+
+The library's own :class:`~repro.graph.graph.Graph` and
+:class:`~repro.graph.uncertain.UncertainGraph` are deliberately
+dependency-free, but downstream users often hold their data in networkx.
+These converters round-trip both directions:
+
+* deterministic graphs map to/from ``networkx.Graph``;
+* uncertain graphs store the edge probability in a configurable edge
+  attribute (``"probability"`` by default), matching how uncertain-graph
+  datasets are usually shipped.
+
+networkx is imported lazily so the core library keeps working without it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import Graph
+from .uncertain import UncertainGraph
+
+DEFAULT_PROBABILITY_KEY = "probability"
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - networkx present in CI
+        raise ImportError(
+            "repro.graph.convert requires networkx; install it or use the "
+            "native Graph / UncertainGraph constructors"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: Graph):
+    """Convert a deterministic :class:`Graph` to ``networkx.Graph``."""
+    networkx = _require_networkx()
+    out = networkx.Graph()
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert an undirected ``networkx.Graph`` to a :class:`Graph`.
+
+    Directed and multi-graphs are rejected (the paper's model is simple and
+    undirected); self-loops are rejected by :class:`Graph` itself.
+    """
+    _validate_simple_undirected(nx_graph)
+    graph = Graph(nodes=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        graph.add_edge(u, v)
+    return graph
+
+
+def uncertain_to_networkx(
+    graph: UncertainGraph, probability_key: str = DEFAULT_PROBABILITY_KEY
+):
+    """Convert an :class:`UncertainGraph` to ``networkx.Graph``.
+
+    Each edge carries its existence probability in the ``probability_key``
+    attribute.
+    """
+    networkx = _require_networkx()
+    out = networkx.Graph()
+    out.add_nodes_from(graph.nodes())
+    for u, v, p in graph.weighted_edges():
+        out.add_edge(u, v, **{probability_key: p})
+    return out
+
+
+def uncertain_from_networkx(
+    nx_graph,
+    probability_key: str = DEFAULT_PROBABILITY_KEY,
+    default_probability: Optional[float] = None,
+) -> UncertainGraph:
+    """Convert a ``networkx.Graph`` with probability attributes.
+
+    Edges missing the ``probability_key`` attribute use
+    ``default_probability``; if that is None (the default), a missing
+    attribute raises ``ValueError`` rather than silently assuming certainty.
+    """
+    _validate_simple_undirected(nx_graph)
+    graph = UncertainGraph()
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    for u, v, data in nx_graph.edges(data=True):
+        probability = data.get(probability_key, default_probability)
+        if probability is None:
+            raise ValueError(
+                f"edge ({u!r}, {v!r}) has no {probability_key!r} attribute "
+                "and no default_probability was given"
+            )
+        graph.add_edge(u, v, probability)
+    return graph
+
+
+def _validate_simple_undirected(nx_graph) -> None:
+    if nx_graph.is_directed():
+        raise ValueError("directed graphs are not supported; undirect it first")
+    if nx_graph.is_multigraph():
+        raise ValueError("multigraphs are not supported; collapse parallel edges")

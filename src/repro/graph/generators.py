@@ -1,0 +1,187 @@
+"""Random graph models and edge-probability assignment (Section VI-A).
+
+The paper evaluates on Erdos-Renyi / Barabasi-Albert synthetic graphs
+(Table XV, Figs. 17-18) and assigns edge probabilities with several models:
+
+* exponential CDF of communication counts, ``p = 1 - exp(-t / mu)`` with
+  ``mu = 20`` (Karate Club, Twitter, Friendster);
+* reciprocal of the larger endpoint degree (LastFM);
+* uniform at random (Table XV synthetic graphs);
+* normal with a given mean (Fig. 18).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from .graph import Graph, Node
+from .uncertain import UncertainGraph
+
+
+def erdos_renyi(
+    n: int, p: float, rng: Optional[random.Random] = None
+) -> Graph:
+    """Return a G(n, p) Erdos-Renyi graph on nodes ``0..n-1``."""
+    rng = rng or random.Random()
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert(
+    n: int, m: int, rng: Optional[random.Random] = None
+) -> Graph:
+    """Return a Barabasi-Albert preferential-attachment graph.
+
+    Each new node attaches to ``m`` existing nodes chosen proportionally to
+    degree (repeated-nodes urn implementation).
+    """
+    if m < 1 or m >= n:
+        raise ValueError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = rng or random.Random()
+    graph = Graph(nodes=range(n))
+    # start from a star over the first m+1 nodes so every node has degree >= 1
+    repeated: list[Node] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        repeated.extend((0, v))
+    for source in range(m + 1, n):
+        targets: set[Node] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(source, target)
+            repeated.extend((source, target))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# edge probability models
+# ----------------------------------------------------------------------
+
+def exponential_cdf_probability(t: float, mu: float = 20.0) -> float:
+    """Return ``1 - exp(-t / mu)``: probability from an interaction count.
+
+    This is the model the paper applies to Karate Club, Twitter, and
+    Friendster with ``mu = 20`` [91].
+    """
+    return 1.0 - math.exp(-t / mu)
+
+
+def assign_exponential_cdf(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    mu: float = 20.0,
+    max_interactions: int = 20,
+) -> UncertainGraph:
+    """Assign probabilities via the exponential CDF of synthetic counts.
+
+    Interaction counts are drawn uniformly from ``1..max_interactions``;
+    real datasets would use observed communication counts.
+    """
+    rng = rng or random.Random()
+    out = UncertainGraph()
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        t = rng.randint(1, max_interactions)
+        out.add_edge(u, v, exponential_cdf_probability(t, mu))
+    return out
+
+
+def assign_reciprocal_degree(graph: Graph) -> UncertainGraph:
+    """Assign ``p(u, v) = 1 / max(deg(u), deg(v))`` (the LastFM model)."""
+    out = UncertainGraph()
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        out.add_edge(u, v, 1.0 / max(graph.degree(u), graph.degree(v)))
+    return out
+
+
+def assign_uniform(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    low: float = 0.05,
+    high: float = 1.0,
+) -> UncertainGraph:
+    """Assign probabilities uniformly at random from ``[low, high]``.
+
+    Used for the Table XV synthetic BA/ER graphs ("assign edge probabilities
+    uniformly at random").
+    """
+    rng = rng or random.Random()
+    out = UncertainGraph()
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        out.add_edge(u, v, rng.uniform(low, high))
+    return out
+
+
+def assign_normal(
+    graph: Graph,
+    mean: float,
+    std: float = 0.1,
+    rng: Optional[random.Random] = None,
+) -> UncertainGraph:
+    """Assign normally distributed probabilities, clipped to (0, 1].
+
+    Used in Fig. 18 ("normally distributed edge probabilities with means
+    0.2, 0.5 and 0.8").
+    """
+    rng = rng or random.Random()
+    out = UncertainGraph()
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        p = rng.gauss(mean, std)
+        p = min(1.0, max(1e-6, p))
+        out.add_edge(u, v, p)
+    return out
+
+
+def assign_constant(graph: Graph, probability: float) -> UncertainGraph:
+    """Assign the same probability to every edge (hardness-proof gadgets)."""
+    out = UncertainGraph()
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        out.add_edge(u, v, probability)
+    return out
+
+
+def uncertain_erdos_renyi(
+    n: int,
+    edge_probability: float,
+    rng: Optional[random.Random] = None,
+    assigner: Optional[Callable[[Graph], UncertainGraph]] = None,
+) -> UncertainGraph:
+    """Convenience: ER topology + uniform existence probabilities.
+
+    ``assigner`` overrides the default uniform probability model.
+    """
+    rng = rng or random.Random()
+    topology = erdos_renyi(n, edge_probability, rng)
+    if assigner is not None:
+        return assigner(topology)
+    return assign_uniform(topology, rng)
+
+
+def uncertain_barabasi_albert(
+    n: int,
+    m: int,
+    rng: Optional[random.Random] = None,
+    assigner: Optional[Callable[[Graph], UncertainGraph]] = None,
+) -> UncertainGraph:
+    """Convenience: BA topology + uniform existence probabilities."""
+    rng = rng or random.Random()
+    topology = barabasi_albert(n, m, rng)
+    if assigner is not None:
+        return assigner(topology)
+    return assign_uniform(topology, rng)

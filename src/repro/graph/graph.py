@@ -1,0 +1,240 @@
+"""Deterministic undirected graph used throughout the library.
+
+The paper's possible worlds (Section II) are plain undirected, unweighted
+graphs.  This module provides a small, dependency-free adjacency-set graph
+that supports exactly the operations the densest-subgraph machinery needs:
+induced subgraphs, degree queries, degeneracy orderings, connected
+components, and canonical edge iteration.
+
+Nodes may be any hashable object (ints, strings, ROI names, ...).  Edges are
+stored once per endpoint in adjacency sets; self-loops are rejected because
+none of the density notions in the paper are defined over them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def canonical_edge(u: Node, v: Node) -> Edge:
+    """Return the canonical (sorted) representation of an undirected edge.
+
+    Sorting is done on ``repr`` when the endpoints are not mutually orderable
+    (e.g. mixed ints and strings), so any hashable node type works.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """An undirected, unweighted graph backed by adjacency sets.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (3, 3)
+    >>> g.edge_density()
+    Fraction(1, 1)
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an iterable of node pairs."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loops are not supported: {u!r}")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``(u, v)``; raises ``KeyError`` if absent."""
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        for neighbor in self._adj.pop(node):
+            self._adj[neighbor].discard(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> List[Node]:
+        """Return a list of all nodes."""
+        return list(self._adj)
+
+    def node_set(self) -> FrozenSet[Node]:
+        """Return the node set as a frozenset."""
+        return frozenset(self._adj)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return True if the edge ``(u, v)`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """Return the neighbor set of ``node`` (do not mutate)."""
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        return len(self._adj[node])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical orientation (each once)."""
+        seen: Set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        """Return all edges as canonical frozenset members."""
+        return frozenset(canonical_edge(u, v) for u, v in self.edges())
+
+    def number_of_nodes(self) -> int:
+        """Return |V|."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return |E|."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edge_density(self) -> Fraction:
+        """Return the edge density |E| / |V| (Definition 1) as a Fraction.
+
+        Defined as 0 on the empty graph for convenience.
+        """
+        n = self.number_of_nodes()
+        if n == 0:
+            return Fraction(0)
+        return Fraction(self.number_of_edges(), n)
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes`` (ignoring absent nodes)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub._adj[node] = self._adj[node] & keep
+        return sub
+
+    def connected_components(self) -> List[FrozenSet[Node]]:
+        """Return the node sets of connected components (BFS)."""
+        components: List[FrozenSet[Node]] = []
+        unseen = set(self._adj)
+        while unseen:
+            root = next(iter(unseen))
+            queue = deque([root])
+            component = {root}
+            unseen.discard(root)
+            while queue:
+                node = queue.popleft()
+                for neighbor in self._adj[node]:
+                    if neighbor in unseen:
+                        unseen.discard(neighbor)
+                        component.add(neighbor)
+                        queue.append(neighbor)
+            components.append(frozenset(component))
+        return components
+
+    def degeneracy_ordering(self) -> List[Node]:
+        """Return a degeneracy ordering (smallest-degree-first peeling).
+
+        The returned list orders nodes so that each node has few neighbors
+        *later* in the order; this is the standard preprocessing step for
+        k-clique listing (Danisch et al. [56]).
+        """
+        degrees = {node: len(nbrs) for node, nbrs in self._adj.items()}
+        max_degree = max(degrees.values(), default=0)
+        buckets: List[Set[Node]] = [set() for _ in range(max_degree + 1)]
+        for node, degree in degrees.items():
+            buckets[degree].add(node)
+        ordering: List[Node] = []
+        removed: Set[Node] = set()
+        pointer = 0
+        for _ in range(len(self._adj)):
+            while not buckets[pointer]:
+                pointer += 1
+            node = buckets[pointer].pop()
+            ordering.append(node)
+            removed.add(node)
+            for neighbor in self._adj[node]:
+                if neighbor in removed:
+                    continue
+                buckets[degrees[neighbor]].discard(neighbor)
+                degrees[neighbor] -= 1
+                buckets[degrees[neighbor]].add(neighbor)
+            # removing a min-degree node lowers the minimum by at most 1
+            pointer = max(0, pointer - 1)
+        return ordering
+
+    def triangles(self) -> Iterator[Tuple[Node, Node, Node]]:
+        """Iterate over all triangles, each reported exactly once."""
+        index = {node: i for i, node in enumerate(self._adj)}
+        for u, v in self.edges():
+            if index[u] > index[v]:
+                u, v = v, u
+            for w in self._adj[u] & self._adj[v]:
+                if index[w] > index[v]:
+                    yield (u, v, w)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(n={self.number_of_nodes()}, m={self.number_of_edges()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.node_set() == other.node_set() and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs used as dict keys rarely
+        return hash((self.node_set(), self.edge_set()))

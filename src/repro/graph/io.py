@@ -1,0 +1,89 @@
+"""Reading and writing (uncertain) graphs as edge lists.
+
+Formats
+-------
+Deterministic edge list: one ``u v`` pair per line.
+Probabilistic edge list: one ``u v p`` triple per line, as distributed with
+the paper's datasets (https://github.com/ArkaSaha/MPDS uses this layout).
+
+Lines starting with ``#`` or ``%`` are comments.  Node labels are kept as
+strings unless every label parses as an integer, in which case they are
+converted (so files written by this module round-trip).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .graph import Graph
+from .uncertain import UncertainGraph
+
+PathLike = Union[str, Path]
+
+
+def _parse_lines(path: PathLike) -> List[List[str]]:
+    rows: List[List[str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            rows.append(line.split())
+    return rows
+
+
+def _maybe_int_labels(rows: List[List[str]]) -> bool:
+    for row in rows:
+        for label in row[:2]:
+            try:
+                int(label)
+            except ValueError:
+                return False
+    return True
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a deterministic graph from a ``u v`` edge list file."""
+    rows = _parse_lines(path)
+    as_int = _maybe_int_labels(rows)
+    graph = Graph()
+    for row in rows:
+        if len(row) < 2:
+            raise ValueError(f"malformed edge line: {row!r}")
+        u, v = row[0], row[1]
+        if as_int:
+            graph.add_edge(int(u), int(v))
+        else:
+            graph.add_edge(u, v)
+    return graph
+
+
+def read_uncertain_edge_list(path: PathLike) -> UncertainGraph:
+    """Read an uncertain graph from a ``u v p`` edge list file."""
+    rows = _parse_lines(path)
+    as_int = _maybe_int_labels(rows)
+    graph = UncertainGraph()
+    for row in rows:
+        if len(row) < 3:
+            raise ValueError(f"malformed probabilistic edge line: {row!r}")
+        u, v, p = row[0], row[1], float(row[2])
+        if as_int:
+            graph.add_edge(int(u), int(v), p)
+        else:
+            graph.add_edge(u, v, p)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a deterministic graph as a ``u v`` edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v in sorted(graph.edges(), key=repr):
+            handle.write(f"{u} {v}\n")
+
+
+def write_uncertain_edge_list(graph: UncertainGraph, path: PathLike) -> None:
+    """Write an uncertain graph as a ``u v p`` edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v, p in sorted(graph.weighted_edges(), key=repr):
+            handle.write(f"{u} {v} {p:.9g}\n")

@@ -1,0 +1,306 @@
+"""Uncertain graphs: the paper's input data model (Section II).
+
+An uncertain graph ``G = (V, E, p)`` assigns each undirected edge an
+independent existence probability ``p(e) in (0, 1]``.  It induces a
+probability distribution over ``2^m`` *possible worlds* -- deterministic
+graphs obtained by sampling each edge independently (Equation 1):
+
+    Pr(G) = prod_{e in E_G} p(e) * prod_{e in E \\ E_G} (1 - p(e))
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .graph import Edge, Graph, Node, canonical_edge
+
+
+class UncertainGraph:
+    """An undirected graph whose edges carry existence probabilities.
+
+    Examples
+    --------
+    >>> ug = UncertainGraph()
+    >>> ug.add_edge("A", "B", 0.5)
+    >>> ug.add_edge("B", "C", 0.25)
+    >>> round(ug.probability("A", "B"), 3)
+    0.5
+    """
+
+    __slots__ = ("_graph", "_prob")
+
+    def __init__(self) -> None:
+        self._graph = Graph()
+        self._prob: Dict[Edge, float] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_weighted_edges(
+        cls, edges: Iterable[Tuple[Node, Node, float]]
+    ) -> "UncertainGraph":
+        """Build from an iterable of ``(u, v, probability)`` triples."""
+        graph = cls()
+        for u, v, p in edges:
+            graph.add_edge(u, v, p)
+        return graph
+
+    @classmethod
+    def from_graph(cls, graph: Graph, probability: float = 1.0) -> "UncertainGraph":
+        """Lift a deterministic graph, giving every edge ``probability``."""
+        out = cls()
+        for node in graph:
+            out.add_node(node)
+        for u, v in graph.edges():
+            out.add_edge(u, v, probability)
+        return out
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node."""
+        self._graph.add_node(node)
+
+    def add_edge(self, u: Node, v: Node, probability: float) -> None:
+        """Add edge ``(u, v)`` with existence probability in (0, 1]."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"edge probability must be in (0, 1], got {probability!r}"
+            )
+        self._graph.add_edge(u, v)
+        self._prob[canonical_edge(u, v)] = float(probability)
+
+    def copy(self) -> "UncertainGraph":
+        """Return an independent copy."""
+        clone = UncertainGraph()
+        clone._graph = self._graph.copy()
+        clone._prob = dict(self._prob)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._graph
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph)
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def nodes(self) -> List[Node]:
+        """Return all nodes."""
+        return self._graph.nodes()
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges in canonical orientation."""
+        return self._graph.edges()
+
+    def weighted_edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate over ``(u, v, probability)`` triples.
+
+        Iterates the insertion-ordered probability map rather than the
+        adjacency sets: dict order survives pickling (set order does
+        not), so seeded sampling stays reproducible across process
+        boundaries (``repro.core.parallel``).
+        """
+        for (u, v), p in self._prob.items():
+            yield u, v, p
+
+    def number_of_nodes(self) -> int:
+        """Return |V|."""
+        return self._graph.number_of_nodes()
+
+    def number_of_edges(self) -> int:
+        """Return |E|."""
+        return self._graph.number_of_edges()
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return True if edge ``(u, v)`` is present (with any probability)."""
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, node: Node):
+        """Return the neighbor set of ``node``."""
+        return self._graph.neighbors(node)
+
+    def degree(self, node: Node) -> int:
+        """Return the structural degree (number of incident uncertain edges)."""
+        return self._graph.degree(node)
+
+    def probability(self, u: Node, v: Node) -> float:
+        """Return the existence probability of edge ``(u, v)``."""
+        return self._prob[canonical_edge(u, v)]
+
+    def deterministic_version(self) -> Graph:
+        """Return the deterministic graph with every uncertain edge present."""
+        return self._graph.copy()
+
+    def subgraph(self, nodes: Iterable[Node]) -> "UncertainGraph":
+        """Return the uncertain subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        sub = UncertainGraph()
+        for node in keep:
+            if node in self._graph:
+                sub.add_node(node)
+        for u, v, p in self.weighted_edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, p)
+        return sub
+
+    def condition(self, u: Node, v: Node, present: bool) -> "UncertainGraph":
+        """Return a copy conditioned on edge ``(u, v)`` being (ab)sent.
+
+        Conditioning on ``present=True`` fixes the edge's probability to 1;
+        on ``present=False`` it removes the edge (the nodes stay).  Because
+        edges are independent, the result is exactly the conditional
+        distribution over possible worlds -- useful for what-if analyses
+        ("how does the MPDS change if this interaction is confirmed?").
+        """
+        edge = canonical_edge(u, v)
+        if edge not in self._prob:
+            raise KeyError(f"no uncertain edge {edge!r} to condition on")
+        clone = self.copy()
+        if present:
+            clone._prob[edge] = 1.0
+        else:
+            clone._graph.remove_edge(u, v)
+            del clone._prob[edge]
+        return clone
+
+    def prune(self, threshold: float) -> "UncertainGraph":
+        """Return a copy without edges of probability below ``threshold``.
+
+        A common preprocessing step on noisy uncertain graphs; note that
+        (unlike :meth:`condition`) this *changes* the distribution, so
+        estimates on the pruned graph are approximations.
+        """
+        clone = UncertainGraph()
+        for node in self._graph:
+            clone.add_node(node)
+        for u, v, p in self.weighted_edges():
+            if p >= threshold:
+                clone.add_edge(u, v, p)
+        return clone
+
+    # ------------------------------------------------------------------
+    # possible-world semantics
+    # ------------------------------------------------------------------
+    def sample_world(self, rng: Optional[random.Random] = None) -> Graph:
+        """Draw one possible world by independent edge flips (Monte Carlo)."""
+        rng = rng or random
+        world = Graph()
+        for node in self._graph:
+            world.add_node(node)
+        for u, v, p in self.weighted_edges():
+            if rng.random() < p:
+                world.add_edge(u, v)
+        return world
+
+    def world_probability(self, world: Graph) -> float:
+        """Return Pr(world) per Equation 1.
+
+        ``world`` must be over (a subset of) this graph's nodes; any edge of
+        the world absent from this uncertain graph makes the probability 0.
+        """
+        log_prob = 0.0
+        present = {canonical_edge(u, v) for u, v in world.edges()}
+        for edge, p in self._prob.items():
+            if edge in present:
+                log_prob += math.log(p)
+                present.discard(edge)
+            else:
+                if p >= 1.0:
+                    return 0.0
+                log_prob += math.log1p(-p)
+        if present:
+            return 0.0
+        return math.exp(log_prob)
+
+    def possible_worlds(self) -> Iterator[Tuple[Graph, float]]:
+        """Enumerate all ``2^m`` possible worlds with their probabilities.
+
+        Exponential: intended only for tiny graphs (exact reference solvers
+        and the paper's Table I / Table XV experiments).
+        """
+        edges = list(self.weighted_edges())
+        nodes = self.nodes()
+        for mask in itertools.product((False, True), repeat=len(edges)):
+            world = Graph()
+            for node in nodes:
+                world.add_node(node)
+            probability = 1.0
+            for include, (u, v, p) in zip(mask, edges):
+                if include:
+                    world.add_edge(u, v)
+                    probability *= p
+                else:
+                    probability *= 1.0 - p
+            if probability > 0.0:
+                yield world, probability
+
+    # ------------------------------------------------------------------
+    # expectations
+    # ------------------------------------------------------------------
+    def expected_degree(self, node: Node) -> float:
+        """Return the expected degree of ``node``."""
+        return sum(
+            self._prob[canonical_edge(node, nbr)]
+            for nbr in self._graph.neighbors(node)
+        )
+
+    def expected_edge_count(self, nodes: Optional[Iterable[Node]] = None) -> float:
+        """Return the expected number of edges (optionally induced by ``nodes``)."""
+        if nodes is None:
+            return sum(self._prob.values())
+        keep = set(nodes)
+        return sum(
+            p for u, v, p in self.weighted_edges() if u in keep and v in keep
+        )
+
+    def expected_edge_density(self, nodes: Iterable[Node]) -> float:
+        """Return the expected edge density of the subgraph induced by ``nodes``.
+
+        By linearity of expectation this equals the weighted density
+        ``sum of p(e) over induced edges / |nodes|`` (Zou [44]).
+        """
+        keep = set(nodes)
+        if not keep:
+            return 0.0
+        return self.expected_edge_count(keep) / len(keep)
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainGraph(n={self.number_of_nodes()}, "
+            f"m={self.number_of_edges()})"
+        )
+
+
+def edge_probability_statistics(
+    graph: UncertainGraph,
+) -> Dict[str, float]:
+    """Return mean / standard deviation / quartiles of edge probabilities.
+
+    Mirrors the "Edge Prob: Mean, St. Dev., Quart." column of Table II.
+    """
+    probs: Sequence[float] = sorted(p for _, _, p in graph.weighted_edges())
+    if not probs:
+        return {"mean": 0.0, "std": 0.0, "q1": 0.0, "q2": 0.0, "q3": 0.0}
+    n = len(probs)
+    mean = sum(probs) / n
+    variance = sum((p - mean) ** 2 for p in probs) / n
+    def quantile(q: float) -> float:
+        position = q * (n - 1)
+        low = int(position)
+        high = min(low + 1, n - 1)
+        weight = position - low
+        return probs[low] * (1 - weight) + probs[high] * weight
+    return {
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "q1": quantile(0.25),
+        "q2": quantile(0.5),
+        "q3": quantile(0.75),
+    }

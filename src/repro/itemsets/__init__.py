@@ -1,0 +1,15 @@
+"""Closed frequent itemset mining (TFP-style) for the NDS reduction."""
+
+from .tfp import (
+    ClosedItemset,
+    all_closed_itemsets,
+    naive_closed_itemsets,
+    top_k_closed_itemsets,
+)
+
+__all__ = [
+    "ClosedItemset",
+    "all_closed_itemsets",
+    "naive_closed_itemsets",
+    "top_k_closed_itemsets",
+]

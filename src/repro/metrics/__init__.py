@@ -1,0 +1,39 @@
+"""Quality and cohesiveness metrics used by the paper's evaluation."""
+
+from .density import (
+    clique_density,
+    edge_density,
+    expected_clique_density,
+    expected_edge_density,
+    expected_pattern_density,
+    pattern_density,
+)
+from .probabilistic import (
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+from .quality import (
+    average_f1_by_rank,
+    average_purity,
+    f1_score,
+    jaccard,
+    purity,
+    top_k_similarity,
+)
+
+__all__ = [
+    "clique_density",
+    "edge_density",
+    "expected_clique_density",
+    "expected_edge_density",
+    "expected_pattern_density",
+    "pattern_density",
+    "probabilistic_clustering_coefficient",
+    "probabilistic_density",
+    "average_f1_by_rank",
+    "average_purity",
+    "f1_score",
+    "jaccard",
+    "purity",
+    "top_k_similarity",
+]

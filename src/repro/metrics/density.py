@@ -1,0 +1,85 @@
+"""Density metrics over deterministic and uncertain graphs (Section II-A).
+
+Thin, well-named wrappers tying Definitions 1-3 (edge / h-clique / pattern
+density) and the expected-density notions to the substrate modules, so
+experiment code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from ..cliques.enumeration import count_cliques
+from ..graph.graph import Graph, Node
+from ..graph.uncertain import UncertainGraph
+from ..patterns.matching import count_instances, enumerate_instances
+from ..patterns.pattern import Pattern
+
+
+def edge_density(graph: Graph, nodes: Iterable[Node] = None) -> Fraction:
+    """Return rho_e (Definition 1) of ``graph`` or of an induced subgraph."""
+    target = graph if nodes is None else graph.subgraph(nodes)
+    return target.edge_density()
+
+
+def clique_density(graph: Graph, h: int, nodes: Iterable[Node] = None) -> Fraction:
+    """Return rho_h (Definition 2): h-cliques per node."""
+    target = graph if nodes is None else graph.subgraph(nodes)
+    n = target.number_of_nodes()
+    if n == 0:
+        return Fraction(0)
+    return Fraction(count_cliques(target, h), n)
+
+
+def pattern_density(
+    graph: Graph, pattern: Pattern, nodes: Iterable[Node] = None
+) -> Fraction:
+    """Return rho_psi (Definition 3): pattern instances per node."""
+    target = graph if nodes is None else graph.subgraph(nodes)
+    n = target.number_of_nodes()
+    if n == 0:
+        return Fraction(0)
+    return Fraction(count_instances(target, pattern), n)
+
+
+def expected_edge_density(graph: UncertainGraph, nodes: Iterable[Node]) -> float:
+    """Return the expected edge density of the induced uncertain subgraph."""
+    return graph.expected_edge_density(nodes)
+
+
+def expected_clique_density(
+    graph: UncertainGraph, h: int, nodes: Iterable[Node]
+) -> float:
+    """Return the expected h-clique density of the induced subgraph (Thm. 7)."""
+    keep = frozenset(nodes)
+    if not keep:
+        return 0.0
+    from ..cliques.enumeration import enumerate_cliques
+    induced = graph.deterministic_version().subgraph(keep)
+    total = 0.0
+    for clique in enumerate_cliques(induced, h):
+        weight = 1.0
+        members = list(clique)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                weight *= graph.probability(u, v)
+        total += weight
+    return total / len(keep)
+
+
+def expected_pattern_density(
+    graph: UncertainGraph, pattern: Pattern, nodes: Iterable[Node]
+) -> float:
+    """Return the expected pattern density of the induced subgraph (Thm. 7)."""
+    keep = frozenset(nodes)
+    if not keep:
+        return 0.0
+    induced = graph.deterministic_version().subgraph(keep)
+    total = 0.0
+    for instance in enumerate_instances(induced, pattern):
+        weight = 1.0
+        for u, v in instance:
+            weight *= graph.probability(u, v)
+        total += weight
+    return total / len(keep)

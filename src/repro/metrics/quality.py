@@ -1,0 +1,102 @@
+"""Result-quality metrics: purity, F1, and top-k list similarity.
+
+* Purity (Table X): the highest fraction of a node set's members drawn
+  from a single ground-truth community.
+* F1 (Figs. 17-18): harmonic mean of precision and recall of a returned
+  node set against the exact node set at the same rank; the paper reports
+  the average across ranks 1..k.
+* Top-k similarity (Fig. 19): how close the result lists for consecutive
+  theta values are; implemented as the average best-match Jaccard between
+  the two lists (a natural set-list similarity; the paper does not spell
+  out its formula).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence
+
+Node = Hashable
+NodeSet = FrozenSet[Node]
+
+
+def purity(nodes: Iterable[Node], communities: Mapping[Node, Hashable]) -> float:
+    """Return the largest fraction of ``nodes`` in one ground-truth community."""
+    members = [node for node in nodes if node in communities]
+    if not members:
+        return 0.0
+    counts: Dict[Hashable, int] = {}
+    for node in members:
+        label = communities[node]
+        counts[label] = counts.get(label, 0) + 1
+    return max(counts.values()) / len(members)
+
+
+def average_purity(
+    node_sets: Sequence[Iterable[Node]], communities: Mapping[Node, Hashable]
+) -> float:
+    """Return the mean purity over a list of node sets (top-k results)."""
+    if not node_sets:
+        return 0.0
+    return sum(purity(s, communities) for s in node_sets) / len(node_sets)
+
+
+def f1_score(returned: Iterable[Node], truth: Iterable[Node]) -> float:
+    """Return the F1 score of ``returned`` against ``truth``."""
+    returned_set = frozenset(returned)
+    truth_set = frozenset(truth)
+    if not returned_set or not truth_set:
+        return 0.0
+    overlap = len(returned_set & truth_set)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(returned_set)
+    recall = overlap / len(truth_set)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def average_f1_by_rank(
+    returned: Sequence[Iterable[Node]], truth: Sequence[Iterable[Node]]
+) -> float:
+    """Return the F1 averaged across ranks 1..k (Figs. 17-18 protocol).
+
+    Rank ``i`` of ``returned`` is scored against rank ``i`` of ``truth``;
+    missing ranks score 0.
+    """
+    k = max(len(returned), len(truth))
+    if k == 0:
+        return 0.0
+    total = 0.0
+    for i in range(k):
+        if i < len(returned) and i < len(truth):
+            total += f1_score(returned[i], truth[i])
+    return total / k
+
+
+def jaccard(a: Iterable[Node], b: Iterable[Node]) -> float:
+    """Return the Jaccard similarity of two node sets."""
+    sa, sb = frozenset(a), frozenset(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union if union else 0.0
+
+
+def top_k_similarity(
+    current: Sequence[Iterable[Node]], previous: Sequence[Iterable[Node]]
+) -> float:
+    """Return the average best-match Jaccard between two top-k lists.
+
+    For each set of ``current``, take its best Jaccard against any set of
+    ``previous``; average.  Equal lists score 1; used for the Fig. 19
+    convergence-of-theta protocol.
+    """
+    current_sets = [frozenset(s) for s in current]
+    previous_sets = [frozenset(s) for s in previous]
+    if not current_sets and not previous_sets:
+        return 1.0
+    if not current_sets or not previous_sets:
+        return 0.0
+    total = 0.0
+    for s in current_sets:
+        total += max(jaccard(s, t) for t in previous_sets)
+    return total / len(current_sets)

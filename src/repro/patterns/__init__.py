@@ -1,0 +1,24 @@
+"""Pattern graphs and subgraph-isomorphism instance enumeration."""
+
+from .pattern import Pattern, paper_patterns
+from .matching import (
+    Instance,
+    NodeSet,
+    count_instances,
+    enumerate_instances,
+    group_instances,
+    instance_nodes,
+    pattern_degrees,
+)
+
+__all__ = [
+    "Pattern",
+    "paper_patterns",
+    "Instance",
+    "NodeSet",
+    "count_instances",
+    "enumerate_instances",
+    "group_instances",
+    "instance_nodes",
+    "pattern_degrees",
+]

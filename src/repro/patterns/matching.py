@@ -1,0 +1,111 @@
+"""Enumerating pattern instances (subgraph isomorphisms) in a graph.
+
+An instance of pattern ``psi`` in graph ``G`` is a subgraph of ``G``
+isomorphic to ``psi``.  We enumerate them with a VF2-style backtracking
+matcher and deduplicate by the instance's edge set, which quotients out the
+pattern's automorphisms (two isomorphisms onto the same subgraph differ by
+an automorphism of ``psi``).
+
+Algorithm 7 groups instances sharing a node set -- ``group_instances``
+provides that grouping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from ..graph.graph import Edge, Graph, Node, canonical_edge
+from .pattern import Pattern
+
+Instance = FrozenSet[Edge]  # an instance is identified by its edge set
+NodeSet = FrozenSet[Node]
+
+
+def enumerate_instances(graph: Graph, pattern: Pattern) -> Iterator[Instance]:
+    """Yield every instance of ``pattern`` in ``graph`` exactly once.
+
+    Each instance is a frozenset of canonical edges of ``graph``.  For
+    clique patterns this agrees with k-clique listing (tested).
+    """
+    p_graph = pattern.graph()
+    order = pattern.matching_order()
+    degree_req = {u: p_graph.degree(u) for u in order}
+    seen: set = set()
+    mapping: Dict[int, Node] = {}
+    used: set = set()
+
+    def candidates(pattern_node: int) -> List[Node]:
+        anchors = [
+            mapping[nbr] for nbr in p_graph.neighbors(pattern_node) if nbr in mapping
+        ]
+        if not anchors:
+            return [v for v in graph if graph.degree(v) >= degree_req[pattern_node]]
+        pool = set(graph.neighbors(anchors[0]))
+        for anchor in anchors[1:]:
+            pool &= graph.neighbors(anchor)
+        return [
+            v for v in pool
+            if v not in used and graph.degree(v) >= degree_req[pattern_node]
+        ]
+
+    def backtrack(position: int) -> Iterator[Instance]:
+        if position == len(order):
+            instance = frozenset(
+                canonical_edge(mapping[u], mapping[v]) for u, v in p_graph.edges()
+            )
+            if instance not in seen:
+                seen.add(instance)
+                yield instance
+            return
+        pattern_node = order[position]
+        for candidate in candidates(pattern_node):
+            mapping[pattern_node] = candidate
+            used.add(candidate)
+            yield from backtrack(position + 1)
+            used.discard(candidate)
+            del mapping[pattern_node]
+
+    yield from backtrack(0)
+
+
+def count_instances(graph: Graph, pattern: Pattern) -> int:
+    """Return mu_psi(G): the number of pattern instances (Definition 3)."""
+    return sum(1 for _ in enumerate_instances(graph, pattern))
+
+
+def instance_nodes(instance: Instance) -> NodeSet:
+    """Return the node set spanned by an instance's edges."""
+    nodes: set = set()
+    for u, v in instance:
+        nodes.add(u)
+        nodes.add(v)
+    return frozenset(nodes)
+
+
+def pattern_degrees(graph: Graph, pattern: Pattern) -> Dict[Node, int]:
+    """Return ``deg_G(v, psi)``: instances containing each node.
+
+    This is the pattern analogue of the h-clique degree used by the
+    (k, psi)-core and by Algorithm 7's source capacities.
+    """
+    degrees: Dict[Node, int] = {node: 0 for node in graph}
+    for instance in enumerate_instances(graph, pattern):
+        for node in instance_nodes(instance):
+            degrees[node] += 1
+    return degrees
+
+
+def group_instances(
+    graph: Graph, pattern: Pattern
+) -> Dict[NodeSet, int]:
+    """Group instances by node set; return ``{node_set: multiplicity}``.
+
+    Algorithm 7 builds one flow-network node per *group* of instances with a
+    common node set (to shrink the network); the multiplicity ``|g|``
+    parameterises the arc capacities.
+    """
+    groups: Dict[NodeSet, int] = {}
+    for instance in enumerate_instances(graph, pattern):
+        key = instance_nodes(instance)
+        groups[key] = groups.get(key, 0) + 1
+    return groups

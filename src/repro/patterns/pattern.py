@@ -1,0 +1,161 @@
+"""Pattern graphs for pattern-density computations (Definition 3, Fig. 5).
+
+A pattern ``psi = (V_psi, E_psi)`` is a small connected graph; an *instance*
+of ``psi`` in a graph ``G`` is a subgraph of ``G`` isomorphic to ``psi``
+(not necessarily induced).  Counting distinct subgraphs automatically
+quotients out the pattern's automorphisms, and coincides with h-clique
+counting when ``psi`` is a clique.
+
+The paper's experiments (Fig. 5) use four patterns: the 2-star (a path on
+three nodes), the 3-star (one center with three leaves), the "c3-star"
+(a triangle with one pendant node -- the closed variant of the 2-star with
+a star edge attached), and the diamond (K4 minus an edge).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..graph.graph import Graph, Node
+
+
+class Pattern:
+    """A named pattern graph.
+
+    Pattern nodes are integers ``0..k-1``; only the edge structure matters.
+
+    Examples
+    --------
+    >>> Pattern.diamond().number_of_nodes()
+    4
+    >>> Pattern.clique(3).name
+    '3-clique'
+    """
+
+    __slots__ = ("name", "_graph")
+
+    def __init__(self, name: str, edges: Iterable[Tuple[int, int]]) -> None:
+        self.name = name
+        self._graph = Graph.from_edges(edges)
+        if self._graph.number_of_nodes() == 0:
+            raise ValueError("pattern must have at least one edge")
+        if len(self._graph.connected_components()) != 1:
+            raise ValueError("pattern must be connected")
+
+    # ------------------------------------------------------------------
+    # canonical patterns from the paper (Fig. 5)
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_star(cls) -> "Pattern":
+        """Path on three nodes: one center with two leaves."""
+        return cls("2-star", [(0, 1), (0, 2)])
+
+    @classmethod
+    def three_star(cls) -> "Pattern":
+        """One center with three leaves."""
+        return cls("3-star", [(0, 1), (0, 2), (0, 3)])
+
+    @classmethod
+    def c3_star(cls) -> "Pattern":
+        """Triangle with one pendant node attached."""
+        return cls("c3-star", [(0, 1), (1, 2), (0, 2), (0, 3)])
+
+    @classmethod
+    def diamond(cls) -> "Pattern":
+        """K4 minus one edge (two triangles sharing an edge)."""
+        return cls("diamond", [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+
+    @classmethod
+    def clique(cls, h: int) -> "Pattern":
+        """The complete graph on ``h`` nodes (h >= 2)."""
+        if h < 2:
+            raise ValueError(f"clique pattern needs h >= 2, got {h}")
+        edges = [(i, j) for i in range(h) for j in range(i + 1, h)]
+        return cls(f"{h}-clique", edges)
+
+    @classmethod
+    def path(cls, length: int) -> "Pattern":
+        """A simple path with ``length`` edges."""
+        if length < 1:
+            raise ValueError("path needs at least one edge")
+        return cls(f"path-{length}", [(i, i + 1) for i in range(length)])
+
+    @classmethod
+    def cycle(cls, k: int) -> "Pattern":
+        """A simple cycle on ``k`` nodes (k >= 3)."""
+        if k < 3:
+            raise ValueError("cycle needs at least three nodes")
+        edges = [(i, (i + 1) % k) for i in range(k)]
+        return cls(f"cycle-{k}", edges)
+
+    @classmethod
+    def from_edges(cls, name: str, edges: Iterable[Tuple[int, int]]) -> "Pattern":
+        """Build a custom pattern from an edge list."""
+        return cls(name, edges)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def graph(self) -> Graph:
+        """Return the underlying pattern graph (do not mutate)."""
+        return self._graph
+
+    def number_of_nodes(self) -> int:
+        """Return |V_psi|."""
+        return self._graph.number_of_nodes()
+
+    def number_of_edges(self) -> int:
+        """Return |E_psi|."""
+        return self._graph.number_of_edges()
+
+    def nodes(self) -> List[int]:
+        """Return pattern node labels."""
+        return sorted(self._graph.nodes())
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Return pattern edges in canonical form."""
+        return sorted(tuple(sorted(e)) for e in self._graph.edges())
+
+    def matching_order(self) -> List[int]:
+        """Return a connected search order (each node adjacent to a prior one).
+
+        Starts from a maximum-degree node, which tends to shrink candidate
+        sets fastest in the backtracking matcher.
+        """
+        nodes = self.nodes()
+        start = max(nodes, key=self._graph.degree)
+        order = [start]
+        placed = {start}
+        while len(order) < len(nodes):
+            best: Node = None
+            best_key = (-1, -1)
+            for node in nodes:
+                if node in placed:
+                    continue
+                back_degree = sum(
+                    1 for nbr in self._graph.neighbors(node) if nbr in placed
+                )
+                key = (back_degree, self._graph.degree(node))
+                if back_degree > 0 and key > best_key:
+                    best, best_key = node, key
+            order.append(best)
+            placed.add(best)
+        return order
+
+    def is_clique(self) -> bool:
+        """Return True if this pattern is a complete graph."""
+        k = self.number_of_nodes()
+        return self.number_of_edges() == k * (k - 1) // 2
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.name!r}, n={self.number_of_nodes()}, m={self.number_of_edges()})"
+
+
+def paper_patterns() -> List[Pattern]:
+    """Return the four patterns used in the paper's experiments (Fig. 5)."""
+    return [
+        Pattern.two_star(),
+        Pattern.three_star(),
+        Pattern.c3_star(),
+        Pattern.diamond(),
+    ]

@@ -1,0 +1,21 @@
+"""Possible-world samplers: Monte Carlo, Lazy Propagation, RSS."""
+
+from .base import WeightedWorld, WorldSampler
+from .monte_carlo import MonteCarloSampler
+from .lazy_propagation import LazyPropagationSampler
+from .stratified import RecursiveStratifiedSampler
+
+SAMPLERS = {
+    "MC": MonteCarloSampler,
+    "LP": LazyPropagationSampler,
+    "RSS": RecursiveStratifiedSampler,
+}
+
+__all__ = [
+    "WeightedWorld",
+    "WorldSampler",
+    "MonteCarloSampler",
+    "LazyPropagationSampler",
+    "RecursiveStratifiedSampler",
+    "SAMPLERS",
+]

@@ -1,0 +1,45 @@
+"""Common interface for possible-world samplers (Section III-A remark 2).
+
+Algorithm 1 and Algorithm 5 are agnostic to how possible worlds are drawn:
+the paper compares Monte Carlo (MC), Lazy Propagation (LP) [54], and
+Recursive Stratified Sampling (RSS) [55] in Tables XIII/XIV.
+
+A sampler yields ``WeightedWorld``s: deterministic graphs with weights that
+sum to 1 over a batch, so an estimator ``sum(w * X(world))`` is (close to)
+unbiased for ``E[X]`` under every strategy:
+
+* MC / LP: every world has weight ``1 / theta``;
+* RSS: a world in stratum ``S`` allocated ``theta_S`` samples has weight
+  ``Pr(S) / theta_S``.
+
+Samplers also report an abstract ``memory_units`` figure (number of live
+bookkeeping cells) so the memory comparison of Tables XIII/XIV can be
+reproduced without OS-level instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from ..graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class WeightedWorld:
+    """A sampled possible world with its estimator weight."""
+
+    graph: Graph
+    weight: float
+
+
+class WorldSampler(Protocol):
+    """Protocol implemented by MC, LP and RSS samplers."""
+
+    def worlds(self, theta: int) -> Iterator[WeightedWorld]:
+        """Yield ``theta`` weighted possible worlds (weights sum to ~1)."""
+        ...
+
+    def memory_units(self) -> int:
+        """Return the sampler's bookkeeping footprint in abstract cells."""
+        ...

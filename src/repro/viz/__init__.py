@@ -1,0 +1,5 @@
+"""Visualization exports for case studies (DOT / Graphviz)."""
+
+from .dot import graph_to_dot, uncertain_to_dot
+
+__all__ = ["graph_to_dot", "uncertain_to_dot"]

@@ -1,0 +1,105 @@
+"""Graphviz DOT export for the paper's case-study figures.
+
+The paper's Figs. 6-7 (Karate Club communities) and Figs. 8-15 (brain
+networks) render uncertain graphs with the MPDS highlighted, node colors
+showing ground-truth communities, and edge thickness proportional to the
+edge probability.  This module emits the equivalent DOT text so any
+Graphviz install can regenerate those visuals; it keeps the library free
+of plotting dependencies.
+
+Example
+-------
+>>> from repro.datasets import karate_club_uncertain
+>>> from repro import top_k_mpds
+>>> g = karate_club_uncertain(seed=2023)
+>>> best = top_k_mpds(g, theta=160, seed=7).best().nodes
+>>> dot = uncertain_to_dot(g, highlight=best)
+>>> dot.startswith("graph {")
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..graph.graph import Graph, Node
+from ..graph.uncertain import UncertainGraph
+
+#: a small colour-blind-friendly palette for community colouring
+_PALETTE = (
+    "#4477AA", "#EE6677", "#228833", "#CCBB44",
+    "#66CCEE", "#AA3377", "#BBBBBB",
+)
+
+
+def _quote(node: Node) -> str:
+    text = str(node).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def _node_lines(
+    nodes: Iterable[Node],
+    highlight: frozenset,
+    communities: Optional[Mapping[Node, object]],
+) -> list:
+    palette_of: Dict[object, str] = {}
+    lines = []
+    for node in nodes:
+        attrs = []
+        if communities is not None and node in communities:
+            community = communities[node]
+            if community not in palette_of:
+                palette_of[community] = _PALETTE[len(palette_of) % len(_PALETTE)]
+            attrs.append("style=filled")
+            attrs.append(f'fillcolor="{palette_of[community]}"')
+        if node in highlight:
+            attrs.append("penwidth=3")
+            attrs.append('color="#000000"')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(node)}{suffix};")
+    return lines
+
+
+def graph_to_dot(
+    graph: Graph,
+    highlight: Optional[Iterable[Node]] = None,
+    communities: Optional[Mapping[Node, object]] = None,
+) -> str:
+    """Render a deterministic graph as undirected DOT text.
+
+    ``highlight`` nodes get a thick black border (the paper's blue subgraph
+    boxes); ``communities`` maps nodes to arbitrary community labels, each
+    coloured from a fixed palette.
+    """
+    marked = frozenset(highlight or ())
+    lines = ["graph {", "  node [shape=circle];"]
+    lines.extend(_node_lines(graph.nodes(), marked, communities))
+    for u, v in sorted(graph.edges(), key=repr):
+        lines.append(f"  {_quote(u)} -- {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def uncertain_to_dot(
+    graph: UncertainGraph,
+    highlight: Optional[Iterable[Node]] = None,
+    communities: Optional[Mapping[Node, object]] = None,
+    max_penwidth: float = 5.0,
+) -> str:
+    """Render an uncertain graph as DOT with probability-scaled edges.
+
+    Edge pen width is ``probability * max_penwidth`` (the paper: "the
+    thickness of each edge is proportional to its probability") and the
+    probability is attached as the edge tooltip.
+    """
+    marked = frozenset(highlight or ())
+    lines = ["graph {", "  node [shape=circle];"]
+    lines.extend(_node_lines(graph.nodes(), marked, communities))
+    for u, v, p in sorted(graph.weighted_edges(), key=repr):
+        width = max(0.2, p * max_penwidth)
+        lines.append(
+            f"  {_quote(u)} -- {_quote(v)} "
+            f'[penwidth={width:.2f}, tooltip="p={p:.3f}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Tests for the adaptive stopping rules (repro.core.adaptive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveResult,
+    adaptive_top_k_mpds,
+    adaptive_top_k_nds,
+)
+from repro.graph.uncertain import UncertainGraph
+
+
+class TestAdaptiveMPDS:
+    def test_figure1_stops_and_recovers_bd(self, figure1):
+        adaptive = adaptive_top_k_mpds(
+            figure1, k=1, confidence=0.9, start_theta=40, max_theta=1280, seed=5
+        )
+        assert isinstance(adaptive, AdaptiveResult)
+        assert adaptive.result.best().nodes == frozenset({"B", "D"})
+        assert adaptive.stopped_because in {"confidence", "stable", "budget"}
+
+    def test_trace_theta_doubles(self, figure1):
+        adaptive = adaptive_top_k_mpds(
+            figure1, k=1, confidence=0.999999, start_theta=20,
+            max_theta=80, similarity_threshold=1.1, seed=5,
+        )
+        thetas = [step[0] for step in adaptive.trace]
+        assert thetas == [20, 40, 80]
+        assert adaptive.stopped_because == "budget"
+
+    def test_confidence_stop_on_easy_instance(self):
+        # a near-certain triangle vs a rare extra edge: huge tau gap
+        graph = UncertainGraph.from_weighted_edges([
+            ("A", "B", 0.99), ("B", "C", 0.99), ("A", "C", 0.99),
+            ("C", "D", 0.05),
+        ])
+        adaptive = adaptive_top_k_mpds(
+            graph, k=1, confidence=0.9, start_theta=80, max_theta=5120, seed=5
+        )
+        assert adaptive.stopped_because in {"confidence", "stable"}
+        assert adaptive.result.best().nodes == frozenset({"A", "B", "C"})
+
+    def test_budget_respected(self, figure1):
+        adaptive = adaptive_top_k_mpds(
+            figure1, k=3, confidence=0.999999, start_theta=10,
+            max_theta=40, similarity_threshold=1.1, seed=1,
+        )
+        assert adaptive.theta <= 40
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ValueError):
+            adaptive_top_k_mpds(figure1, confidence=1.5)
+        with pytest.raises(ValueError):
+            adaptive_top_k_mpds(figure1, start_theta=0)
+        with pytest.raises(ValueError):
+            adaptive_top_k_mpds(figure1, start_theta=100, max_theta=50)
+
+    def test_plug_in_confidence_in_unit_interval(self, figure1):
+        adaptive = adaptive_top_k_mpds(
+            figure1, k=2, confidence=0.9, start_theta=40, max_theta=320, seed=2
+        )
+        for _theta, bound, similarity in adaptive.trace:
+            assert 0.0 <= bound <= 1.0
+            assert 0.0 <= similarity <= 1.0
+
+
+class TestAdaptiveNDS:
+    def test_figure1_recovers_bd(self, figure1):
+        adaptive = adaptive_top_k_nds(
+            figure1, k=1, min_size=2, confidence=0.9,
+            start_theta=80, max_theta=1280, seed=5,
+        )
+        assert adaptive.result.best().nodes == frozenset({"B", "D"})
+        assert len(adaptive.result.top) <= 1
+
+    def test_result_trimmed_to_k(self, figure1):
+        adaptive = adaptive_top_k_nds(
+            figure1, k=2, min_size=2, confidence=0.5,
+            start_theta=40, max_theta=160, seed=3,
+        )
+        assert len(adaptive.result.top) <= 2
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ValueError):
+            adaptive_top_k_nds(figure1, confidence=0.0)
+        with pytest.raises(ValueError):
+            adaptive_top_k_nds(figure1, start_theta=50, max_theta=10)

@@ -1,0 +1,211 @@
+"""Tests for exact densest-subgraph computation and all-densest enumeration.
+
+Covers Goldberg's algorithm, the Chang-Qiao [46] enumeration for edge
+density, the paper's Algorithm 2 (cliques) and Algorithm 4 (patterns), and
+the maximum-sized densest subgraph ([59]) -- each validated against brute
+force over all node subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques.enumeration import count_cliques
+from repro.dense.all_densest import (
+    all_densest_subgraphs,
+    count_densest_subgraphs,
+    maximum_sized_densest_subgraph,
+)
+from repro.dense.clique_density import (
+    all_clique_densest_subgraphs,
+    clique_densest_subgraph,
+    maximum_sized_clique_densest_subgraph,
+)
+from repro.dense.goldberg import densest_subgraph, maximum_edge_density
+from repro.dense.pattern_density import (
+    all_pattern_densest_subgraphs,
+    maximum_sized_pattern_densest_subgraph,
+    pattern_densest_subgraph,
+)
+from repro.graph.graph import Graph
+from repro.patterns.matching import count_instances
+from repro.patterns.pattern import Pattern
+
+from .conftest import brute_force_all_densest, random_graph
+
+
+class TestGoldberg:
+    def test_empty_world_convention(self):
+        graph = Graph(nodes=[1, 2, 3])
+        result = densest_subgraph(graph)
+        assert result.density == 0
+        assert result.nodes == frozenset()
+
+    def test_single_edge(self):
+        graph = Graph.from_edges([(1, 2)])
+        result = densest_subgraph(graph)
+        assert result.density == Fraction(1, 2)
+        assert result.nodes == frozenset({1, 2})
+
+    def test_example4_world(self):
+        """The Fig. 3(b) world: rho* = 1, densest subgraph {A,B,C,D}."""
+        world = Graph.from_edges(
+            [("A", "B"), ("B", "C"), ("C", "D"), ("B", "D")]
+        )
+        world.add_node("E")
+        result = densest_subgraph(world)
+        assert result.density == Fraction(1)
+        all_sets = set(all_densest_subgraphs(world))
+        assert all_sets == {
+            frozenset({"A", "B", "C", "D"}), frozenset({"B", "C", "D"})
+        }
+
+    def test_exactness_random(self, rng):
+        for _ in range(25):
+            graph = random_graph(rng, 8, 0.45)
+            expected, _sets = brute_force_all_densest(
+                graph, lambda s: s.number_of_edges()
+            )
+            assert maximum_edge_density(graph) == expected
+
+
+class TestAllDensestEdge:
+    def test_matches_brute_force(self, rng):
+        for _ in range(30):
+            graph = random_graph(rng, 8, 0.45)
+            expected_density, expected_sets = brute_force_all_densest(
+                graph, lambda s: s.number_of_edges()
+            )
+            got = set(all_densest_subgraphs(graph))
+            assert got == expected_sets
+            assert count_densest_subgraphs(graph) == len(expected_sets)
+
+    def test_limit(self, rng):
+        graph = random_graph(rng, 10, 0.5)
+        full = all_densest_subgraphs(graph)
+        if len(full) >= 2:
+            limited = all_densest_subgraphs(graph, limit=1)
+            assert len(limited) == 1
+            assert limited[0] in set(full)
+
+    def test_maximum_sized_is_union(self, rng):
+        for _ in range(20):
+            graph = random_graph(rng, 8, 0.45)
+            _d, sets = brute_force_all_densest(
+                graph, lambda s: s.number_of_edges()
+            )
+            density, maximal = maximum_sized_densest_subgraph(graph)
+            union = frozenset().union(*sets) if sets else frozenset()
+            assert maximal == union
+
+    def test_every_enumerated_subgraph_is_densest(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, 9, 0.5)
+            if graph.number_of_edges() == 0:
+                continue
+            optimum = maximum_edge_density(graph)
+            for nodes in all_densest_subgraphs(graph):
+                assert graph.subgraph(nodes).edge_density() == optimum
+
+
+class TestAllDensestClique:
+    @pytest.mark.parametrize("h", [3, 4])
+    def test_matches_brute_force(self, rng, h):
+        for _ in range(12):
+            graph = random_graph(rng, 7, 0.55)
+            expected_density, expected_sets = brute_force_all_densest(
+                graph, lambda s: count_cliques(s, h)
+            )
+            result = clique_densest_subgraph(graph, h)
+            assert result.density == expected_density
+            assert set(all_clique_densest_subgraphs(graph, h)) == expected_sets
+
+    def test_maximum_sized(self, rng):
+        for _ in range(8):
+            graph = random_graph(rng, 7, 0.6)
+            _d, sets = brute_force_all_densest(
+                graph, lambda s: count_cliques(s, 3)
+            )
+            _density, maximal = maximum_sized_clique_densest_subgraph(graph, 3)
+            union = frozenset().union(*sets) if sets else frozenset()
+            assert maximal == union
+
+    def test_h2_delegates_to_edge(self, rng):
+        graph = random_graph(rng, 8, 0.4)
+        assert set(all_clique_densest_subgraphs(graph, 2)) == \
+            set(all_densest_subgraphs(graph))
+
+    def test_example5_shape(self):
+        """Two disjoint triangles joined by an edge (Fig. 4(b) shape)."""
+        world = Graph.from_edges([
+            ("A", "B"), ("B", "C"), ("A", "C"),
+            ("D", "E"), ("E", "F"), ("D", "F"),
+            ("C", "D"),
+        ])
+        result = clique_densest_subgraph(world, 3)
+        assert result.density == Fraction(1, 3)
+        all_sets = set(all_clique_densest_subgraphs(world, 3))
+        assert all_sets == {
+            frozenset("ABC"), frozenset("DEF"), frozenset("ABCDEF"),
+        }
+
+
+class TestAllDensestPattern:
+    @pytest.mark.parametrize(
+        "pattern_factory",
+        [Pattern.two_star, Pattern.diamond, Pattern.c3_star],
+    )
+    def test_matches_brute_force(self, rng, pattern_factory):
+        pattern = pattern_factory()
+        for _ in range(8):
+            graph = random_graph(rng, 6, 0.6)
+            expected_density, expected_sets = brute_force_all_densest(
+                graph, lambda s: count_instances(s, pattern)
+            )
+            result = pattern_densest_subgraph(graph, pattern)
+            assert result.density == expected_density
+            got = set(all_pattern_densest_subgraphs(graph, pattern))
+            assert got == expected_sets
+
+    def test_clique_pattern_agrees_with_algorithm2(self, rng):
+        pattern = Pattern.clique(3)
+        for _ in range(6):
+            graph = random_graph(rng, 7, 0.55)
+            via_pattern = set(all_pattern_densest_subgraphs(graph, pattern))
+            via_clique = set(all_clique_densest_subgraphs(graph, 3))
+            assert via_pattern == via_clique
+
+    def test_maximum_sized(self, rng):
+        pattern = Pattern.two_star()
+        for _ in range(6):
+            graph = random_graph(rng, 6, 0.55)
+            _d, sets = brute_force_all_densest(
+                graph, lambda s: count_instances(s, pattern)
+            )
+            _density, maximal = maximum_sized_pattern_densest_subgraph(
+                graph, pattern
+            )
+            union = frozenset().union(*sets) if sets else frozenset()
+            assert maximal == union
+
+
+@given(st.integers(0, 2**21 - 1))
+@settings(max_examples=60, deadline=None)
+def test_enumeration_is_exact_on_7_node_graphs(mask):
+    nodes = list(range(7))
+    pairs = list(itertools.combinations(nodes, 2))
+    graph = Graph(nodes=nodes)
+    for bit, (u, v) in enumerate(pairs):
+        if mask >> bit & 1:
+            graph.add_edge(u, v)
+    expected_density, expected_sets = brute_force_all_densest(
+        graph, lambda s: s.number_of_edges()
+    )
+    assert set(all_densest_subgraphs(graph)) == expected_sets
+    if expected_sets:
+        assert maximum_edge_density(graph) == expected_density

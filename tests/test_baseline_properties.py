@@ -1,0 +1,155 @@
+"""Property-based tests for the probabilistic core / truss baselines.
+
+These pin down the structural invariants the paper relies on when using
+the innermost (k, eta)-core and (k, gamma)-truss as comparison points
+(Tables III-VI):
+
+* decompositions are monotone in the probability threshold,
+* (k, .)-subgraphs are nested in k,
+* the incremental Poisson-binomial maintenance used by the truss peel
+  (convolve a wing in, divide it back out) is an exact inverse.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.probabilistic_core import (
+    degree_tail_probabilities,
+    eta_core_decomposition,
+    k_eta_core,
+)
+from repro.baselines.probabilistic_truss import (
+    _deconvolve_wing,
+    _pmf_from_wings,
+    _support_from_pmf,
+    gamma_truss_decomposition,
+    k_gamma_truss,
+)
+from repro.graph.uncertain import UncertainGraph
+
+from .conftest import random_uncertain_graph
+
+probabilities = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=0, max_size=12
+)
+
+
+def _graph_from_seed(seed: int, n: int = 9, p: float = 0.5) -> UncertainGraph:
+    return random_uncertain_graph(random.Random(seed), n, p, low=0.05, high=1.0)
+
+
+class TestPmfMaintenance:
+    @given(probabilities, st.floats(min_value=0.01, max_value=0.95))
+    def test_deconvolve_inverts_convolve(self, wings, extra):
+        """Adding a wing and dividing it back out recovers the pmf."""
+        base = _pmf_from_wings(wings)
+        grown = _pmf_from_wings(wings + [extra])
+        recovered = _deconvolve_wing(grown, extra)
+        assert recovered is not None
+        assert len(recovered) == len(base)
+        for a, b in zip(recovered, base):
+            assert math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(probabilities)
+    def test_pmf_is_a_distribution(self, wings):
+        pmf = _pmf_from_wings(wings)
+        assert math.isclose(sum(pmf), 1.0, abs_tol=1e-9)
+        assert all(-1e-12 <= mass <= 1.0 + 1e-12 for mass in pmf)
+
+    def test_deconvolve_certain_wing_shifts(self):
+        """A q = 1 wing always fires: removing it shifts the pmf down."""
+        pmf = _pmf_from_wings([1.0, 0.5])
+        reduced = _deconvolve_wing(pmf, 1.0)
+        expected = _pmf_from_wings([0.5])
+        assert reduced is not None
+        for a, b in zip(reduced, expected):
+            assert math.isclose(a, b, abs_tol=1e-12)
+
+    @given(probabilities, st.floats(min_value=0.05, max_value=0.9),
+           st.floats(min_value=0.01, max_value=0.5))
+    def test_support_matches_tail_definition(self, wings, p_edge, gamma):
+        """_support_from_pmf agrees with the textbook tail scan."""
+        pmf = _pmf_from_wings(wings)
+        support = _support_from_pmf(pmf, p_edge, gamma)
+        tail = degree_tail_probabilities(wings)
+        if p_edge < gamma:
+            assert support == -1
+            return
+        expected = 0
+        for s in range(1, len(tail)):
+            if p_edge * tail[s] >= gamma:
+                expected = s
+            else:
+                break
+        assert support == expected
+
+
+class TestCoreProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_core_nesting_in_k(self, seed):
+        """(k+1, eta)-core is contained in the (k, eta)-core."""
+        graph = _graph_from_seed(seed)
+        decomposition = eta_core_decomposition(graph, 0.2)
+        if not decomposition:
+            return
+        k_max = max(decomposition.values())
+        previous = None
+        for k in range(k_max, 0, -1):
+            core = k_eta_core(graph, k, 0.2)
+            if previous is not None:
+                assert previous <= core
+            previous = core
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_core_monotone_in_eta(self, seed):
+        """Raising eta can only lower every node's eta-core number."""
+        graph = _graph_from_seed(seed)
+        low = eta_core_decomposition(graph, 0.1)
+        high = eta_core_decomposition(graph, 0.6)
+        for node, core_number in high.items():
+            assert core_number <= low.get(node, 0)
+
+
+class TestTrussProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_truss_nesting_in_k(self, seed):
+        """(k+1, gamma)-truss nodes are contained in the (k, gamma)-truss."""
+        graph = _graph_from_seed(seed)
+        trussness = gamma_truss_decomposition(graph, 0.2)
+        if not trussness:
+            return
+        k_max = max(trussness.values())
+        previous = None
+        for k in range(k_max, 1, -1):
+            truss = k_gamma_truss(graph, k, 0.2)
+            if previous is not None:
+                assert previous <= truss
+            previous = truss
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_truss_monotone_in_gamma(self, seed):
+        """Raising gamma can only lower every edge's trussness."""
+        graph = _graph_from_seed(seed)
+        low = gamma_truss_decomposition(graph, 0.05)
+        high = gamma_truss_decomposition(graph, 0.5)
+        for edge, trussness in high.items():
+            assert trussness <= low[edge]
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_trussness_at_least_one(self, seed):
+        graph = _graph_from_seed(seed)
+        trussness = gamma_truss_decomposition(graph, 0.3)
+        assert all(value >= 1 for value in trussness.values())
+        assert set(trussness) == {
+            tuple(sorted(edge)) for edge in graph.edges()
+        }

@@ -1,0 +1,205 @@
+"""Tests for the baselines: EDS, (k,eta)-core, (k,gamma)-truss, DDS."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.baselines.dds import deterministic_densest_subgraph
+from repro.baselines.eds import (
+    expected_clique_densest_subgraph,
+    expected_densest_subgraph,
+    expected_pattern_densest_subgraph,
+)
+from repro.baselines.probabilistic_core import (
+    degree_tail_probabilities,
+    eta_core_decomposition,
+    eta_degree,
+    innermost_eta_core,
+    k_eta_core,
+)
+from repro.baselines.probabilistic_truss import (
+    edge_support_probability,
+    gamma_truss_decomposition,
+    innermost_gamma_truss,
+    k_gamma_truss,
+)
+from repro.graph.graph import canonical_edge
+from repro.graph.uncertain import UncertainGraph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_uncertain_graph
+
+
+def _naive_gamma_truss_decomposition(graph, gamma):
+    """Reference peel: recompute every support from scratch each round."""
+    from repro.baselines.probabilistic_truss import edge_gamma_support
+
+    alive = {canonical_edge(u, v) for u, v in graph.edges()}
+    trussness = {}
+    current = 1
+    while alive:
+        supports = {
+            e: edge_gamma_support(graph, e[0], e[1], gamma, alive)
+            for e in alive
+        }
+        edge = min(alive, key=lambda e: (supports[e], repr(e)))
+        current = max(
+            current, supports[edge] + 2 if supports[edge] >= 0 else 1
+        )
+        trussness[edge] = current
+        alive.discard(edge)
+    return trussness
+
+
+class TestExpectedDensestSubgraph:
+    def test_figure1_eds(self, figure1):
+        """Example 1: {A,B,C,D} has the maximum expected density 0.375."""
+        result = expected_densest_subgraph(figure1)
+        assert result.nodes == frozenset({"A", "B", "C", "D"})
+        assert math.isclose(float(result.density), 0.375, rel_tol=1e-6)
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(12):
+            graph = random_uncertain_graph(rng, 6, 0.55)
+            if graph.number_of_edges() == 0:
+                continue
+            best = 0.0
+            for r in range(1, 7):
+                for subset in itertools.combinations(graph.nodes(), r):
+                    best = max(best, graph.expected_edge_density(subset))
+            result = expected_densest_subgraph(graph)
+            assert math.isclose(float(result.density), best, rel_tol=1e-6)
+            achieved = graph.expected_edge_density(result.nodes)
+            assert math.isclose(achieved, best, rel_tol=1e-6)
+
+    def test_clique_eds_brute_force(self, rng):
+        from repro.metrics.density import expected_clique_density
+        for _ in range(6):
+            graph = random_uncertain_graph(rng, 6, 0.6)
+            best = 0.0
+            for r in range(1, 7):
+                for subset in itertools.combinations(graph.nodes(), r):
+                    best = max(best, expected_clique_density(graph, 3, subset))
+            result = expected_clique_densest_subgraph(graph, 3)
+            assert math.isclose(float(result.density), best, abs_tol=1e-6)
+
+    def test_pattern_eds_brute_force(self, rng):
+        from repro.metrics.density import expected_pattern_density
+        pattern = Pattern.two_star()
+        for _ in range(4):
+            graph = random_uncertain_graph(rng, 5, 0.7)
+            best = 0.0
+            for r in range(1, 6):
+                for subset in itertools.combinations(graph.nodes(), r):
+                    best = max(
+                        best, expected_pattern_density(graph, pattern, subset)
+                    )
+            result = expected_pattern_densest_subgraph(graph, pattern)
+            assert math.isclose(float(result.density), best, abs_tol=1e-6)
+
+    def test_edgeless(self):
+        graph = UncertainGraph()
+        graph.add_node(1)
+        assert expected_densest_subgraph(graph).nodes == frozenset()
+
+
+class TestEtaCore:
+    def test_tail_probabilities(self):
+        tail = degree_tail_probabilities([0.5, 0.5])
+        assert math.isclose(tail[0], 1.0)
+        assert math.isclose(tail[1], 0.75)
+        assert math.isclose(tail[2], 0.25)
+
+    def test_eta_degree_extremes(self):
+        assert eta_degree([1.0, 1.0], 0.9) == 2
+        assert eta_degree([0.1, 0.1], 0.9) == 0
+        assert eta_degree([], 0.5) == 0
+
+    def test_eta_degree_monotone_in_eta(self, rng):
+        probs = [rng.random() for _ in range(6)]
+        degrees = [eta_degree(probs, eta) for eta in (0.1, 0.5, 0.9)]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_core_on_certain_graph_matches_deterministic(self, rng):
+        """With all probabilities 1, the eta-core is the classic core."""
+        from repro.dense.kcore import core_decomposition
+        from .conftest import random_graph
+        graph = random_graph(rng, 10, 0.4)
+        lifted = UncertainGraph.from_graph(graph, 1.0)
+        ours = eta_core_decomposition(lifted, 0.5)
+        classic = core_decomposition(graph)
+        assert ours == classic
+
+    def test_k_eta_core_membership(self, rng):
+        graph = random_uncertain_graph(rng, 10, 0.5, low=0.3, high=0.9)
+        core = k_eta_core(graph, 2, 0.3)
+        decomposition = eta_core_decomposition(graph, 0.3)
+        assert core == frozenset(
+            n for n, c in decomposition.items() if c >= 2
+        )
+
+    def test_innermost_nonempty(self, rng):
+        graph = random_uncertain_graph(rng, 8, 0.6, low=0.5, high=1.0)
+        k_max, nodes = innermost_eta_core(graph, 0.1)
+        assert nodes
+        assert k_max >= 1
+
+
+class TestGammaTruss:
+    def test_support_probability_triangle(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.8), (2, 3, 0.5), (1, 3, 0.5)]
+        )
+        alive = {canonical_edge(u, v) for u, v in graph.edges()}
+        p0 = edge_support_probability(graph, 1, 2, 0, alive)
+        assert math.isclose(p0, 0.8)
+        p1 = edge_support_probability(graph, 1, 2, 1, alive)
+        assert math.isclose(p1, 0.8 * 0.25)
+
+    def test_truss_on_certain_graph(self):
+        """A certain triangle is a (3, gamma)-truss for any gamma < 1."""
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)]
+        )
+        assert k_gamma_truss(graph, 3, 0.9) == frozenset({1, 2, 3})
+
+    def test_trussness_levels(self, rng):
+        graph = random_uncertain_graph(rng, 8, 0.6, low=0.4, high=1.0)
+        trussness = gamma_truss_decomposition(graph, 0.1)
+        k_max, nodes = innermost_gamma_truss(graph, 0.1)
+        if trussness:
+            assert k_max == max(trussness.values())
+            assert nodes == k_gamma_truss(graph, k_max, 0.1)
+
+    def test_low_probability_edges_peel_first(self):
+        graph = UncertainGraph.from_weighted_edges([
+            (1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9),
+            (3, 4, 0.05),
+        ])
+        trussness = gamma_truss_decomposition(graph, 0.5)
+        assert trussness[canonical_edge(3, 4)] < trussness[canonical_edge(1, 2)]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("gamma", [0.05, 0.3, 0.7])
+    def test_incremental_matches_naive_reference(self, seed, gamma):
+        """The incremental (deconvolving) peel must match a from-scratch peel."""
+        import random
+
+        rng = random.Random(seed)
+        graph = random_uncertain_graph(rng, 10, 0.5, low=0.1, high=1.0)
+        assert gamma_truss_decomposition(graph, gamma) == (
+            _naive_gamma_truss_decomposition(graph, gamma)
+        )
+
+
+class TestDDS:
+    def test_ignores_probabilities(self, figure1):
+        density, nodes = deterministic_densest_subgraph(figure1)
+        # deterministic version is the 3-edge star/path: densest is all of it
+        from repro.dense.goldberg import densest_subgraph
+        expected = densest_subgraph(figure1.deterministic_version())
+        assert density == expected.density
+        assert nodes == expected.nodes

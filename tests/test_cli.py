@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_examples import figure1_graph
+from repro.graph.io import write_uncertain_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "figure1.txt"
+    write_uncertain_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+class TestCLI:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes\t4" in out
+        assert "edges\t3" in out
+
+    def test_mpds(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--k", "2", "--theta", "1500", "--seed", "3",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        rank1 = lines[0].split("\t")
+        assert rank1[0] == "1"
+        assert set(rank1[3].split()) == {"B", "D"}
+
+    def test_mpds_with_sampler_and_ablation(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--theta", "300", "--sampler", "RSS",
+            "--one-per-world", "--seed", "1",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_nds(self, graph_file, capsys):
+        code = main([
+            "nds", graph_file, "--k", "1", "--min-size", "2",
+            "--theta", "1500", "--seed", "3",
+        ])
+        assert code == 0
+        line = capsys.readouterr().out.strip().splitlines()[0]
+        parts = line.split("\t")
+        assert set(parts[3].split()) == {"B", "D"}
+        assert abs(float(parts[1]) - 0.7) < 0.05
+
+    def test_exact(self, graph_file, capsys):
+        assert main(["exact", graph_file, "--k", "1"]) == 0
+        line = capsys.readouterr().out.strip().splitlines()[0]
+        parts = line.split("\t")
+        assert abs(float(parts[1]) - 0.42) < 1e-9
+
+    def test_exact_refuses_large_graphs(self, tmp_path, capsys):
+        from repro.graph.generators import uncertain_erdos_renyi
+        import random
+        graph = uncertain_erdos_renyi(12, 0.6, random.Random(1))
+        path = tmp_path / "big.txt"
+        write_uncertain_edge_list(graph, path)
+        assert main(["exact", str(path)]) == 2
+
+    def test_clique_density_option(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--density", "clique", "--h", "2",
+            "--theta", "200", "--seed", "5",
+        ])
+        assert code == 0
+
+    def test_heuristic_flag(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--heuristic", "--theta", "200", "--seed", "5",
+        ])
+        assert code == 0
+
+    def test_surplus_density_option(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--density", "surplus", "--alpha", "0.33",
+            "--theta", "64", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tau-hat" in out

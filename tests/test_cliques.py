@@ -1,0 +1,115 @@
+"""Tests for k-clique listing (kClist-style substrate)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques.enumeration import (
+    clique_degrees,
+    count_cliques,
+    enumerate_cliques,
+    sub_cliques_of_h_cliques,
+)
+from repro.graph.graph import Graph
+
+from .conftest import random_graph
+
+
+def brute_force_cliques(graph: Graph, h: int):
+    """All h-subsets that are cliques."""
+    out = set()
+    for subset in itertools.combinations(sorted(graph.nodes(), key=repr), h):
+        if all(
+            graph.has_edge(u, v) for u, v in itertools.combinations(subset, 2)
+        ):
+            out.add(tuple(sorted(subset, key=repr)))
+    return out
+
+
+class TestEnumeration:
+    def test_h1_yields_nodes(self, triangle_graph):
+        assert {c[0] for c in enumerate_cliques(triangle_graph, 1)} == {1, 2, 3}
+
+    def test_h2_yields_edges(self, triangle_graph):
+        assert count_cliques(triangle_graph, 2) == 3
+
+    def test_triangle(self, triangle_graph):
+        assert list(enumerate_cliques(triangle_graph, 3)) == [(1, 2, 3)]
+
+    def test_k5_counts(self):
+        k5 = Graph.from_edges(itertools.combinations(range(5), 2))
+        # C(5, h) cliques of each size
+        assert count_cliques(k5, 2) == 10
+        assert count_cliques(k5, 3) == 10
+        assert count_cliques(k5, 4) == 5
+        assert count_cliques(k5, 5) == 1
+        assert count_cliques(k5, 6) == 0
+
+    def test_invalid_h(self, triangle_graph):
+        with pytest.raises(ValueError):
+            list(enumerate_cliques(triangle_graph, 0))
+
+    def test_no_duplicates_random(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, 10, 0.5)
+            for h in (2, 3, 4):
+                cliques = list(enumerate_cliques(graph, h))
+                assert len(cliques) == len(set(cliques))
+                assert set(cliques) == brute_force_cliques(graph, h)
+
+    def test_against_networkx_triangles(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(5):
+            graph = random_graph(rng, 14, 0.4)
+            nxg = nx.Graph(list(graph.edges()))
+            nxg.add_nodes_from(graph.nodes())
+            expected = sum(nx.triangles(nxg).values()) // 3
+            assert count_cliques(graph, 3) == expected
+
+
+class TestDegreesAndSubCliques:
+    def test_clique_degrees_triangle_plus_tail(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        degrees = clique_degrees(graph, 3)
+        assert degrees == {1: 1, 2: 1, 3: 1, 4: 0}
+
+    def test_degree_sum_is_h_times_count(self, rng):
+        for _ in range(8):
+            graph = random_graph(rng, 10, 0.5)
+            for h in (3, 4):
+                degrees = clique_degrees(graph, h)
+                assert sum(degrees.values()) == h * count_cliques(graph, h)
+
+    def test_sub_cliques_structure(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)])
+        lambdas, completions = sub_cliques_of_h_cliques(graph, 3)
+        # triangles: (1,2,3) and (2,3,4); (h-1)-cliques are their edges
+        assert set(lambdas) == {(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)}
+        assert completions[(2, 3)] == [1, 4]
+        assert completions[(1, 2)] == [3]
+
+    def test_sub_cliques_pair_count(self, rng):
+        """Total (lambda, completer) pairs == h * number of h-cliques."""
+        for _ in range(8):
+            graph = random_graph(rng, 9, 0.55)
+            for h in (3, 4):
+                _lams, completions = sub_cliques_of_h_cliques(graph, h)
+                pairs = sum(len(v) for v in completions.values())
+                assert pairs == h * count_cliques(graph, h)
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=2**15 - 1))
+@settings(max_examples=40, deadline=None)
+def test_enumeration_matches_brute_force(h, mask):
+    """Random 6-node graphs encoded by bitmask: listing == brute force."""
+    nodes = list(range(6))
+    pairs = list(itertools.combinations(nodes, 2))
+    graph = Graph(nodes=nodes)
+    for bit, (u, v) in enumerate(pairs):
+        if mask >> bit & 1:
+            graph.add_edge(u, v)
+    assert set(enumerate_cliques(graph, h)) == brute_force_cliques(graph, h)

@@ -1,0 +1,108 @@
+"""Unit tests for Algorithm 3 (independent component set enumeration).
+
+These exercise the component machinery directly on hand-built residual
+structures, independent of the flow pipeline (which test_all_densest.py
+covers end to end).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.dense.component_enum import (
+    ComponentStructure,
+    count_independent_sets,
+    enumerate_independent_sets,
+)
+
+
+def build(components, graph_nodes, edges) -> ComponentStructure:
+    """Construct a ComponentStructure from explicit DAG edges."""
+    descendants: List[Set[int]] = [set() for _ in components]
+    # transitive closure by repeated relaxation (tiny inputs)
+    changed = True
+    direct = [set() for _ in components]
+    for a, b in edges:
+        direct[a].add(b)
+    while changed:
+        changed = False
+        for i in range(len(components)):
+            new = set(direct[i])
+            for j in direct[i]:
+                new |= descendants[j]
+            if new != descendants[i]:
+                descendants[i] = new
+                changed = True
+    ancestors: List[Set[int]] = [set() for _ in components]
+    for i, desc in enumerate(descendants):
+        for j in desc:
+            ancestors[j].add(i)
+    return ComponentStructure(
+        [frozenset(c) for c in components],
+        [frozenset(g) for g in graph_nodes],
+        descendants,
+        ancestors,
+    )
+
+
+class TestEnumeration:
+    def test_single_component(self):
+        structure = build([{"a"}], [{"a"}], [])
+        results = list(enumerate_independent_sets(structure))
+        assert results == [frozenset({"a"})]
+        assert count_independent_sets(structure) == 1
+
+    def test_two_independent_components(self):
+        structure = build([{"a"}, {"b"}], [{"a"}, {"b"}], [])
+        results = set(enumerate_independent_sets(structure))
+        # {a}, {b}, and {a, b} (both chosen together)
+        assert results == {
+            frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})
+        }
+        assert count_independent_sets(structure) == 3
+
+    def test_chain_includes_descendants(self):
+        # 0 -> 1: choosing 0 pulls in 1; {1} alone also valid; {0,1} is NOT
+        # an independent set (1 is a descendant of 0) so no duplicate
+        structure = build([{"a"}, {"b"}], [{"a"}, {"b"}], [(0, 1)])
+        results = list(enumerate_independent_sets(structure))
+        assert sorted(results, key=sorted) == [
+            frozenset({"a", "b"}), frozenset({"b"})
+        ]
+        assert count_independent_sets(structure) == 2
+
+    def test_component_without_graph_nodes_not_chosen(self):
+        # component 1 holds only clique-nodes; it contributes via descent
+        structure = build(
+            [{"a"}, {"lam"}, {"b"}],
+            [{"a"}, set(), {"b"}],
+            [(0, 1), (1, 2)],
+        )
+        results = set(enumerate_independent_sets(structure))
+        assert results == {frozenset({"a", "b"}), frozenset({"b"})}
+
+    def test_each_set_exactly_once(self):
+        # diamond DAG: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        structure = build(
+            [{"a"}, {"b"}, {"c"}, {"d"}],
+            [{"a"}, {"b"}, {"c"}, {"d"}],
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        results = list(enumerate_independent_sets(structure))
+        assert len(results) == len(set(results))
+        # valid independent sets: {0}, {1}, {2}, {3}, {1,2}
+        assert len(results) == 5
+        assert frozenset({"b", "c", "d"}) in set(results)
+
+    def test_limit_truncates(self):
+        structure = build(
+            [{"a"}, {"b"}, {"c"}], [{"a"}, {"b"}, {"c"}], []
+        )
+        assert count_independent_sets(structure) == 7  # all non-empty subsets
+        limited = list(enumerate_independent_sets(structure, limit=3))
+        assert len(limited) == 3
+
+    def test_closure_nodes_precomputed(self):
+        structure = build([{"a"}, {"b"}], [{"a"}, {"b"}], [(0, 1)])
+        assert structure.closure_nodes[0] == frozenset({"a", "b"})
+        assert structure.closure_nodes[1] == frozenset({"b"})

@@ -1,0 +1,96 @@
+"""Tests for networkx interoperability (repro.graph.convert)."""
+
+from __future__ import annotations
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.graph.convert import (
+    from_networkx,
+    to_networkx,
+    uncertain_from_networkx,
+    uncertain_to_networkx,
+)
+from repro.graph.graph import Graph
+from repro.graph.uncertain import UncertainGraph
+
+
+class TestDeterministicRoundTrip:
+    def test_to_networkx(self, triangle_graph):
+        nxg = to_networkx(triangle_graph)
+        assert set(nxg.nodes()) == {1, 2, 3}
+        assert nxg.number_of_edges() == 3
+
+    def test_round_trip_preserves_structure(self, triangle_graph):
+        back = from_networkx(to_networkx(triangle_graph))
+        assert back == triangle_graph
+
+    def test_isolated_nodes_survive(self):
+        graph = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        back = from_networkx(to_networkx(graph))
+        assert back.node_set() == frozenset({1, 2, 3})
+        assert back.number_of_edges() == 1
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.DiGraph([(1, 2)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.MultiGraph([(1, 2), (1, 2)]))
+
+    def test_from_arbitrary_networkx_graph(self):
+        nxg = nx.karate_club_graph()
+        graph = from_networkx(nxg)
+        assert graph.number_of_nodes() == nxg.number_of_nodes()
+        assert graph.number_of_edges() == nxg.number_of_edges()
+
+
+class TestUncertainRoundTrip:
+    def _sample(self) -> UncertainGraph:
+        return UncertainGraph.from_weighted_edges(
+            [("A", "B", 0.4), ("B", "C", 0.9), ("A", "C", 1.0)]
+        )
+
+    def test_probabilities_stored_as_attributes(self):
+        nxg = uncertain_to_networkx(self._sample())
+        assert nxg["A"]["B"]["probability"] == pytest.approx(0.4)
+
+    def test_round_trip_preserves_probabilities(self):
+        original = self._sample()
+        back = uncertain_from_networkx(uncertain_to_networkx(original))
+        assert back.number_of_edges() == original.number_of_edges()
+        for u, v, p in original.weighted_edges():
+            assert back.probability(u, v) == pytest.approx(p)
+
+    def test_custom_probability_key(self):
+        original = self._sample()
+        nxg = uncertain_to_networkx(original, probability_key="w")
+        back = uncertain_from_networkx(nxg, probability_key="w")
+        assert back.probability("A", "B") == pytest.approx(0.4)
+
+    def test_missing_probability_raises(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2)
+        with pytest.raises(ValueError):
+            uncertain_from_networkx(nxg)
+
+    def test_missing_probability_uses_default(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2)
+        back = uncertain_from_networkx(nxg, default_probability=0.5)
+        assert back.probability(1, 2) == pytest.approx(0.5)
+
+    def test_invalid_probability_rejected_on_conversion(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2, probability=1.5)
+        with pytest.raises(ValueError):
+            uncertain_from_networkx(nxg)
+
+    def test_isolated_nodes_survive(self):
+        graph = UncertainGraph()
+        graph.add_node("lonely")
+        graph.add_edge("A", "B", 0.3)
+        back = uncertain_from_networkx(uncertain_to_networkx(graph))
+        assert "lonely" in back.nodes()

@@ -1,0 +1,167 @@
+"""Tests for the dataset generators and embedded real data."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.brain import (
+    ASD_NUCLEUS,
+    TD_NUCLEUS,
+    brain_network,
+    counterpart,
+    hemisphere,
+    roi_lobes,
+    roi_names,
+)
+from repro.datasets.karate import (
+    KARATE_EDGES,
+    KARATE_FACTIONS,
+    karate_club_topology,
+    karate_club_uncertain,
+)
+from repro.datasets.paper_examples import figure1_graph, figure3_world_graph
+from repro.datasets.synthetic import (
+    make_biomine_like,
+    make_friendster_like,
+    make_homo_sapiens_like,
+    make_intel_lab_like,
+    make_lastfm_like,
+    make_twitter_like,
+)
+from repro.graph.uncertain import edge_probability_statistics
+
+
+class TestKarate:
+    def test_topology_is_zachary(self):
+        graph = karate_club_topology()
+        assert graph.number_of_nodes() == 34
+        assert graph.number_of_edges() == 78
+        # spot-check the two faction leaders
+        assert graph.degree(0) == 16
+        assert graph.degree(33) == 17
+
+    def test_factions_cover_all_nodes(self):
+        assert set(KARATE_FACTIONS) == set(range(34))
+        assert set(KARATE_FACTIONS.values()) == {0, 1}
+
+    def test_uncertain_probabilities_in_range(self):
+        graph = karate_club_uncertain()
+        for _u, _v, p in graph.weighted_edges():
+            assert 0.0 < p <= 1.0
+
+    def test_probability_distribution_near_table2(self):
+        """Mean ~0.25 as the paper's Table II reports for Karate Club."""
+        stats = edge_probability_statistics(karate_club_uncertain())
+        assert 0.15 <= stats["mean"] <= 0.40
+
+    def test_intra_faction_edges_more_probable(self):
+        graph = karate_club_uncertain()
+        intra, inter = [], []
+        for u, v, p in graph.weighted_edges():
+            (intra if KARATE_FACTIONS[u] == KARATE_FACTIONS[v] else inter).append(p)
+        assert sum(intra) / len(intra) > sum(inter) / len(inter)
+
+    def test_deterministic_given_seed(self):
+        a = karate_club_uncertain(seed=5)
+        b = karate_club_uncertain(seed=5)
+        assert list(a.weighted_edges()) == list(b.weighted_edges())
+
+
+class TestPaperExamples:
+    def test_figure1_edges(self):
+        graph = figure1_graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+        assert graph.probability("A", "B") == 0.4
+        assert graph.probability("B", "D") == 0.7
+
+    def test_figure3_world_graph(self):
+        graph = figure3_world_graph()
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 6
+
+
+class TestBrain:
+    def test_roi_structure(self):
+        names = roi_names()
+        assert len(names) == 116
+        assert len(set(names)) == 116
+        lobes = roi_lobes()
+        assert set(lobes) == set(names)
+        for name in names:
+            assert hemisphere(name) in ("L", "R")
+            assert counterpart(counterpart(name)) == name
+
+    def test_nuclei_are_valid_rois(self):
+        names = set(roi_names())
+        assert set(ASD_NUCLEUS) <= names
+        assert set(TD_NUCLEUS) <= names
+        lobes = roi_lobes()
+        assert all(lobes[r] == "occipital" for r in ASD_NUCLEUS)
+        td_lobes = {lobes[r] for r in TD_NUCLEUS}
+        assert {"occipital", "temporal", "cerebellum"} <= td_lobes
+
+    def test_group_graphs(self):
+        for group in ("TD", "ASD"):
+            graph = brain_network(group, subjects=10, seed=1)
+            assert graph.number_of_nodes() == 116
+            assert graph.number_of_edges() > 100
+            for _u, _v, p in graph.weighted_edges():
+                assert 0.0 < p <= 1.0
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            brain_network("XX")
+
+    def test_nucleus_edges_have_high_probability(self):
+        graph = brain_network("ASD", subjects=30, seed=1)
+        nucleus_probs = []
+        for i, u in enumerate(ASD_NUCLEUS):
+            for v in ASD_NUCLEUS[i + 1:]:
+                if graph.has_edge(u, v):
+                    nucleus_probs.append(graph.probability(u, v))
+        assert nucleus_probs
+        assert sum(nucleus_probs) / len(nucleus_probs) > 0.6
+
+
+class TestSyntheticStandIns:
+    @pytest.mark.parametrize(
+        "factory,target_mean,tolerance",
+        [
+            (make_intel_lab_like, 0.33, 0.15),
+            (make_lastfm_like, 0.33, 0.20),
+            (make_homo_sapiens_like, 0.32, 0.15),
+            (make_biomine_like, 0.27, 0.15),
+            (make_twitter_like, 0.14, 0.10),
+        ],
+    )
+    def test_probability_means_near_table2(self, factory, target_mean, tolerance):
+        graph = factory(seed=1)
+        stats = edge_probability_statistics(graph)
+        assert abs(stats["mean"] - target_mean) < tolerance, stats["mean"]
+
+    def test_friendster_low_probabilities(self):
+        graph = make_friendster_like(seed=1)
+        stats = edge_probability_statistics(graph)
+        assert stats["q2"] < 0.05  # overwhelmingly low-probability edges
+
+    def test_intel_lab_size(self):
+        graph = make_intel_lab_like()
+        assert graph.number_of_nodes() == 54
+        assert graph.number_of_edges() > 300
+
+    def test_reproducible(self):
+        a = make_lastfm_like(seed=3)
+        b = make_lastfm_like(seed=3)
+        assert sorted(a.weighted_edges(), key=repr) == \
+            sorted(b.weighted_edges(), key=repr)
+
+    def test_planted_communities_exist(self):
+        """Sampled worlds of the LastFM stand-in have dense subgraphs."""
+        from repro.dense.goldberg import densest_subgraph
+        graph = make_lastfm_like(seed=4)
+        world = graph.sample_world(__import__("random").Random(1))
+        result = densest_subgraph(world)
+        assert result.density > 1  # denser than a tree: a real community

@@ -1,0 +1,55 @@
+"""Documentation stays honest: every import shown in docs/API.md resolves,
+and every experiment name referenced in docs exists in the registry."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+DOCS = Path(__file__).parent.parent / "docs" / "API.md"
+
+IMPORT_RE = re.compile(
+    r"^from (repro[\w.]*) import \(?([\w, \n]+?)\)?(?:\s*#.*)?$",
+    re.MULTILINE,
+)
+
+
+def _documented_imports():
+    """Yield (module, name) for every `from repro... import ...` in API.md."""
+    text = DOCS.read_text(encoding="utf-8")
+    # join parenthesised multi-line imports before matching
+    joined = re.sub(r"\(\s*\n", "(", text)
+    joined = re.sub(r",\s*\n\s*", ", ", joined)
+    for match in IMPORT_RE.finditer(joined):
+        module, names = match.groups()
+        for name in names.split(","):
+            name = name.strip().rstrip(")")
+            if name:
+                yield module, name
+
+
+def test_api_md_exists():
+    assert DOCS.exists()
+
+
+def test_every_documented_import_resolves():
+    import importlib
+
+    pairs = list(_documented_imports())
+    assert len(pairs) > 40, "expected a substantial documented API surface"
+    for module_name, attribute in pairs:
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attribute), (
+            f"docs/API.md documents {module_name}.{attribute}, "
+            "which does not exist"
+        )
+
+
+def test_documented_experiment_names_exist():
+    from repro.experiments.registry import EXPERIMENTS
+
+    text = DOCS.read_text(encoding="utf-8")
+    for name in re.findall(r'EXPERIMENTS\["(\w+)"\]', text):
+        assert name in EXPERIMENTS
+    for name in re.findall(r"repro-mpds reproduce (\w+)", text):
+        assert name in EXPERIMENTS

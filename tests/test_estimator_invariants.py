@@ -1,0 +1,114 @@
+"""Property-based invariants for the uncertain-graph estimators.
+
+Definitional constraints from Section II that must hold for *any* input:
+estimates are probabilities, gamma dominates tau on the same node set,
+samplers emit subgraphs of the uncertain graph with weights summing to 1,
+and the exact solvers respect the possible-world semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_candidate_probabilities, exact_gamma, exact_tau
+from repro.core.mpds import top_k_mpds
+from repro.core.nds import top_k_nds
+from repro.graph.uncertain import UncertainGraph
+from repro.sampling.lazy_propagation import LazyPropagationSampler
+from repro.sampling.monte_carlo import MonteCarloSampler
+from repro.sampling.stratified import RecursiveStratifiedSampler
+
+
+@st.composite
+def tiny_uncertain_graphs(draw, max_nodes: int = 5) -> UncertainGraph:
+    """An uncertain graph small enough for exact 2^m enumeration."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    probs = draw(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+            ),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    graph = UncertainGraph()
+    for node in range(n):
+        graph.add_node(node)
+    for (u, v), p in zip(pairs, probs):
+        if p is not None:
+            graph.add_edge(u, v, p)
+    return graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_uncertain_graphs())
+def test_exact_taus_are_probabilities(graph):
+    # the sum over candidates can exceed 1 (a world may have several
+    # densest subgraphs), but each individual tau is a probability
+    taus = exact_candidate_probabilities(graph)
+    for tau in taus.values():
+        assert 0.0 <= tau <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(tiny_uncertain_graphs())
+def test_gamma_dominates_tau(graph):
+    """Containment is implied by inducing: gamma(U) >= tau(U) (Defs. 4-5)."""
+    taus = exact_candidate_probabilities(graph)
+    for nodes, tau in list(taus.items())[:6]:
+        gamma = exact_gamma(graph, nodes)
+        assert gamma >= tau - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(tiny_uncertain_graphs())
+def test_exact_tau_matches_candidate_table(graph):
+    taus = exact_candidate_probabilities(graph)
+    for nodes, tau in list(taus.items())[:4]:
+        assert abs(exact_tau(graph, nodes) - tau) < 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(tiny_uncertain_graphs(), st.integers(min_value=1, max_value=3))
+def test_estimator_outputs_are_sorted_probabilities(graph, k):
+    result = top_k_mpds(graph, k=k, theta=30, seed=11)
+    probabilities = [scored.probability for scored in result.top]
+    assert probabilities == sorted(probabilities, reverse=True)
+    for p in probabilities:
+        assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(tiny_uncertain_graphs())
+def test_nds_results_have_min_size_and_sorted(graph):
+    result = top_k_nds(graph, k=3, min_size=2, theta=30, seed=11)
+    probabilities = [scored.probability for scored in result.top]
+    assert probabilities == sorted(probabilities, reverse=True)
+    for scored in result.top:
+        assert len(scored.nodes) >= 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(tiny_uncertain_graphs(), st.integers(min_value=1, max_value=30))
+def test_samplers_emit_subworlds_with_unit_weight(graph, theta):
+    edge_set = {frozenset(e) for e in graph.edges()}
+    for sampler_cls in (
+        MonteCarloSampler,
+        LazyPropagationSampler,
+        RecursiveStratifiedSampler,
+    ):
+        sampler = sampler_cls(graph, 7)
+        total = 0.0
+        count = 0
+        for weighted in sampler.worlds(theta):
+            count += 1
+            total += weighted.weight
+            assert weighted.graph.node_set() == frozenset(graph.nodes())
+            for u, v in weighted.graph.edges():
+                assert frozenset((u, v)) in edge_set
+        assert count == theta
+        assert abs(total - 1.0) < 1e-6, sampler_cls.__name__

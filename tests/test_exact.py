@@ -1,0 +1,108 @@
+"""Tests for the exact reference solvers and the Table I reproduction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exact import (
+    exact_candidate_probabilities,
+    exact_expected_densities,
+    exact_gamma,
+    exact_tau,
+    exact_top_k_mpds,
+    exact_top_k_nds,
+)
+from repro.core.measures import CliqueDensity, PatternDensity
+from repro.datasets.paper_examples import (
+    TABLE1_EXPECTED_DSP,
+    TABLE1_EXPECTED_EED,
+    figure1_graph,
+)
+from repro.graph.uncertain import UncertainGraph
+from repro.patterns.pattern import Pattern
+
+
+class TestTable1:
+    """Every cell of the paper's Table I, from first principles."""
+
+    def test_dsp_values(self, figure1):
+        for node_set, expected in TABLE1_EXPECTED_DSP.items():
+            assert math.isclose(
+                exact_tau(figure1, node_set), expected, abs_tol=1e-9
+            ), node_set
+
+    def test_eed_values(self, figure1):
+        exact = exact_expected_densities(
+            figure1, list(TABLE1_EXPECTED_EED)
+        )
+        for node_set, expected in TABLE1_EXPECTED_EED.items():
+            assert math.isclose(
+                exact[frozenset(node_set)], expected, abs_tol=1e-6
+            ), node_set
+
+    def test_example1_narrative(self, figure1):
+        """{A,B,C,D} maximises EED but {B,D} maximises DSP."""
+        eed_winner = max(
+            TABLE1_EXPECTED_EED, key=lambda s: figure1.expected_edge_density(s)
+        )
+        assert frozenset(eed_winner) == frozenset({"A", "B", "C", "D"})
+        taus = exact_candidate_probabilities(figure1)
+        dsp_winner = max(taus, key=taus.get)
+        assert dsp_winner == frozenset({"B", "D"})
+
+    def test_candidate_probabilities_sum(self, figure1):
+        """Sum over candidates = expected #densest subgraphs per world."""
+        taus = exact_candidate_probabilities(figure1)
+        total = sum(taus.values())
+        expected = 0.0
+        from repro.core.measures import EdgeDensity
+        measure = EdgeDensity()
+        for world, p in figure1.possible_worlds():
+            expected += p * len(measure.all_densest(world))
+        assert math.isclose(total, expected, rel_tol=1e-9)
+
+
+class TestGammaAndNDS:
+    def test_gamma_dominates_tau(self, figure1):
+        """Containment probability >= densest subgraph probability."""
+        taus = exact_candidate_probabilities(figure1)
+        for nodes, tau in taus.items():
+            assert exact_gamma(figure1, nodes) >= tau - 1e-12
+
+    def test_example3(self, figure1):
+        assert math.isclose(exact_gamma(figure1, {"B", "D"}), 0.7)
+
+    def test_nds_closedness(self, figure1):
+        result = exact_top_k_nds(figure1, k=10, min_size=1)
+        by_nodes = {s.nodes: s.probability for s in result.top}
+        for nodes, gamma in by_nodes.items():
+            for other, other_gamma in by_nodes.items():
+                if nodes < other:
+                    assert other_gamma < gamma + 1e-12
+
+
+class TestOtherMeasures:
+    def test_clique_tau_small_graph(self):
+        """Hand-computable: a single certain triangle plus one shaky edge."""
+        graph = UncertainGraph.from_weighted_edges([
+            (1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0), (3, 4, 0.3),
+        ])
+        measure = CliqueDensity(3)
+        # {1,2,3} is the 3-clique densest subgraph in every world
+        assert math.isclose(exact_tau(graph, {1, 2, 3}, measure), 1.0)
+        assert math.isclose(exact_tau(graph, {1, 2, 3, 4}, measure), 0.0)
+
+    def test_pattern_tau_star(self):
+        """A certain 2-star: its node set always pattern-densest."""
+        graph = UncertainGraph.from_weighted_edges([
+            (0, 1, 1.0), (0, 2, 1.0),
+        ])
+        measure = PatternDensity(Pattern.two_star())
+        assert math.isclose(exact_tau(graph, {0, 1, 2}, measure), 1.0)
+
+    def test_exact_mpds_ranking_deterministic(self, figure1):
+        a = exact_top_k_mpds(figure1, k=6)
+        b = exact_top_k_mpds(figure1, k=6)
+        assert a.top_sets() == b.top_sets()

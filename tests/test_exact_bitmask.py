@@ -1,0 +1,241 @@
+"""The bitmask exact engine must agree with the reference exact solver."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.exact import (
+    exact_candidate_probabilities,
+    exact_top_k_mpds,
+)
+from repro.core.exact_bitmask import (
+    bitmask_candidate_probabilities,
+    bitmask_top_k_mpds,
+)
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.graph.uncertain import UncertainGraph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_uncertain_graph
+
+
+def _assert_same_candidates(naive, fast):
+    assert set(naive) == set(fast)
+    for nodes, tau in naive.items():
+        assert math.isclose(tau, fast[nodes], rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestAgainstReference:
+    def test_figure1_edge(self, figure1):
+        naive = exact_candidate_probabilities(figure1, EdgeDensity())
+        fast = bitmask_candidate_probabilities(figure1, EdgeDensity())
+        _assert_same_candidates(naive, fast)
+        # Table I: tau({B, D}) = 0.42
+        assert math.isclose(fast[frozenset({"B", "D"})], 0.42)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_edge(self, seed):
+        graph = random_uncertain_graph(random.Random(seed), 6, 0.5)
+        _assert_same_candidates(
+            exact_candidate_probabilities(graph, EdgeDensity()),
+            bitmask_candidate_probabilities(graph, EdgeDensity()),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_3clique(self, seed):
+        graph = random_uncertain_graph(random.Random(seed), 6, 0.6)
+        measure = CliqueDensity(3)
+        _assert_same_candidates(
+            exact_candidate_probabilities(graph, measure),
+            bitmask_candidate_probabilities(graph, measure),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_diamond(self, seed):
+        graph = random_uncertain_graph(random.Random(seed), 6, 0.7)
+        measure = PatternDensity(Pattern.diamond())
+        _assert_same_candidates(
+            exact_candidate_probabilities(graph, measure),
+            bitmask_candidate_probabilities(graph, measure),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_2star(self, seed):
+        graph = random_uncertain_graph(random.Random(seed), 6, 0.5)
+        measure = PatternDensity(Pattern.two_star())
+        _assert_same_candidates(
+            exact_candidate_probabilities(graph, measure),
+            bitmask_candidate_probabilities(graph, measure),
+        )
+
+    def test_top_k_matches(self, figure1):
+        naive = exact_top_k_mpds(figure1, k=3)
+        fast = bitmask_top_k_mpds(figure1, k=3)
+        assert [s.nodes for s in naive.top] == [s.nodes for s in fast.top]
+        for a, b in zip(naive.top, fast.top):
+            assert math.isclose(a.probability, b.probability, rel_tol=1e-9)
+
+
+class TestGuards:
+    def test_too_many_edges_refused(self):
+        graph = random_uncertain_graph(random.Random(0), 10, 0.9)
+        with pytest.raises(ValueError, match="max_edges"):
+            bitmask_candidate_probabilities(graph, max_edges=5)
+
+    def test_too_many_nodes_refused(self):
+        graph = random_uncertain_graph(random.Random(0), 10, 0.2)
+        assert graph.number_of_edges() <= 26  # below the edge guard
+        with pytest.raises(ValueError, match="max_nodes"):
+            bitmask_candidate_probabilities(graph, max_nodes=5)
+
+    def test_unsupported_measure_rejected(self, figure1):
+        from repro.core.extensions import EdgeSurplus
+
+        with pytest.raises(TypeError, match="edge / clique / pattern"):
+            bitmask_candidate_probabilities(figure1, EdgeSurplus())
+
+    def test_empty_graph(self):
+        assert bitmask_candidate_probabilities(UncertainGraph()) == {}
+
+    def test_k_validation(self, figure1):
+        with pytest.raises(ValueError, match="k must be"):
+            bitmask_top_k_mpds(figure1, k=0)
+
+    def test_probability_one_edges(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 0.5)]
+        )
+        taus = bitmask_candidate_probabilities(graph)
+        naive = exact_candidate_probabilities(graph)
+        _assert_same_candidates(naive, taus)
+
+
+class TestTauSumsInvariant:
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_tau_of_all_candidates_bounded(self, seed):
+        """Sum over U of tau(U) >= Pr[some world has a densest subgraph],
+        with equality iff every world has a unique densest subgraph."""
+        graph = random_uncertain_graph(random.Random(seed), 6, 0.5)
+        taus = bitmask_candidate_probabilities(graph)
+        nonempty = sum(
+            p for w, p in graph.possible_worlds() if w.number_of_edges() > 0
+        )
+        assert sum(taus.values()) >= nonempty - 1e-9
+
+
+class TestGammaAndUnionDistribution:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gamma_matches_reference(self, seed):
+        from repro.core.exact import exact_gamma
+        from repro.core.exact_bitmask import bitmask_gamma
+
+        graph = random_uncertain_graph(random.Random(seed), 5, 0.6)
+        nodes = graph.nodes()
+        for size in (1, 2, 3):
+            for subset in [frozenset(nodes[:size]), frozenset(nodes[-size:])]:
+                naive = exact_gamma(graph, subset)
+                fast = bitmask_gamma(graph, subset)
+                assert math.isclose(naive, fast, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_figure1_containment(self, figure1):
+        """Example 3: gamma({B, D}) = 0.7."""
+        from repro.core.exact_bitmask import bitmask_gamma
+
+        assert math.isclose(bitmask_gamma(figure1, {"B", "D"}), 0.7)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_union_distribution_is_a_distribution(self, seed):
+        from repro.core.exact_bitmask import bitmask_union_distribution
+
+        graph = random_uncertain_graph(random.Random(seed), 5, 0.6)
+        dist = bitmask_union_distribution(graph)
+        # total mass = Pr[some world has positive density]
+        nonempty = sum(
+            p for w, p in graph.possible_worlds() if w.number_of_edges() > 0
+        )
+        assert math.isclose(sum(dist.values()), nonempty, rel_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_union_contains_every_candidate(self, seed):
+        """Every tau-candidate must lie inside some maximum-sized densest
+        subgraph (the union), by the [59] characterisation."""
+        from repro.core.exact_bitmask import (
+            bitmask_candidate_probabilities,
+            bitmask_union_distribution,
+        )
+
+        graph = random_uncertain_graph(random.Random(seed), 5, 0.7)
+        candidates = bitmask_candidate_probabilities(graph)
+        unions = bitmask_union_distribution(graph)
+        for candidate in candidates:
+            assert any(candidate <= union for union in unions)
+
+    def test_gamma_monotone_under_superset(self, figure1):
+        from repro.core.exact_bitmask import bitmask_gamma
+
+        gamma_bd = bitmask_gamma(figure1, {"B", "D"})
+        gamma_abd = bitmask_gamma(figure1, {"A", "B", "D"})
+        assert gamma_abd <= gamma_bd + 1e-12
+
+
+class TestNDSAgainstReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("min_size", [1, 2])
+    def test_nds_matches_reference(self, seed, min_size):
+        from repro.core.exact import exact_top_k_nds
+        from repro.core.exact_bitmask import bitmask_top_k_nds
+
+        graph = random_uncertain_graph(random.Random(seed), 5, 0.6)
+        naive = exact_top_k_nds(graph, k=5, min_size=min_size)
+        fast = bitmask_top_k_nds(graph, k=5, min_size=min_size)
+        assert [s.nodes for s in naive.top] == [s.nodes for s in fast.top]
+        for a, b in zip(naive.top, fast.top):
+            assert math.isclose(
+                a.probability, b.probability, rel_tol=1e-9, abs_tol=1e-12
+            )
+
+    def test_nds_validation(self, figure1):
+        from repro.core.exact_bitmask import bitmask_top_k_nds
+
+        with pytest.raises(ValueError, match="k must be"):
+            bitmask_top_k_nds(figure1, k=0)
+        with pytest.raises(ValueError, match="min_size"):
+            bitmask_top_k_nds(figure1, min_size=0)
+
+    def test_nds_empty_graph(self):
+        from repro.core.exact_bitmask import bitmask_top_k_nds
+
+        result = bitmask_top_k_nds(UncertainGraph())
+        assert result.top == []
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5),
+            st.sampled_from([0.1, 0.3, 0.5, 0.9, 1.0]),
+        ),
+        min_size=1, max_size=9,
+    )
+)
+def test_bitmask_matches_reference_on_arbitrary_graphs(edge_list):
+    """Property: the engines agree on arbitrary small graphs, including
+    probability-1 edges, parallel-duplicate inputs, and isolated parts."""
+    graph = UncertainGraph()
+    for u, v, p in edge_list:
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, p)
+    if graph.number_of_edges() == 0:
+        return
+    _assert_same_candidates(
+        exact_candidate_probabilities(graph),
+        bitmask_candidate_probabilities(graph),
+    )

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the two fast examples are executed (the brain-network and pattern
+examples take minutes and are exercised through their underlying drivers
+in test_experiments.py instead).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "['B', 'D']" in out
+        assert "Theorem 2" in out
+
+    def test_community_detection(self, capsys):
+        out = run_example("community_detection.py", capsys)
+        assert "purity" in out
+        assert "DDS" in out
+
+    def test_solver_zoo(self, capsys):
+        out = run_example("solver_zoo.py", capsys)
+        assert out.count("match: True") >= 3
+        assert "Parallel MPDS" in out
+
+    def test_quasi_cliques(self, capsys):
+        out = run_example("quasi_cliques.py", capsys)
+        assert "recovers exactly the planted set" in out
+        assert "[0, 1, 2, 3, 4]" in out
+
+    def test_what_if_analysis(self, capsys):
+        out = run_example("what_if_analysis.py", capsys)
+        assert "decomposition is exact" in out
+        assert "0.4200" in out and "0.7000" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        ["brain_networks.py", "pattern_densities.py",
+         "sampling_strategies.py", "visualize_case_studies.py"],
+    )
+    def test_slow_examples_importable(self, name):
+        """The slow examples must at least compile and expose main()."""
+        source = (EXAMPLES / name).read_text(encoding="utf-8")
+        code = compile(source, name, "exec")
+        namespace: dict = {"__name__": "not_main"}
+        exec(code, namespace)
+        assert callable(namespace["main"])

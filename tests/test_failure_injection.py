@@ -1,0 +1,174 @@
+"""Failure-injection and degenerate-input tests across the public API.
+
+A production library must fail loudly on bad input and degrade gracefully
+on degenerate-but-legal input (empty graphs, zero samples, probability-1
+edges, isolated nodes).  These tests pin both behaviours down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CliqueDensity,
+    EdgeDensity,
+    Pattern,
+    PatternDensity,
+    UncertainGraph,
+    estimate_gamma,
+    estimate_tau,
+    exact_tau,
+    top_k_mpds,
+    top_k_nds,
+)
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.io import read_edge_list, read_uncertain_edge_list
+from repro.graph.uncertain import UncertainGraph as UG
+
+
+class TestInvalidInputsRaise:
+    def test_probability_zero_rejected(self):
+        graph = UncertainGraph()
+        with pytest.raises(ValueError, match="probability"):
+            graph.add_edge(1, 2, 0.0)
+
+    def test_probability_above_one_rejected(self):
+        graph = UncertainGraph()
+        with pytest.raises(ValueError, match="probability"):
+            graph.add_edge(1, 2, 1.5)
+
+    def test_negative_probability_rejected(self):
+        graph = UncertainGraph()
+        with pytest.raises(ValueError, match="probability"):
+            graph.add_edge(1, 2, -0.2)
+
+    def test_mpds_rejects_nonpositive_k(self, figure1):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_mpds(figure1, k=0, theta=4)
+
+    def test_nds_rejects_nonpositive_k(self, figure1):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_nds(figure1, k=0, theta=4)
+
+    def test_nds_rejects_nonpositive_min_size(self, figure1):
+        with pytest.raises(ValueError, match="min_size"):
+            top_k_nds(figure1, k=1, min_size=0, theta=4)
+
+    def test_clique_density_rejects_h_below_two(self):
+        with pytest.raises(ValueError):
+            CliqueDensity(1)
+
+    def test_pattern_must_have_edges(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            Pattern.from_edges("empty", [])
+
+    def test_pattern_must_be_connected(self):
+        with pytest.raises(ValueError, match="connected"):
+            Pattern.from_edges("split", [(1, 2), (3, 4)])
+
+    def test_non_numeric_probability_in_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 not-a-number\n")
+        with pytest.raises(ValueError):
+            read_uncertain_edge_list(path)
+
+    def test_truncated_probabilistic_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 0.5\n3 4\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_uncertain_edge_list(path)
+
+    def test_single_token_edge_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("lonely\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_edge_list(tmp_path / "does-not-exist.txt")
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(n=3, m=3)
+        with pytest.raises(ValueError):
+            barabasi_albert(n=3, m=0)
+
+
+class TestDegenerateInputsDegrade:
+    def test_mpds_on_empty_graph(self):
+        result = top_k_mpds(UncertainGraph(), k=1, theta=8, seed=0)
+        assert result.top == []
+        assert result.candidates == {}
+
+    def test_mpds_on_isolated_nodes(self):
+        graph = UncertainGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        result = top_k_mpds(graph, k=2, theta=8, seed=0)
+        assert result.top == []
+
+    def test_nds_on_empty_graph(self):
+        result = top_k_nds(UncertainGraph(), k=1, theta=8, seed=0)
+        assert result.top == []
+
+    def test_mpds_on_single_certain_edge(self):
+        graph = UncertainGraph.from_weighted_edges([("x", "y", 1.0)])
+        result = top_k_mpds(graph, k=1, theta=4, seed=0)
+        assert result.best().nodes == frozenset({"x", "y"})
+        assert result.best().probability == pytest.approx(1.0)
+
+    def test_estimate_tau_unknown_nodes_is_zero(self, figure1):
+        assert estimate_tau(figure1, frozenset({"Z1", "Z2"}), theta=16) == 0.0
+
+    def test_estimate_gamma_unknown_nodes_is_zero(self, figure1):
+        assert (
+            estimate_gamma(figure1, frozenset({"Z1", "Z2"}), theta=16) == 0.0
+        )
+
+    def test_exact_tau_empty_set_is_zero(self, figure1):
+        assert exact_tau(figure1, frozenset()) == pytest.approx(0.0)
+
+    def test_theta_zero_rejected_by_sampler(self, figure1):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            top_k_mpds(figure1, k=1, theta=0, seed=0)
+
+    def test_k_larger_than_candidates(self, figure1):
+        result = top_k_mpds(figure1, k=10_000, theta=32, seed=0)
+        assert 0 < len(result.top) <= 10_000
+
+    def test_min_size_larger_than_graph(self, figure1):
+        result = top_k_nds(figure1, k=1, min_size=50, theta=16, seed=0)
+        assert result.top == []
+
+    def test_all_probability_one_graph_is_deterministic(self):
+        graph = UG.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0), (3, 4, 1.0)]
+        )
+        result = top_k_mpds(graph, k=1, theta=4, seed=0)
+        assert result.best().nodes == frozenset({1, 2, 3})
+        assert result.best().probability == pytest.approx(1.0)
+
+    def test_erdos_renyi_zero_probability_has_no_edges(self):
+        graph = erdos_renyi(n=6, p=0.0)
+        assert graph.number_of_edges() == 0
+
+    def test_pattern_density_on_pattern_free_world(self):
+        graph = UG.from_weighted_edges([(1, 2, 1.0), (2, 3, 1.0)])
+        diamond = Pattern.diamond()
+        result = top_k_mpds(
+            graph, k=1, theta=4, measure=PatternDensity(diamond), seed=0
+        )
+        assert result.top == []
+
+    def test_clique_density_no_cliques(self):
+        # a path has no triangles: 3-clique MPDS must be empty
+        graph = UG.from_weighted_edges([(1, 2, 1.0), (2, 3, 1.0)])
+        result = top_k_mpds(
+            graph, k=1, theta=4, measure=CliqueDensity(3), seed=0
+        )
+        assert result.top == []
+
+    def test_edge_density_measure_repr_roundtrip(self):
+        assert "EdgeDensity" in repr(EdgeDensity())
+        assert "3" in repr(CliqueDensity(3))

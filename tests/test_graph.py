@@ -1,0 +1,169 @@
+"""Unit and property tests for the deterministic Graph substrate."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph, canonical_edge
+
+from .conftest import random_graph
+
+
+class TestBasicOperations:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert graph.edge_density() == 0
+
+    def test_add_nodes_and_edges(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_edge("a", "b")
+        assert "a" in graph and "b" in graph
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "a")
+        assert graph.degree("a") == 1
+
+    def test_add_edge_idempotent(self):
+        graph = Graph.from_edges([(1, 2), (1, 2), (2, 1)])
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_remove_edge_and_node(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert not graph.has_edge(2, 3)
+        assert graph.number_of_edges() == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph.from_edges([(1, 2)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(1, 3)
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_edge(2, 3)
+
+    def test_edges_each_once(self, rng):
+        graph = random_graph(rng, 12, 0.4)
+        edges = list(graph.edges())
+        canon = {canonical_edge(u, v) for u, v in edges}
+        assert len(edges) == len(canon) == graph.number_of_edges()
+
+    def test_equality_and_node_set(self):
+        a = Graph.from_edges([(1, 2), (2, 3)])
+        b = Graph.from_edges([(2, 3), (1, 2)])
+        assert a == b
+        assert a.node_set() == frozenset({1, 2, 3})
+
+
+class TestDensityAndStructure:
+    def test_edge_density_triangle(self, triangle_graph):
+        assert triangle_graph.edge_density() == Fraction(1)
+
+    def test_subgraph_induced(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4), (1, 3)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 3
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_ignores_absent_nodes(self):
+        graph = Graph.from_edges([(1, 2)])
+        sub = graph.subgraph([1, 2, 99])
+        assert 99 not in sub
+
+    def test_connected_components(self):
+        graph = Graph.from_edges([(1, 2), (3, 4)])
+        graph.add_node(5)
+        components = {frozenset(c) for c in graph.connected_components()}
+        assert components == {
+            frozenset({1, 2}), frozenset({3, 4}), frozenset({5})
+        }
+
+    def test_triangles(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert list(graph.triangles()) == [(1, 2, 3)]
+
+    def test_degeneracy_ordering_is_permutation(self, rng):
+        graph = random_graph(rng, 20, 0.3)
+        ordering = graph.degeneracy_ordering()
+        assert sorted(ordering, key=repr) == sorted(graph.nodes(), key=repr)
+
+    def test_degeneracy_ordering_quality(self, rng):
+        """Each node has at most `degeneracy` neighbors later in the order."""
+        for _ in range(10):
+            graph = random_graph(rng, 15, 0.4)
+            if graph.number_of_nodes() == 0:
+                continue
+            ordering = graph.degeneracy_ordering()
+            position = {node: i for i, node in enumerate(ordering)}
+            forward_degrees = [
+                sum(1 for n in graph.neighbors(v) if position[n] > position[v])
+                for v in ordering
+            ]
+            try:
+                import networkx as nx
+                nxg = nx.Graph(list(graph.edges()))
+                nxg.add_nodes_from(graph.nodes())
+                expected = max(nx.core_number(nxg).values(), default=0)
+                assert max(forward_degrees, default=0) <= expected
+            except ImportError:  # pragma: no cover
+                pass
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    edges = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=n - 1),
+            st.integers(min_value=0, max_value=n - 1),
+        ),
+        max_size=20,
+    ))
+    graph = Graph(nodes=range(n))
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestGraphProperties:
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degree(v) for v in graph) == 2 * graph.number_of_edges()
+
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_nodes(self, graph):
+        components = graph.connected_components()
+        union = set()
+        total = 0
+        for component in components:
+            union |= component
+            total += len(component)
+        assert union == set(graph.nodes())
+        assert total == graph.number_of_nodes()
+
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_subgraph_density_bounded(self, graph):
+        sub = graph.subgraph(list(graph.nodes())[: max(1, len(graph) // 2)])
+        if sub.number_of_nodes() > 0:
+            n = sub.number_of_nodes()
+            assert 0 <= sub.edge_density() <= Fraction(n - 1, 2) if n > 1 else True

@@ -1,0 +1,150 @@
+"""Tests for Greedy++ iterated peeling (repro.dense.greedypp)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dense.clique_density import clique_densest_subgraph
+from repro.dense.goldberg import densest_subgraph
+from repro.dense.greedypp import (
+    greedypp_clique_densest,
+    greedypp_densest,
+    greedypp_from_instances,
+    greedypp_pattern_densest,
+)
+from repro.dense.pattern_density import pattern_densest_subgraph
+from repro.dense.peeling import peel_edge_density
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph
+
+
+class TestEdgeGreedyPP:
+    def test_triangle(self, triangle_graph):
+        result = greedypp_densest(triangle_graph, rounds=4)
+        assert result.density == Fraction(1)
+        assert result.nodes == frozenset({1, 2, 3})
+
+    def test_empty_graph(self):
+        result = greedypp_densest(Graph(), rounds=4)
+        assert result.density == 0
+        assert result.rounds == 0
+
+    def test_edgeless_graph(self):
+        result = greedypp_densest(Graph(nodes=[1, 2]), rounds=4)
+        assert result.density == 0
+
+    def test_invalid_rounds(self, triangle_graph):
+        with pytest.raises(ValueError):
+            greedypp_densest(triangle_graph, rounds=0)
+
+    def test_one_round_is_charikar(self, rng):
+        """Round 1 returns at least the single-pass peeling density."""
+        for _ in range(10):
+            graph = random_graph(rng, rng.randint(4, 12), 0.4)
+            if graph.number_of_edges() == 0:
+                continue
+            single = greedypp_densest(graph, rounds=1)
+            assert single.density >= peel_edge_density(graph).density / 1  # sanity
+            assert single.density * 2 >= densest_subgraph(graph).density
+
+    def test_history_is_monotone(self, rng):
+        graph = random_graph(rng, 12, 0.4)
+        result = greedypp_densest(graph, rounds=8)
+        assert list(result.history) == sorted(result.history)
+        assert result.history[-1] == result.density
+
+    def test_returned_set_achieves_density(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, rng.randint(4, 12), 0.4)
+            if graph.number_of_edges() == 0:
+                continue
+            result = greedypp_densest(graph, rounds=6)
+            sub = graph.subgraph(result.nodes)
+            assert (
+                Fraction(sub.number_of_edges(), len(result.nodes))
+                == result.density
+            )
+
+    def test_converges_to_optimum(self, rng):
+        """Enough rounds reach the flow-exact optimum on small graphs."""
+        for trial in range(12):
+            graph = random_graph(rng, rng.randint(4, 10), 0.45)
+            if graph.number_of_edges() == 0:
+                continue
+            exact = densest_subgraph(graph).density
+            result = greedypp_densest(graph, rounds=64)
+            assert result.density == exact, f"trial {trial}"
+
+    def test_never_exceeds_optimum(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, rng.randint(4, 12), 0.5)
+            if graph.number_of_edges() == 0:
+                continue
+            exact = densest_subgraph(graph).density
+            assert greedypp_densest(graph, rounds=3).density <= exact
+
+
+class TestCliqueGreedyPP:
+    def test_h2_delegates_to_edge(self, rng):
+        graph = random_graph(rng, 8, 0.5)
+        assert (
+            greedypp_clique_densest(graph, 2, rounds=8).density
+            == greedypp_densest(graph, rounds=8).density
+        )
+
+    def test_invalid_h(self, triangle_graph):
+        with pytest.raises(ValueError):
+            greedypp_clique_densest(triangle_graph, 1)
+
+    def test_no_cliques(self):
+        path = Graph.from_edges([(1, 2), (2, 3)])
+        result = greedypp_clique_densest(path, 3, rounds=4)
+        assert result.density == 0
+
+    def test_triangle_h3(self, triangle_graph):
+        result = greedypp_clique_densest(triangle_graph, 3, rounds=4)
+        assert result.density == Fraction(1, 3)
+
+    def test_converges_to_flow_optimum(self, rng):
+        for trial in range(10):
+            graph = random_graph(rng, rng.randint(4, 9), 0.55)
+            exact = clique_densest_subgraph(graph, 3).density
+            result = greedypp_clique_densest(graph, 3, rounds=64)
+            assert result.density <= exact
+            if exact > 0:
+                # Greedy++ converges; at 64 rounds small graphs are exact
+                assert result.density == exact, f"trial {trial}"
+
+
+class TestPatternGreedyPP:
+    def test_two_star_path(self):
+        path = Graph.from_edges([(1, 2), (2, 3)])
+        result = greedypp_pattern_densest(path, Pattern.two_star(), rounds=4)
+        assert result.density == Fraction(1, 3)
+
+    def test_bounded_by_flow_optimum(self, rng):
+        pattern = Pattern.two_star()
+        for _ in range(8):
+            graph = random_graph(rng, rng.randint(3, 8), 0.5)
+            exact = pattern_densest_subgraph(graph, pattern).density
+            result = greedypp_pattern_densest(graph, pattern, rounds=32)
+            assert result.density <= exact
+
+
+class TestInstanceGreedyPP:
+    def test_empty_instances(self, triangle_graph):
+        result = greedypp_from_instances(triangle_graph, [], rounds=4)
+        assert result.density == 0
+
+    def test_invalid_rounds(self, triangle_graph):
+        with pytest.raises(ValueError):
+            greedypp_from_instances(triangle_graph, [(1, 2)], rounds=0)
+
+    def test_duplicate_instances_weighted(self):
+        graph = Graph.from_edges([(1, 2)])
+        result = greedypp_from_instances(graph, [(1, 2), (1, 2)], rounds=2)
+        assert result.density == Fraction(1)

@@ -1,0 +1,121 @@
+"""Tests for the Theorem 2/3/5/6 bounds and sample-size planners."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.guarantees import (
+    convergence_theta,
+    hoeffding_separation_bound,
+    plan_theta_for_inclusion,
+    plan_theta_for_separation,
+    theorem2_candidate_inclusion_bound,
+    theorem3_return_bound,
+    theorem5_closedness_bound,
+    theorem6_return_bound,
+)
+
+
+class TestTheorem2:
+    def test_monotone_in_theta(self):
+        taus = [0.3, 0.2]
+        bounds = [
+            theorem2_candidate_inclusion_bound(taus, theta)
+            for theta in (1, 5, 20, 100)
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] > 0.99
+
+    def test_exact_formula(self):
+        # 1 - (1-0.5)^2 - (1-0.25)^2 for k=2, theta=2
+        expected = 1 - 0.25 - 0.5625
+        assert math.isclose(
+            theorem2_candidate_inclusion_bound([0.5, 0.25], 2), expected
+        )
+
+    def test_clamped_at_zero(self):
+        assert theorem2_candidate_inclusion_bound([0.01] * 50, 1) == 0.0
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            theorem2_candidate_inclusion_bound([0.5], 0)
+
+
+class TestSeparationBounds:
+    def test_wide_gap_high_confidence(self):
+        bound = hoeffding_separation_bound([0.9], [0.1], 100)
+        assert bound > 0.99
+
+    def test_zero_gap_no_confidence(self):
+        assert hoeffding_separation_bound([0.5], [0.5], 1000) == 0.0
+
+    def test_monotone_in_theta(self):
+        bounds = [
+            hoeffding_separation_bound([0.6], [0.4], theta)
+            for theta in (10, 100, 1000)
+        ]
+        assert bounds == sorted(bounds)
+
+    def test_theorem3_composition(self):
+        inclusion = theorem2_candidate_inclusion_bound([0.6], 50)
+        separation = hoeffding_separation_bound([0.6], [0.2], 50)
+        combined = theorem3_return_bound([0.6], [0.2], 50)
+        assert math.isclose(combined, inclusion * separation)
+
+
+class TestTheorem5And6:
+    def test_closedness_bound(self):
+        bound = theorem5_closedness_bound([0.3, 0.2], 50)
+        assert 0.99 < bound <= 1.0
+
+    def test_theorem6_composition(self):
+        worlds = [0.3, 0.2]
+        combined = theorem6_return_bound(worlds, [0.7], [0.3], 100)
+        closed = theorem5_closedness_bound(worlds, 100)
+        sep = hoeffding_separation_bound([0.7], [0.3], 100)
+        assert math.isclose(combined, closed * sep)
+
+
+class TestPlanners:
+    def test_inclusion_planner_inverts_bound(self):
+        theta = plan_theta_for_inclusion(0.2, k=3, confidence=0.95)
+        assert theorem2_candidate_inclusion_bound([0.2] * 3, theta) >= 0.95
+        assert theorem2_candidate_inclusion_bound([0.2] * 3, theta - 1) < 0.95
+
+    def test_separation_planner_inverts_bound(self):
+        theta = plan_theta_for_separation(0.1, candidates=10, confidence=0.9)
+        assert 10 * math.exp(-2 * 0.01 * theta) <= 0.1 + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_theta_for_inclusion(0.0, 1)
+        with pytest.raises(ValueError):
+            plan_theta_for_inclusion(0.5, 1, confidence=1.5)
+        with pytest.raises(ValueError):
+            plan_theta_for_separation(0.0, 5)
+
+
+class TestConvergenceProtocol:
+    def test_converges_on_stable_runner(self):
+        """Runner whose output stabilises at theta >= 80."""
+        def run(theta):
+            if theta < 80:
+                return [frozenset({theta})]
+            return [frozenset({1, 2, 3})]
+
+        chosen, history = convergence_theta(run, start_theta=20, max_theta=640)
+        assert chosen == 160  # first doubling where both runs agree
+        assert history[-1][1] >= 0.99
+
+    def test_hits_max_theta_when_unstable(self):
+        counter = {"n": 0}
+
+        def run(theta):
+            counter["n"] += 1
+            return [frozenset({counter["n"]})]
+
+        chosen, history = convergence_theta(run, start_theta=10, max_theta=80)
+        assert chosen == 80
+        assert all(similarity < 0.99 for _theta, similarity in history)

@@ -1,0 +1,99 @@
+"""Tests for the Section III-C core-decomposition heuristics."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.heuristics import HeuristicMeasure, heuristic_dense_sets
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.core.nds import top_k_nds
+from repro.dense.goldberg import maximum_edge_density
+from repro.dense.pattern_density import maximum_pattern_density
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph, random_uncertain_graph
+
+
+class TestHeuristicDenseSets:
+    def test_empty_world(self):
+        world = Graph(nodes=[1, 2])
+        assert heuristic_dense_sets(world, EdgeDensity()) == []
+
+    def test_best_candidate_is_peeling_optimum(self, rng):
+        measure = EdgeDensity()
+        for _ in range(10):
+            world = random_graph(rng, 10, 0.4)
+            sets = heuristic_dense_sets(world, measure)
+            if not sets:
+                continue
+            densities = [measure.density(world, s) for s in sets]
+            # densest-first ordering
+            assert densities == sorted(densities, reverse=True)
+            # half-approximation guarantee carries over from peeling
+            assert densities[0] >= maximum_edge_density(world) / 2
+
+    def test_pattern_approximation_guarantee(self, rng):
+        pattern = Pattern.two_star()
+        measure = PatternDensity(pattern)
+        for _ in range(5):
+            world = random_graph(rng, 7, 0.5)
+            sets = heuristic_dense_sets(world, measure)
+            optimum = maximum_pattern_density(world, pattern)
+            if optimum == 0:
+                assert sets == []
+                continue
+            best = max(measure.density(world, s) for s in sets)
+            assert best >= optimum / pattern.number_of_nodes()
+
+    def test_max_sets_cap(self, rng):
+        world = random_graph(rng, 12, 0.4)
+        sets = heuristic_dense_sets(world, EdgeDensity(), max_sets=2)
+        assert len(sets) <= 2
+
+    def test_unsupported_measure_rejected(self):
+        class Bogus:
+            pass
+        with pytest.raises(TypeError):
+            heuristic_dense_sets(Graph.from_edges([(1, 2)]), Bogus())
+
+
+class TestHeuristicMeasure:
+    def test_wraps_base_density(self, rng):
+        world = random_graph(rng, 8, 0.5)
+        base = EdgeDensity()
+        wrapped = HeuristicMeasure(base)
+        nodes = list(world.nodes())[:4]
+        assert wrapped.density(world, nodes) == base.density(world, nodes)
+
+    def test_one_densest(self, rng):
+        world = random_graph(rng, 8, 0.5)
+        wrapped = HeuristicMeasure(EdgeDensity())
+        one = wrapped.one_densest(world)
+        if world.number_of_edges():
+            assert one is not None
+
+    def test_heuristic_nds_quality(self, rng):
+        """Heuristic NDS containment close to exact-enumeration NDS."""
+        from repro.core.exact import exact_gamma
+        graph = random_uncertain_graph(rng, 6, 0.6, low=0.4, high=0.95)
+        exact_based = top_k_nds(graph, k=1, min_size=2, theta=1500, seed=3)
+        heuristic_based = top_k_nds(
+            graph, k=1, min_size=2, theta=1500, seed=3,
+            measure=HeuristicMeasure(EdgeDensity()),
+        )
+        if exact_based.top and heuristic_based.top:
+            exact_gamma_value = exact_gamma(graph, exact_based.best().nodes)
+            heuristic_gamma_value = exact_gamma(
+                graph, heuristic_based.best().nodes
+            )
+            assert heuristic_gamma_value >= exact_gamma_value - 0.35
+
+    def test_clique_heuristic_runs(self, rng):
+        world = random_graph(rng, 8, 0.6)
+        wrapped = HeuristicMeasure(CliqueDensity(3))
+        sets = wrapped.all_densest(world)
+        for nodes in sets:
+            assert nodes <= world.node_set()

@@ -1,0 +1,130 @@
+"""Tests for graph I/O and the random-graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.generators import (
+    assign_constant,
+    assign_exponential_cdf,
+    assign_normal,
+    assign_reciprocal_degree,
+    assign_uniform,
+    barabasi_albert,
+    erdos_renyi,
+    exponential_cdf_probability,
+    uncertain_barabasi_albert,
+    uncertain_erdos_renyi,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_uncertain_edge_list,
+    write_edge_list,
+    write_uncertain_edge_list,
+)
+
+from .conftest import random_graph, random_uncertain_graph
+
+
+class TestIO:
+    def test_edge_list_round_trip(self, rng, tmp_path):
+        graph = random_graph(rng, 10, 0.4)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.edge_set() == graph.edge_set()
+
+    def test_uncertain_round_trip(self, rng, tmp_path):
+        graph = random_uncertain_graph(rng, 8, 0.5)
+        path = tmp_path / "ugraph.txt"
+        write_uncertain_edge_list(graph, path)
+        loaded = read_uncertain_edge_list(path)
+        assert loaded.number_of_edges() == graph.number_of_edges()
+        for u, v, p in graph.weighted_edges():
+            assert math.isclose(loaded.probability(u, v), p, rel_tol=1e-6)
+
+    def test_comments_and_labels(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("# comment\nalice bob 0.5\n% other\nbob carol 0.25\n")
+        graph = read_uncertain_edge_list(path)
+        assert graph.probability("alice", "bob") == 0.5
+        assert graph.number_of_nodes() == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 0.5\n3\n")
+        with pytest.raises(ValueError):
+            read_uncertain_edge_list(path)
+
+
+class TestTopologies:
+    def test_erdos_renyi_bounds(self, rng):
+        graph = erdos_renyi(20, 0.3, rng)
+        assert graph.number_of_nodes() == 20
+        assert 0 <= graph.number_of_edges() <= 190
+
+    def test_erdos_renyi_extremes(self, rng):
+        assert erdos_renyi(8, 0.0, rng).number_of_edges() == 0
+        assert erdos_renyi(8, 1.0, rng).number_of_edges() == 28
+
+    def test_barabasi_albert_edge_count(self, rng):
+        n, m = 30, 3
+        graph = barabasi_albert(n, m, rng)
+        assert graph.number_of_nodes() == n
+        # star seed contributes m edges; every later node adds exactly m
+        assert graph.number_of_edges() == m + (n - m - 1) * m
+
+    def test_barabasi_albert_validation(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, rng)
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0, rng)
+
+    def test_preferential_attachment_favors_hubs(self, rng):
+        graph = barabasi_albert(200, 2, rng)
+        degrees = sorted((graph.degree(v) for v in graph), reverse=True)
+        assert degrees[0] > 3 * (sum(degrees) / len(degrees))
+
+
+class TestProbabilityModels:
+    def test_exponential_cdf_shape(self):
+        assert exponential_cdf_probability(0) == 0.0
+        assert 0.04 < exponential_cdf_probability(1) < 0.06
+        assert exponential_cdf_probability(1000) > 0.99
+
+    def test_assign_exponential_cdf(self, rng):
+        graph = random_graph(rng, 10, 0.5)
+        out = assign_exponential_cdf(graph, rng)
+        assert out.number_of_edges() == graph.number_of_edges()
+        for _u, _v, p in out.weighted_edges():
+            assert 0.0 < p < 1.0
+
+    def test_assign_reciprocal_degree(self):
+        from repro.graph.graph import Graph
+        star = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        out = assign_reciprocal_degree(star)
+        assert out.probability(0, 1) == pytest.approx(1 / 3)
+
+    def test_assign_uniform_range(self, rng):
+        graph = random_graph(rng, 10, 0.5)
+        out = assign_uniform(graph, rng, low=0.2, high=0.4)
+        for _u, _v, p in out.weighted_edges():
+            assert 0.2 <= p <= 0.4
+
+    def test_assign_normal_clipped(self, rng):
+        graph = random_graph(rng, 10, 0.6)
+        out = assign_normal(graph, mean=0.95, std=0.3, rng=rng)
+        for _u, _v, p in out.weighted_edges():
+            assert 0.0 < p <= 1.0
+
+    def test_assign_constant(self, triangle_graph):
+        out = assign_constant(triangle_graph, 0.5)
+        assert all(p == 0.5 for _u, _v, p in out.weighted_edges())
+
+    def test_uncertain_conveniences(self, rng):
+        er = uncertain_erdos_renyi(10, 0.5, rng)
+        ba = uncertain_barabasi_albert(10, 2, rng)
+        assert er.number_of_nodes() == 10
+        assert ba.number_of_nodes() == 10

@@ -1,0 +1,134 @@
+"""Tests for k-core, (k,h)-core, and (k,psi)-core decompositions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques.enumeration import clique_degrees
+from repro.dense.kcore import (
+    core_decomposition,
+    innermost_core_nodes,
+    k_core,
+    kh_core,
+    kh_core_decomposition,
+    kpsi_core,
+    kpsi_core_decomposition,
+)
+from repro.graph.graph import Graph
+from repro.patterns.matching import pattern_degrees
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph
+
+
+class TestEdgeCore:
+    def test_triangle_with_tail(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        cores = core_decomposition(graph)
+        assert cores == {1: 2, 2: 2, 3: 2, 4: 1}
+        assert k_core(graph, 2).node_set() == frozenset({1, 2, 3})
+
+    def test_against_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(15):
+            graph = random_graph(rng, 14, 0.35)
+            nxg = nx.Graph(list(graph.edges()))
+            nxg.add_nodes_from(graph.nodes())
+            assert core_decomposition(graph) == nx.core_number(nxg)
+
+    def test_k_core_min_degree_invariant(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, 12, 0.4)
+            for k in (1, 2, 3):
+                core = k_core(graph, k)
+                for node in core:
+                    assert core.degree(node) >= k
+
+    def test_innermost(self, rng):
+        graph = random_graph(rng, 12, 0.5)
+        cores = core_decomposition(graph)
+        k_max, nodes = innermost_core_nodes(cores)
+        assert k_max == max(cores.values())
+        assert nodes == frozenset(n for n, c in cores.items() if c >= k_max)
+
+
+class TestCliqueCore:
+    def test_kh_core_degree_invariant(self, rng):
+        for _ in range(8):
+            graph = random_graph(rng, 10, 0.5)
+            for h in (3, 4):
+                for k in (1, 2):
+                    core = kh_core(graph, k, h)
+                    if core.number_of_nodes() == 0:
+                        continue
+                    degrees = clique_degrees(core, h)
+                    assert all(d >= k for d in degrees.values())
+
+    def test_kh_core_maximality(self, rng):
+        """No node outside the core could be added back."""
+        graph = random_graph(rng, 10, 0.5)
+        h, k = 3, 1
+        core = kh_core(graph, k, h)
+        outside = set(graph.nodes()) - set(core.nodes())
+        for node in outside:
+            candidate = graph.subgraph(set(core.nodes()) | {node})
+            degrees = clique_degrees(candidate, h)
+            # the peeling would re-delete *some* node; in particular the
+            # core plus this node cannot have everyone at degree >= k
+            assert min(degrees.values()) < k or degrees[node] < k
+
+    def test_kh_decomposition_nested(self, rng):
+        graph = random_graph(rng, 10, 0.55)
+        decomposition = kh_core_decomposition(graph, 3)
+        for k in sorted(set(decomposition.values())):
+            inner = {n for n, c in decomposition.items() if c >= k}
+            core = kh_core(graph, k, 3)
+            assert core.node_set() == frozenset(inner)
+
+    def test_h2_matches_edge_core(self, rng):
+        graph = random_graph(rng, 10, 0.4)
+        assert kh_core(graph, 2, 2).node_set() == k_core(graph, 2).node_set()
+
+
+class TestPatternCore:
+    def test_kpsi_core_degree_invariant(self, rng):
+        pattern = Pattern.two_star()
+        graph = random_graph(rng, 9, 0.45)
+        core = kpsi_core(graph, 2, pattern)
+        if core.number_of_nodes():
+            degrees = pattern_degrees(core, pattern)
+            assert all(d >= 2 for d in degrees.values())
+
+    def test_kpsi_decomposition_consistent(self, rng):
+        pattern = Pattern.two_star()
+        graph = random_graph(rng, 8, 0.5)
+        decomposition = kpsi_core_decomposition(graph, pattern)
+        k_max = max(decomposition.values(), default=0)
+        inner = frozenset(n for n, c in decomposition.items() if c >= k_max)
+        if k_max > 0:
+            assert kpsi_core(graph, k_max, pattern).node_set() == inner
+
+    def test_clique_pattern_matches_kh(self, rng):
+        graph = random_graph(rng, 8, 0.6)
+        assert kpsi_core(graph, 1, Pattern.clique(3)).node_set() == \
+            kh_core(graph, 1, 3).node_set()
+
+
+@given(st.integers(0, 2**21 - 1))
+@settings(max_examples=40, deadline=None)
+def test_cores_are_nested(mask):
+    """(k+1)-core is always contained in the k-core."""
+    import itertools
+    nodes = list(range(7))
+    pairs = list(itertools.combinations(nodes, 2))
+    graph = Graph(nodes=nodes)
+    for bit, (u, v) in enumerate(pairs):
+        if mask >> bit & 1:
+            graph.add_edge(u, v)
+    previous = set(graph.nodes())
+    for k in range(1, 5):
+        current = set(k_core(graph, k).nodes())
+        assert current <= previous
+        previous = current

@@ -1,0 +1,157 @@
+"""Tests for the Charikar LP densest-subgraph solver (repro.dense.lp)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+pytest.importorskip("scipy")
+
+from repro.dense.clique_density import clique_densest_subgraph
+from repro.dense.goldberg import densest_subgraph
+from repro.dense.lp import (
+    lp_clique_densest,
+    lp_densest_from_instances,
+    lp_edge_densest,
+    lp_maximum_density,
+    lp_pattern_densest,
+)
+from repro.dense.pattern_density import pattern_densest_subgraph
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph
+
+
+class TestEdgeLP:
+    def test_triangle(self, triangle_graph):
+        result = lp_edge_densest(triangle_graph)
+        assert result.density == Fraction(1)
+        assert result.nodes == frozenset({1, 2, 3})
+
+    def test_single_edge(self):
+        result = lp_edge_densest(Graph.from_edges([(1, 2)]))
+        assert result.density == Fraction(1, 2)
+        assert result.nodes == frozenset({1, 2})
+
+    def test_edgeless(self):
+        result = lp_edge_densest(Graph(nodes=[1, 2, 3]))
+        assert result.density == 0
+        assert result.nodes == frozenset()
+
+    def test_empty_graph(self):
+        result = lp_edge_densest(Graph())
+        assert result.density == 0
+
+    def test_clique_plus_pendant(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        result = lp_edge_densest(graph)
+        assert result.density == Fraction(1)
+        assert result.nodes == frozenset({1, 2, 3})
+
+    def test_returned_set_achieves_density(self, rng):
+        for _ in range(10):
+            graph = random_graph(rng, rng.randint(4, 10), 0.45)
+            if graph.number_of_edges() == 0:
+                continue
+            result = lp_edge_densest(graph)
+            sub = graph.subgraph(result.nodes)
+            assert Fraction(sub.number_of_edges(), len(result.nodes)) == result.density
+
+    def test_matches_goldberg_on_random_graphs(self, rng):
+        for trial in range(15):
+            graph = random_graph(rng, rng.randint(3, 11), 0.4)
+            if graph.number_of_edges() == 0:
+                continue
+            assert (
+                lp_edge_densest(graph).density == densest_subgraph(graph).density
+            ), f"trial {trial}"
+
+    def test_lp_value_close_to_rational(self, triangle_graph):
+        result = lp_edge_densest(triangle_graph)
+        assert abs(result.lp_value - 1.0) < 1e-6
+
+
+class TestCliqueLP:
+    def test_triangle_h3(self, triangle_graph):
+        result = lp_clique_densest(triangle_graph, 3)
+        assert result.density == Fraction(1, 3)
+
+    def test_no_h_clique(self):
+        path = Graph.from_edges([(1, 2), (2, 3)])
+        result = lp_clique_densest(path, 3)
+        assert result.density == 0
+
+    def test_invalid_h(self, triangle_graph):
+        with pytest.raises(ValueError):
+            lp_clique_densest(triangle_graph, 1)
+
+    def test_h2_equals_edge_density(self, rng):
+        graph = random_graph(rng, 8, 0.5)
+        assert lp_clique_densest(graph, 2).density == lp_edge_densest(graph).density
+
+    def test_matches_flow_engine(self, rng):
+        for trial in range(10):
+            graph = random_graph(rng, rng.randint(4, 10), 0.5)
+            expected = clique_densest_subgraph(graph, 3).density
+            assert lp_clique_densest(graph, 3).density == expected, f"trial {trial}"
+
+
+class TestPatternLP:
+    def test_two_star_on_path(self):
+        path = Graph.from_edges([(1, 2), (2, 3)])
+        result = lp_pattern_densest(path, Pattern.two_star())
+        assert result.density == Fraction(1, 3)
+
+    def test_matches_flow_engine(self, rng):
+        pattern = Pattern.two_star()
+        for trial in range(8):
+            graph = random_graph(rng, rng.randint(3, 8), 0.5)
+            expected = pattern_densest_subgraph(graph, pattern).density
+            assert (
+                lp_pattern_densest(graph, pattern).density == expected
+            ), f"trial {trial}"
+
+    def test_diamond_pattern_in_k4(self):
+        from repro.patterns.matching import count_instances
+
+        graph = Graph.from_edges(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        )
+        mu = count_instances(graph, Pattern.diamond())
+        result = lp_pattern_densest(graph, Pattern.diamond())
+        # the whole K4 is the unique positive-density subgraph
+        assert result.density == Fraction(mu, 4)
+
+
+class TestInstanceLP:
+    def test_instance_outside_graph_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            lp_densest_from_instances(triangle_graph, [(1, 99)])
+
+    def test_duplicate_instances_count_with_multiplicity(self):
+        graph = Graph.from_edges([(1, 2)])
+        result = lp_densest_from_instances(graph, [(1, 2), (1, 2)])
+        assert result.density == Fraction(1)  # 2 instances / 2 nodes
+
+    def test_empty_instances(self, triangle_graph):
+        result = lp_densest_from_instances(triangle_graph, [])
+        assert result.density == 0
+
+
+class TestMaximumDensityDispatch:
+    def test_mutually_exclusive_arguments(self, triangle_graph):
+        with pytest.raises(ValueError):
+            lp_maximum_density(triangle_graph, h=3, pattern=Pattern.two_star())
+
+    def test_dispatch_edge(self, triangle_graph):
+        assert lp_maximum_density(triangle_graph) == Fraction(1)
+
+    def test_dispatch_clique(self, triangle_graph):
+        assert lp_maximum_density(triangle_graph, h=3) == Fraction(1, 3)
+
+    def test_dispatch_pattern(self, triangle_graph):
+        assert lp_maximum_density(
+            triangle_graph, pattern=Pattern.two_star()
+        ) == Fraction(1)

@@ -1,0 +1,104 @@
+"""Tests for the DensityMeasure abstraction and result containers."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.core.results import MPDSResult, NDSResult, ScoredNodeSet
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph
+
+
+class TestEdgeDensityMeasure:
+    def test_density(self, triangle_graph):
+        measure = EdgeDensity()
+        assert measure.density(triangle_graph, [1, 2, 3]) == Fraction(1)
+        assert measure.density(triangle_graph, []) == 0
+
+    def test_one_densest_in_all(self, rng):
+        measure = EdgeDensity()
+        for _ in range(8):
+            world = random_graph(rng, 8, 0.45)
+            one = measure.one_densest(world)
+            everything = measure.all_densest(world)
+            if one is None:
+                assert everything == []
+            else:
+                assert one in set(everything)
+
+    def test_maximum_sized_contains_all(self, rng):
+        measure = EdgeDensity()
+        for _ in range(8):
+            world = random_graph(rng, 8, 0.45)
+            maximal = measure.maximum_sized_densest(world)
+            for nodes in measure.all_densest(world):
+                assert nodes <= maximal
+
+    def test_empty_world(self):
+        measure = EdgeDensity()
+        world = Graph(nodes=[1, 2])
+        assert measure.one_densest(world) is None
+        assert measure.maximum_sized_densest(world) is None
+        assert measure.all_densest(world) == []
+
+
+class TestCliqueAndPatternMeasures:
+    def test_clique_validation(self):
+        with pytest.raises(ValueError):
+            CliqueDensity(1)
+
+    def test_names(self):
+        assert EdgeDensity().name == "edge"
+        assert CliqueDensity(4).name == "4-clique"
+        assert PatternDensity(Pattern.diamond()).name == "diamond"
+
+    def test_clique_measure_consistency(self, rng):
+        measure = CliqueDensity(3)
+        world = random_graph(rng, 8, 0.55)
+        maximal = measure.maximum_sized_densest(world)
+        all_sets = measure.all_densest(world)
+        if maximal is None:
+            assert all_sets == []
+        else:
+            union = frozenset().union(*all_sets)
+            assert maximal == union
+
+    def test_pattern_measure_density(self, triangle_graph):
+        measure = PatternDensity(Pattern.two_star())
+        assert measure.density(triangle_graph, [1, 2, 3]) == Fraction(1)
+
+    def test_all_densest_limit(self, rng):
+        measure = EdgeDensity()
+        world = random_graph(rng, 9, 0.5)
+        full = measure.all_densest(world)
+        if len(full) > 1:
+            assert len(measure.all_densest(world, limit=1)) == 1
+
+
+class TestResultContainers:
+    def test_mpds_result_accessors(self):
+        top = [
+            ScoredNodeSet(frozenset({1, 2}), 0.5),
+            ScoredNodeSet(frozenset({3}), 0.25),
+        ]
+        result = MPDSResult(
+            top=top, candidates={}, theta=10, worlds_with_densest=8,
+        )
+        assert result.best().probability == 0.5
+        assert result.top_sets() == [frozenset({1, 2}), frozenset({3})]
+
+    def test_empty_mpds_best_raises(self):
+        result = MPDSResult(top=[], candidates={}, theta=0,
+                            worlds_with_densest=0)
+        with pytest.raises(ValueError):
+            result.best()
+
+    def test_empty_nds_best_raises(self):
+        result = NDSResult(top=[], theta=0, transactions=0)
+        with pytest.raises(ValueError):
+            result.best()

@@ -1,0 +1,116 @@
+"""Tests for the quality and cohesiveness metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.uncertain import UncertainGraph
+from repro.metrics.density import clique_density, edge_density, pattern_density
+from repro.metrics.probabilistic import (
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+from repro.metrics.quality import (
+    average_f1_by_rank,
+    average_purity,
+    f1_score,
+    jaccard,
+    purity,
+    top_k_similarity,
+)
+from repro.patterns.pattern import Pattern
+
+
+class TestDensityWrappers:
+    def test_edge_density(self, triangle_graph):
+        assert edge_density(triangle_graph) == 1
+        assert edge_density(triangle_graph, [1, 2]) == 0.5
+
+    def test_clique_density(self, triangle_graph):
+        assert clique_density(triangle_graph, 3) == pytest.approx(1 / 3)
+
+    def test_pattern_density(self, triangle_graph):
+        assert pattern_density(triangle_graph, Pattern.two_star()) == 1
+
+
+class TestProbabilisticDensity:
+    def test_pd_formula(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.5), (2, 3, 0.25)]
+        )
+        # PD = 2 * (0.5 + 0.25) / (3 * 2) = 0.25
+        assert probabilistic_density(graph, [1, 2, 3]) == pytest.approx(0.25)
+
+    def test_pd_small_sets(self):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 0.5)])
+        assert probabilistic_density(graph, [1]) == 0.0
+        assert probabilistic_density(graph, []) == 0.0
+
+    def test_pd_complete_certain(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)]
+        )
+        assert probabilistic_density(graph, [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_pcc_certain_triangle(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)]
+        )
+        assert probabilistic_clustering_coefficient(graph, [1, 2, 3]) == \
+            pytest.approx(1.0)
+
+    def test_pcc_open_wedge(self):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 0.9), (2, 3, 0.9)])
+        assert probabilistic_clustering_coefficient(graph, [1, 2, 3]) == 0.0
+
+    def test_pcc_hand_computed(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.5), (2, 3, 0.5), (1, 3, 0.5), (3, 4, 1.0)]
+        )
+        # triangle weight = 0.125; wedges: at node 1: (2,3) 0.25; node 2:
+        # (1,3) 0.25; node 3: (1,2) .25, (1,4) .5, (2,4) .5 -> total 1.75
+        expected = 3 * 0.125 / 1.75
+        assert probabilistic_clustering_coefficient(graph, [1, 2, 3, 4]) == \
+            pytest.approx(expected)
+
+
+class TestQualityMetrics:
+    def test_purity(self):
+        communities = {1: "a", 2: "a", 3: "b", 4: "b"}
+        assert purity([1, 2], communities) == 1.0
+        assert purity([1, 2, 3], communities) == pytest.approx(2 / 3)
+        assert purity([], communities) == 0.0
+
+    def test_average_purity(self):
+        communities = {1: "a", 2: "a", 3: "b"}
+        assert average_purity([[1, 2], [1, 3]], communities) == \
+            pytest.approx(0.75)
+
+    def test_f1_score(self):
+        assert f1_score([1, 2], [1, 2]) == 1.0
+        assert f1_score([1, 2], [3, 4]) == 0.0
+        assert f1_score([1, 2, 3], [1, 2]) == pytest.approx(0.8)
+
+    def test_average_f1_by_rank(self):
+        returned = [[1, 2], [3]]
+        truth = [[1, 2], [4]]
+        assert average_f1_by_rank(returned, truth) == pytest.approx(0.5)
+        assert average_f1_by_rank([], []) == 0.0
+        # missing ranks score zero
+        assert average_f1_by_rank([[1]], [[1], [2]]) == pytest.approx(0.5)
+
+    def test_jaccard(self):
+        assert jaccard([1, 2], [2, 3]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+
+    def test_top_k_similarity(self):
+        a = [[1, 2], [3, 4]]
+        b = [[1, 2], [3, 4]]
+        assert top_k_similarity(a, b) == 1.0
+        assert top_k_similarity(a, [[9, 10], [11]]) == 0.0
+        assert top_k_similarity([], []) == 1.0
+        partial = top_k_similarity([[1, 2]], [[1, 3]])
+        assert 0.0 < partial < 1.0

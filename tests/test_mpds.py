@@ -1,0 +1,112 @@
+"""Integration tests for Algorithm 1 (top-k MPDS) against exact solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exact import exact_candidate_probabilities, exact_top_k_mpds
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.core.mpds import estimate_tau, top_k_mpds
+from repro.datasets.paper_examples import figure1_graph
+from repro.metrics.quality import average_f1_by_rank
+from repro.patterns.pattern import Pattern
+from repro.sampling import LazyPropagationSampler, RecursiveStratifiedSampler
+
+from .conftest import random_uncertain_graph
+
+
+class TestOnFigure1:
+    def test_top1_is_bd(self, figure1):
+        result = top_k_mpds(figure1, k=1, theta=3000, seed=11)
+        assert result.best().nodes == frozenset({"B", "D"})
+        assert abs(result.best().probability - 0.42) < 0.03
+
+    def test_top3_matches_exact_ranking(self, figure1):
+        exact = exact_top_k_mpds(figure1, k=3)
+        approx = top_k_mpds(figure1, k=3, theta=5000, seed=13)
+        assert approx.top_sets() == exact.top_sets()
+
+    def test_estimates_converge_to_exact(self, figure1):
+        exact = exact_candidate_probabilities(figure1)
+        approx = top_k_mpds(figure1, k=6, theta=6000, seed=17)
+        for nodes, tau in exact.items():
+            assert abs(approx.candidates.get(nodes, 0.0) - tau) < 0.03
+
+    def test_estimate_tau_helper(self, figure1):
+        tau = estimate_tau(figure1, frozenset({"B", "D"}), theta=3000, seed=19)
+        assert abs(tau - 0.42) < 0.03
+
+
+class TestSamplersAgree:
+    @pytest.mark.parametrize(
+        "sampler_cls", [LazyPropagationSampler, RecursiveStratifiedSampler]
+    )
+    def test_alternative_samplers_find_same_top1(self, figure1, sampler_cls):
+        sampler = sampler_cls(figure1, seed=23)
+        result = top_k_mpds(figure1, k=1, theta=3000, sampler=sampler)
+        assert result.best().nodes == frozenset({"B", "D"})
+        assert abs(result.best().probability - 0.42) < 0.05
+
+
+class TestDensityVariants:
+    def test_clique_mpds_on_random(self, rng):
+        graph = random_uncertain_graph(rng, 6, 0.7, low=0.3, high=0.95)
+        measure = CliqueDensity(3)
+        exact = exact_top_k_mpds(graph, k=1, measure=measure)
+        if not exact.top:
+            pytest.skip("no 3-clique appears in any world")
+        approx = top_k_mpds(graph, k=1, theta=2500, measure=measure, seed=29)
+        assert approx.best().nodes == exact.best().nodes
+
+    def test_pattern_mpds_on_random(self, rng):
+        graph = random_uncertain_graph(rng, 5, 0.8, low=0.4, high=0.95)
+        measure = PatternDensity(Pattern.two_star())
+        exact = exact_top_k_mpds(graph, k=1, measure=measure)
+        if not exact.top:
+            pytest.skip("no 2-star appears in any world")
+        approx = top_k_mpds(graph, k=1, theta=2500, measure=measure, seed=31)
+        assert approx.best().nodes == exact.best().nodes
+
+    def test_f1_reasonable_on_random_graphs(self, rng):
+        """The Fig. 17 protocol on one random graph: F1 should be high."""
+        graph = random_uncertain_graph(rng, 7, 0.6, low=0.2, high=0.9)
+        exact = exact_top_k_mpds(graph, k=5)
+        approx = top_k_mpds(graph, k=5, theta=3000, seed=37)
+        f1 = average_f1_by_rank(approx.top_sets(), exact.top_sets())
+        assert f1 > 0.6
+
+
+class TestAblationsAndEdgeCases:
+    def test_all_vs_one_enumeration(self, figure1):
+        """One-densest-per-world underestimates (Table IX's effect)."""
+        all_result = top_k_mpds(figure1, k=6, theta=4000, seed=41,
+                                enumerate_all=True)
+        one_result = top_k_mpds(figure1, k=6, theta=4000, seed=41,
+                                enumerate_all=False)
+        total_all = sum(s.probability for s in all_result.top)
+        total_one = sum(s.probability for s in one_result.top)
+        assert total_one <= total_all + 1e-9
+
+    def test_densest_counts_recorded(self, figure1):
+        result = top_k_mpds(figure1, k=1, theta=50, seed=43)
+        assert len(result.densest_counts) == 50
+        assert all(c >= 0 for c in result.densest_counts)
+
+    def test_invalid_k(self, figure1):
+        with pytest.raises(ValueError):
+            top_k_mpds(figure1, k=0, theta=10)
+
+    def test_estimates_are_probabilities(self, rng):
+        graph = random_uncertain_graph(rng, 6, 0.5)
+        result = top_k_mpds(graph, k=3, theta=200, seed=47)
+        for scored in result.top:
+            assert 0.0 <= scored.probability <= 1.0 + 1e-9
+
+    def test_empty_worlds_tolerated(self):
+        """Very low probabilities: many empty worlds, no crash."""
+        from repro.graph.uncertain import UncertainGraph
+        ug = UncertainGraph.from_weighted_edges([(1, 2, 0.01), (2, 3, 0.01)])
+        result = top_k_mpds(ug, k=1, theta=100, seed=53)
+        assert result.theta == 100

@@ -1,0 +1,104 @@
+"""Integration tests for Algorithm 5 (top-k NDS) against exact solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exact import exact_gamma, exact_top_k_nds
+from repro.core.measures import CliqueDensity
+from repro.core.nds import estimate_gamma, top_k_nds
+from repro.graph.uncertain import UncertainGraph
+
+from .conftest import random_uncertain_graph
+
+
+class TestOnFigure1:
+    def test_example3_gamma(self, figure1):
+        """gamma({B,D}) = 0.7 (Example 3), exactly and by estimation."""
+        assert math.isclose(exact_gamma(figure1, {"B", "D"}), 0.7, rel_tol=1e-9)
+        estimate = estimate_gamma(figure1, frozenset({"B", "D"}),
+                                  theta=4000, seed=3)
+        assert abs(estimate - 0.7) < 0.03
+
+    def test_top1_nds_is_bd(self, figure1):
+        exact = exact_top_k_nds(figure1, k=1, min_size=2)
+        assert exact.best().nodes == frozenset({"B", "D"})
+        assert math.isclose(exact.best().probability, 0.7, rel_tol=1e-9)
+        approx = top_k_nds(figure1, k=1, min_size=2, theta=4000, seed=5)
+        assert approx.best().nodes == frozenset({"B", "D"})
+        assert abs(approx.best().probability - 0.7) < 0.03
+
+    def test_min_size_respected(self, figure1):
+        result = top_k_nds(figure1, k=5, min_size=3, theta=1000, seed=7)
+        assert all(len(s.nodes) >= 3 for s in result.top)
+
+
+class TestAgainstExact:
+    def test_gamma_estimates_converge(self, rng):
+        graph = random_uncertain_graph(rng, 6, 0.5, low=0.2, high=0.9)
+        approx = top_k_nds(graph, k=3, min_size=2, theta=3000, seed=11)
+        for scored in approx.top:
+            exact_value = exact_gamma(graph, scored.nodes)
+            assert abs(scored.probability - exact_value) < 0.04
+
+    def test_top1_matches_exact_often(self, rng):
+        matches = 0
+        trials = 5
+        for t in range(trials):
+            graph = random_uncertain_graph(rng, 6, 0.5, low=0.3, high=0.9)
+            exact = exact_top_k_nds(graph, k=1, min_size=2)
+            approx = top_k_nds(graph, k=1, min_size=2, theta=3000, seed=100 + t)
+            if not exact.top:
+                matches += 1 if not approx.top else 0
+                continue
+            if approx.top and math.isclose(
+                approx.best().probability,
+                exact_gamma(graph, approx.best().nodes) + 0.0,
+                abs_tol=0.05,
+            ):
+                # accept ties: approx answer must have near-optimal gamma
+                best_gamma = exact.best().probability
+                got_gamma = exact_gamma(graph, approx.best().nodes)
+                if got_gamma >= best_gamma - 0.05:
+                    matches += 1
+        assert matches >= trials - 1
+
+    def test_clique_nds(self, rng):
+        graph = random_uncertain_graph(rng, 6, 0.75, low=0.4, high=0.95)
+        measure = CliqueDensity(3)
+        exact = exact_top_k_nds(graph, k=1, min_size=2, measure=measure)
+        approx = top_k_nds(
+            graph, k=1, min_size=2, theta=2500, measure=measure, seed=13
+        )
+        if exact.top:
+            assert approx.top
+            got_gamma = exact_gamma(graph, approx.best().nodes, measure)
+            assert got_gamma >= exact.best().probability - 0.05
+
+
+class TestClosedness:
+    def test_returned_sets_are_closed(self, rng):
+        """No returned set has a superset with equal estimated gamma."""
+        graph = random_uncertain_graph(rng, 6, 0.6, low=0.3, high=0.9)
+        result = top_k_nds(graph, k=5, min_size=1, theta=500, seed=17)
+        by_nodes = {s.nodes: s.probability for s in result.top}
+        for nodes, gamma in by_nodes.items():
+            for other, other_gamma in by_nodes.items():
+                if nodes < other:
+                    assert other_gamma < gamma + 1e-12
+
+    def test_no_transactions_yields_empty(self):
+        graph = UncertainGraph()
+        graph.add_node(1)
+        graph.add_node(2)
+        result = top_k_nds(graph, k=2, min_size=1, theta=10, seed=19)
+        assert result.top == []
+        assert result.transactions == 0
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ValueError):
+            top_k_nds(figure1, k=0)
+        with pytest.raises(ValueError):
+            top_k_nds(figure1, k=1, min_size=0)

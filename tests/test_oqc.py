@@ -1,0 +1,177 @@
+"""Tests for edge-surplus quasi-cliques (repro.dense.oqc) and the
+EdgeSurplus measure extension (repro.core.extensions)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import UncertainGraph, top_k_mpds, top_k_nds
+from repro.core.extensions import EdgeSurplus
+from repro.dense.oqc import (
+    edge_surplus,
+    exact_oqc,
+    greedy_oqc,
+    local_search_oqc,
+)
+from repro.graph.graph import Graph
+
+from .conftest import random_graph
+
+ALPHA = Fraction(1, 3)
+
+
+def _triangle_plus_tail() -> Graph:
+    graph = Graph()
+    for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestEdgeSurplus:
+    def test_clique_surplus(self):
+        graph = Graph()
+        for u in range(4):
+            for v in range(u + 1, 4):
+                graph.add_edge(u, v)
+        nodes = frozenset(range(4))
+        # e(S) = 6, potential = 6 -> f = 6 (1 - alpha)
+        assert edge_surplus(graph, nodes, ALPHA) == Fraction(6) * (1 - ALPHA)
+
+    def test_empty_set_surplus_zero(self):
+        graph = _triangle_plus_tail()
+        assert edge_surplus(graph, frozenset(), ALPHA) == 0
+
+    def test_single_node_surplus_zero(self):
+        graph = _triangle_plus_tail()
+        assert edge_surplus(graph, frozenset({1}), ALPHA) == 0
+
+    def test_surplus_can_be_negative(self):
+        graph = _triangle_plus_tail()
+        # 1 and 5 are non-adjacent: 0 edges, potential 1
+        assert edge_surplus(graph, frozenset({1, 5}), ALPHA) < 0
+
+
+class TestGreedyAndLocalSearch:
+    def test_triangle_tail_optimum_reached(self):
+        # {1,2,3} (surplus 2) ties {1,2,3,4} (4 edges - alpha*6 = 2);
+        # greedy must land on one of the exact maximisers
+        graph = _triangle_plus_tail()
+        value, nodes = greedy_oqc(graph, ALPHA)
+        best, maximisers = exact_oqc(graph, ALPHA)
+        assert value == best == Fraction(2)
+        assert nodes in maximisers
+
+    def test_local_search_matches_exact_on_triangle_tail(self):
+        graph = _triangle_plus_tail()
+        value, nodes = local_search_oqc(graph, ALPHA)
+        best, maximisers = exact_oqc(graph, ALPHA)
+        assert value == best
+        assert nodes in maximisers
+
+    def test_empty_graph(self):
+        graph = Graph()
+        assert greedy_oqc(graph, ALPHA) == (Fraction(0), frozenset())
+        assert local_search_oqc(graph, ALPHA) == (Fraction(0), frozenset())
+
+    def test_single_edge(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        value, nodes = greedy_oqc(graph, ALPHA)
+        assert nodes == frozenset({"a", "b"})
+        assert value == Fraction(1) - ALPHA
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_heuristics_never_beat_exact(self, seed):
+        graph = random_graph(random.Random(seed), 8, 0.45)
+        best, maximisers = exact_oqc(graph, ALPHA)
+        greedy_value, greedy_nodes = greedy_oqc(graph, ALPHA)
+        ls_value, ls_nodes = local_search_oqc(graph, ALPHA)
+        assert greedy_value <= best
+        assert ls_value <= best
+        # reported values must match the sets they describe
+        if greedy_nodes:
+            assert edge_surplus(graph, greedy_nodes, ALPHA) == greedy_value
+        if ls_nodes:
+            assert edge_surplus(graph, ls_nodes, ALPHA) == ls_value
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_local_search_at_least_greedy(self, seed):
+        """LocalSearch is seeded with the greedy set, so it cannot lose."""
+        graph = random_graph(random.Random(seed), 8, 0.45)
+        greedy_value, _ = greedy_oqc(graph, ALPHA)
+        ls_value, _ = local_search_oqc(graph, ALPHA)
+        assert ls_value >= greedy_value
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_exact_maximisers_all_achieve_best(self, seed):
+        graph = random_graph(random.Random(seed), 7, 0.5)
+        best, maximisers = exact_oqc(graph, ALPHA)
+        for nodes in maximisers:
+            assert edge_surplus(graph, nodes, ALPHA) == best
+        assert len(set(maximisers)) == len(maximisers)
+
+
+class TestEdgeSurplusMeasure:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            EdgeSurplus(alpha=Fraction(0))
+        with pytest.raises(ValueError, match="alpha"):
+            EdgeSurplus(alpha=1.0)
+        with pytest.raises(ValueError, match="exact_threshold"):
+            EdgeSurplus(exact_threshold=-1)
+
+    def test_float_alpha_converted(self):
+        measure = EdgeSurplus(alpha=0.25)
+        assert measure.alpha == Fraction(1, 4)
+
+    def test_mpds_with_edge_surplus(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.2)]
+        )
+        result = top_k_mpds(graph, k=1, theta=64, measure=EdgeSurplus(), seed=7)
+        assert result.best().nodes == frozenset({1, 2, 3})
+
+    def test_nds_with_edge_surplus(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.95), (2, 3, 0.95), (1, 3, 0.95), (3, 4, 0.1)]
+        )
+        result = top_k_nds(
+            graph, k=1, min_size=2, theta=64, measure=EdgeSurplus(), seed=7
+        )
+        assert result.top
+        assert frozenset({1, 2, 3}) >= result.top[0].nodes
+
+    def test_exact_threshold_zero_uses_heuristics(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)]
+        )
+        measure = EdgeSurplus(exact_threshold=0)
+        result = top_k_mpds(graph, k=1, theta=4, measure=measure, seed=0)
+        assert result.best().nodes == frozenset({1, 2, 3})
+
+    def test_measure_density_reporting(self):
+        measure = EdgeSurplus()
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert measure.density(graph, {1, 2}) == Fraction(1) - ALPHA
+
+    def test_maximum_sized_prefers_larger_maximiser(self):
+        # two disjoint triangles: both are maximisers; the union is not
+        # (surplus of the union is lower than one triangle? no -- equal
+        # edges but more potential pairs), so the largest maximiser is
+        # still a single triangle.
+        graph = Graph()
+        for u, v in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)]:
+            graph.add_edge(u, v)
+        measure = EdgeSurplus()
+        largest = measure.maximum_sized_densest(graph)
+        assert largest is not None
+        assert len(largest) == 3

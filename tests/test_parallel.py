@@ -1,0 +1,122 @@
+"""Tests for the multiprocess estimator fan-out (repro.core.parallel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures import CliqueDensity
+from repro.core.mpds import top_k_mpds
+from repro.core.parallel import (
+    _chunk_thetas,
+    _derive_seeds,
+    parallel_top_k_mpds,
+    parallel_top_k_nds,
+)
+from repro.graph.uncertain import UncertainGraph
+
+from .conftest import random_uncertain_graph
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert _chunk_thetas(100, 4) == [25, 25, 25, 25]
+
+    def test_uneven_split(self):
+        assert _chunk_thetas(10, 3) == [4, 3, 3]
+
+    def test_more_workers_than_theta(self):
+        chunks = _chunk_thetas(2, 5)
+        assert chunks == [1, 1]
+        assert sum(chunks) == 2
+
+    def test_chunks_always_sum_to_theta(self):
+        for theta in (1, 7, 64, 101):
+            for workers in (1, 2, 3, 8):
+                assert sum(_chunk_thetas(theta, workers)) == theta
+
+    def test_seed_derivation_distinct(self):
+        seeds = _derive_seeds(42, 8)
+        assert len(set(seeds)) == 8
+
+    def test_seed_none_propagates(self):
+        assert _derive_seeds(None, 3) == [None, None, None]
+
+
+class TestParallelMPDS:
+    def test_figure1_recovers_bd(self, figure1):
+        result = parallel_top_k_mpds(figure1, k=1, theta=600, seed=3, workers=2)
+        assert result.best().nodes == frozenset({"B", "D"})
+        assert abs(result.best().probability - 0.42) < 0.1
+
+    def test_theta_is_preserved(self, figure1):
+        result = parallel_top_k_mpds(figure1, k=1, theta=50, seed=1, workers=3)
+        assert result.theta == 50
+        assert len(result.densest_counts) == 50
+
+    def test_single_worker_matches_sequential(self, figure1):
+        """workers=1 with the same derived seed samples the same worlds.
+
+        The merge step divides by the total theta, so estimates can
+        differ from the sequential ones by one float rounding.
+        """
+        seed = _derive_seeds(9, 1)[0]
+        sequential = top_k_mpds(figure1, k=2, theta=80, seed=seed)
+        parallel = parallel_top_k_mpds(figure1, k=2, theta=80, seed=9, workers=1)
+        assert set(parallel.candidates) == set(sequential.candidates)
+        for nodes, estimate in sequential.candidates.items():
+            assert parallel.candidates[nodes] == pytest.approx(estimate)
+
+    def test_estimates_are_probabilities(self, rng):
+        graph = random_uncertain_graph(rng, 6, 0.5)
+        if not list(graph.weighted_edges()):
+            pytest.skip("empty random graph")
+        result = parallel_top_k_mpds(graph, k=3, theta=60, seed=5, workers=2)
+        for estimate in result.candidates.values():
+            assert 0.0 <= estimate <= 1.0
+
+    def test_clique_measure(self, figure1):
+        result = parallel_top_k_mpds(
+            figure1, k=1, theta=60, seed=2, workers=2, measure=CliqueDensity(3)
+        )
+        assert result.theta == 60
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ValueError):
+            parallel_top_k_mpds(figure1, k=0)
+        with pytest.raises(ValueError):
+            parallel_top_k_mpds(figure1, theta=0)
+        with pytest.raises(ValueError):
+            parallel_top_k_mpds(figure1, workers=0)
+
+
+class TestParallelNDS:
+    def test_figure1_containment(self, figure1):
+        result = parallel_top_k_nds(
+            figure1, k=1, min_size=2, theta=600, seed=3, workers=2
+        )
+        assert result.best().nodes == frozenset({"B", "D"})
+        assert abs(result.best().probability - 0.70) < 0.1
+
+    def test_empty_graph_returns_empty(self):
+        graph = UncertainGraph()
+        graph.add_node("A")
+        result = parallel_top_k_nds(graph, k=1, theta=10, seed=1, workers=2)
+        assert result.top == []
+        assert result.transactions == 0
+
+    def test_min_size_respected(self, figure1):
+        result = parallel_top_k_nds(
+            figure1, k=3, min_size=3, theta=200, seed=4, workers=2
+        )
+        for scored in result.top:
+            assert len(scored.nodes) >= 3
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ValueError):
+            parallel_top_k_nds(figure1, k=0)
+        with pytest.raises(ValueError):
+            parallel_top_k_nds(figure1, min_size=0)
+        with pytest.raises(ValueError):
+            parallel_top_k_nds(figure1, theta=-1)
+        with pytest.raises(ValueError):
+            parallel_top_k_nds(figure1, workers=0)

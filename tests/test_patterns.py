@@ -1,0 +1,155 @@
+"""Tests for pattern graphs and instance enumeration."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cliques.enumeration import count_cliques
+from repro.graph.graph import Graph
+from repro.patterns.matching import (
+    count_instances,
+    enumerate_instances,
+    group_instances,
+    instance_nodes,
+    pattern_degrees,
+)
+from repro.patterns.pattern import Pattern, paper_patterns
+
+from .conftest import random_graph
+
+
+class TestPatternConstruction:
+    def test_named_patterns(self):
+        assert Pattern.two_star().number_of_nodes() == 3
+        assert Pattern.three_star().number_of_nodes() == 4
+        assert Pattern.c3_star().number_of_edges() == 4
+        assert Pattern.diamond().number_of_edges() == 5
+        assert Pattern.clique(4).number_of_edges() == 6
+        assert Pattern.cycle(5).number_of_edges() == 5
+        assert Pattern.path(3).number_of_edges() == 3
+
+    def test_paper_patterns(self):
+        names = [p.name for p in paper_patterns()]
+        assert names == ["2-star", "3-star", "c3-star", "diamond"]
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern("bad", [(0, 1), (2, 3)])
+
+    def test_is_clique(self):
+        assert Pattern.clique(3).is_clique()
+        assert not Pattern.diamond().is_clique()
+
+    def test_matching_order_connected(self):
+        for pattern in paper_patterns():
+            order = pattern.matching_order()
+            graph = pattern.graph()
+            placed = {order[0]}
+            for node in order[1:]:
+                assert any(nbr in placed for nbr in graph.neighbors(node))
+                placed.add(node)
+
+
+class TestInstanceCounts:
+    def test_two_star_on_triangle(self, triangle_graph):
+        # each of the 3 nodes is the center of exactly one 2-star
+        assert count_instances(triangle_graph, Pattern.two_star()) == 3
+
+    def test_two_star_on_star(self):
+        star = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        # C(3, 2) ways to pick the two leaves
+        assert count_instances(star, Pattern.two_star()) == 3
+        assert count_instances(star, Pattern.three_star()) == 1
+
+    def test_diamond_on_k4(self):
+        k4 = Graph.from_edges(itertools.combinations(range(4), 2))
+        # K4 contains C(4,2)/... : one diamond per missing-edge choice = 6
+        # diamonds in K4: choose the non-adjacent pair (2 nodes): 6 edge
+        # subsets isomorphic to diamond -- one per pair kept non-adjacent
+        assert count_instances(k4, Pattern.diamond()) == 6
+
+    def test_clique_pattern_agrees_with_clique_listing(self, rng):
+        for _ in range(6):
+            graph = random_graph(rng, 9, 0.5)
+            for h in (3, 4):
+                assert count_instances(graph, Pattern.clique(h)) == \
+                    count_cliques(graph, h)
+
+    def test_c3_star_hand_count(self):
+        # triangle 0-1-2 with pendant 3 attached to node 0
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        assert count_instances(graph, Pattern.c3_star()) == 1
+        # attach another pendant to node 1: now two instances
+        graph.add_edge(1, 4)
+        assert count_instances(graph, Pattern.c3_star()) == 2
+
+    def test_instances_are_distinct_subgraphs(self, rng):
+        for pattern in paper_patterns():
+            graph = random_graph(rng, 8, 0.6)
+            instances = list(enumerate_instances(graph, pattern))
+            assert len(instances) == len(set(instances))
+            for instance in instances:
+                assert len(instance) == pattern.number_of_edges()
+                for u, v in instance:
+                    assert graph.has_edge(u, v)
+
+
+def brute_force_pattern_count(graph: Graph, pattern: Pattern) -> int:
+    """Count distinct subgraphs isomorphic to the pattern via networkx."""
+    nx = pytest.importorskip("networkx")
+    pattern_nx = nx.Graph(pattern.edges())
+    seen = set()
+    nodes = graph.nodes()
+    k = pattern.number_of_nodes()
+    for subset in itertools.combinations(nodes, k):
+        induced_edges = [
+            (u, v) for u, v in itertools.combinations(subset, 2)
+            if graph.has_edge(u, v)
+        ]
+        for edge_subset in itertools.combinations(
+            induced_edges, pattern.number_of_edges()
+        ):
+            candidate = nx.Graph(edge_subset)
+            if candidate.number_of_nodes() != k:
+                continue
+            if nx.is_isomorphic(candidate, pattern_nx):
+                seen.add(frozenset(tuple(sorted(e, key=repr)) for e in edge_subset))
+    return len(seen)
+
+
+class TestAgainstBruteForce:
+    def test_counts_match_networkx(self, rng):
+        for trial in range(4):
+            graph = random_graph(rng, 6, 0.6)
+            for pattern in paper_patterns():
+                assert count_instances(graph, pattern) == \
+                    brute_force_pattern_count(graph, pattern), \
+                    (trial, pattern.name)
+
+
+class TestDegreesAndGroups:
+    def test_pattern_degree_sum(self, rng):
+        graph = random_graph(rng, 8, 0.5)
+        for pattern in paper_patterns():
+            degrees = pattern_degrees(graph, pattern)
+            total_memberships = sum(
+                len(instance_nodes(i))
+                for i in enumerate_instances(graph, pattern)
+            )
+            assert sum(degrees.values()) == total_memberships
+
+    def test_grouping_multiplicities(self):
+        # two 2-star instances share the node set {0,1,2} on a triangle?
+        # on a path 0-1-2 there is exactly one instance; on a triangle each
+        # node set {a,b,c} carries three instances (three centers)
+        triangle = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        groups = group_instances(triangle, Pattern.two_star())
+        assert groups == {frozenset({0, 1, 2}): 3}
+
+    def test_group_total_matches_count(self, rng):
+        graph = random_graph(rng, 8, 0.5)
+        for pattern in paper_patterns():
+            groups = group_instances(graph, pattern)
+            assert sum(groups.values()) == count_instances(graph, pattern)

@@ -1,0 +1,111 @@
+"""Tests for the peeling approximations (Charikar and generalisations)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques.enumeration import count_cliques
+from repro.dense.goldberg import densest_subgraph
+from repro.dense.peeling import (
+    peel_clique_density,
+    peel_edge_density,
+    peel_pattern_density,
+)
+from repro.graph.graph import Graph
+from repro.patterns.matching import count_instances
+from repro.patterns.pattern import Pattern
+
+from .conftest import random_graph
+
+
+class TestEdgePeeling:
+    def test_empty_and_singleton(self):
+        assert peel_edge_density(Graph()).density == 0
+        single = Graph(nodes=[1])
+        assert peel_edge_density(single).density == 0
+
+    def test_triangle_exact(self, triangle_graph):
+        result = peel_edge_density(triangle_graph)
+        assert result.density == Fraction(1)
+        assert result.nodes == frozenset({1, 2, 3})
+
+    def test_density_is_achieved(self, rng):
+        for _ in range(20):
+            graph = random_graph(rng, 12, 0.4)
+            result = peel_edge_density(graph)
+            induced = graph.subgraph(result.nodes)
+            assert induced.edge_density() == result.density
+
+    def test_half_approximation(self, rng):
+        for _ in range(15):
+            graph = random_graph(rng, 10, 0.4)
+            if graph.number_of_edges() == 0:
+                continue
+            optimum = densest_subgraph(graph).density
+            peeled = peel_edge_density(graph).density
+            assert peeled >= optimum / 2
+            assert peeled <= optimum
+
+    def test_trajectory_and_order(self, rng):
+        graph = random_graph(rng, 10, 0.5)
+        result = peel_edge_density(graph)
+        n = graph.number_of_nodes()
+        assert len(result.trajectory) == n
+        assert len(result.order) == n
+        for index, (density, size) in enumerate(result.trajectory):
+            prefix = result.prefix_nodes(index)
+            assert len(prefix) == size
+            assert graph.subgraph(prefix).edge_density() == density
+
+
+class TestGeneralisedPeeling:
+    def test_clique_peeling_achieved(self, rng):
+        for _ in range(8):
+            graph = random_graph(rng, 9, 0.5)
+            result = peel_clique_density(graph, 3)
+            induced = graph.subgraph(result.nodes)
+            n = induced.number_of_nodes()
+            achieved = Fraction(count_cliques(induced, 3), n) if n else Fraction(0)
+            assert achieved == result.density
+
+    def test_pattern_peeling_achieved(self, rng):
+        pattern = Pattern.two_star()
+        for _ in range(6):
+            graph = random_graph(rng, 8, 0.5)
+            result = peel_pattern_density(graph, pattern)
+            induced = graph.subgraph(result.nodes)
+            n = induced.number_of_nodes()
+            achieved = (
+                Fraction(count_instances(induced, pattern), n) if n else Fraction(0)
+            )
+            assert achieved == result.density
+
+    def test_clique_peeling_h_approximation(self, rng):
+        """Peeled clique density >= optimum / h ([19])."""
+        from repro.dense.clique_density import clique_densest_subgraph
+        for _ in range(5):
+            graph = random_graph(rng, 8, 0.6)
+            optimum = clique_densest_subgraph(graph, 3).density
+            peeled = peel_clique_density(graph, 3).density
+            assert peeled >= optimum / 3
+            assert peeled <= optimum
+
+
+@given(st.integers(0, 2**15 - 1))
+@settings(max_examples=50, deadline=None)
+def test_peeling_never_beats_optimum(mask):
+    import itertools
+    nodes = list(range(6))
+    pairs = list(itertools.combinations(nodes, 2))
+    graph = Graph(nodes=nodes)
+    for bit, (u, v) in enumerate(pairs):
+        if mask >> bit & 1:
+            graph.add_edge(u, v)
+    if graph.number_of_edges() == 0:
+        return
+    optimum = densest_subgraph(graph).density
+    peeled = peel_edge_density(graph).density
+    assert optimum / 2 <= peeled <= optimum

@@ -1,0 +1,122 @@
+"""Tests for the push-relabel max-flow engine (repro.flow.push_relabel)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dense.goldberg import SINK, SOURCE, build_edge_density_network
+from repro.flow.maxflow import max_flow, min_cut_source_side
+from repro.flow.network import FlowNetwork
+from repro.flow.push_relabel import push_relabel_max_flow
+
+from .conftest import random_graph
+
+
+class TestPushRelabelBasics:
+    def test_single_arc(self):
+        network = FlowNetwork()
+        network.add_arc("s", "t", 5)
+        assert push_relabel_max_flow(network, "s", "t") == 5
+
+    def test_series_bottleneck(self):
+        network = FlowNetwork()
+        network.add_arc("s", "a", 10)
+        network.add_arc("a", "t", 3)
+        assert push_relabel_max_flow(network, "s", "t") == 3
+
+    def test_classic_diamond(self):
+        network = FlowNetwork()
+        network.add_arc("s", "a", 10)
+        network.add_arc("s", "b", 10)
+        network.add_arc("a", "b", 1)
+        network.add_arc("a", "t", 10)
+        network.add_arc("b", "t", 10)
+        assert push_relabel_max_flow(network, "s", "t") == 20
+
+    def test_disconnected_sink(self):
+        network = FlowNetwork()
+        network.add_arc("s", "a", 5)
+        network.add_node("t")
+        assert push_relabel_max_flow(network, "s", "t") == 0
+
+    def test_fraction_capacities(self):
+        network = FlowNetwork()
+        network.add_arc("s", "a", Fraction(1, 3))
+        network.add_arc("a", "t", Fraction(1, 2))
+        assert push_relabel_max_flow(network, "s", "t") == Fraction(1, 3)
+
+    def test_same_source_sink_rejected(self):
+        network = FlowNetwork()
+        network.add_arc("s", "t", 1)
+        with pytest.raises(ValueError):
+            push_relabel_max_flow(network, "s", "s")
+
+    def test_excess_returns_to_source(self):
+        """Flow conservation must hold at every internal node at the end."""
+        network = FlowNetwork()
+        network.add_arc("s", "a", 10)
+        network.add_arc("a", "t", 2)  # 8 units must flow back to s
+        assert push_relabel_max_flow(network, "s", "t") == 2
+        a = network.index_of("a")
+        net_out = sum(arc.flow for arc in network.arcs_from(a))
+        assert net_out == 0
+
+
+class TestAgainstDinic:
+    def _random_network(self, rng, n):
+        network = FlowNetwork()
+        twin = FlowNetwork()
+        for node in range(n):
+            network.add_node(node)
+            twin.add_node(node)
+        for _ in range(rng.randint(5, 30)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            capacity = rng.randint(1, 12)
+            network.add_arc(u, v, capacity)
+            twin.add_arc(u, v, capacity)
+        return network, twin
+
+    def test_random_networks_match_dinic(self, rng):
+        for trial in range(30):
+            n = rng.randint(4, 12)
+            network, twin = self._random_network(rng, n)
+            dinic = max_flow(network, 0, n - 1)
+            pr = push_relabel_max_flow(twin, 0, n - 1)
+            assert dinic == pr, f"trial {trial}"
+
+    def test_residual_min_cut_agrees(self, rng):
+        """After push-relabel, the residual min-cut is a valid min cut."""
+        for trial in range(15):
+            n = rng.randint(4, 10)
+            network, twin = self._random_network(rng, n)
+            value = max_flow(network, 0, n - 1)
+            push_relabel_max_flow(twin, 0, n - 1)
+            side = set(min_cut_source_side(twin, 0))
+            assert 0 in side and (n - 1) not in side
+            crossing = sum(
+                arc.capacity
+                for arc in twin.arcs()
+                if twin.label_of(arc.tail) in side
+                and twin.label_of(arc.head) not in side
+                and arc.capacity > 0
+            )
+            assert crossing == value, f"trial {trial}"
+
+
+class TestOnGoldbergNetworks:
+    def test_matches_dinic_on_density_networks(self, rng):
+        """The paper's flow networks are the real workload: cross-check."""
+        for trial in range(10):
+            graph = random_graph(rng, rng.randint(4, 10), 0.45)
+            if graph.number_of_edges() == 0:
+                continue
+            for alpha in (Fraction(1, 2), Fraction(1), Fraction(3, 2)):
+                net_a = build_edge_density_network(graph, alpha)
+                net_b = build_edge_density_network(graph, alpha)
+                assert max_flow(net_a, SOURCE, SINK) == push_relabel_max_flow(
+                    net_b, SOURCE, SINK
+                ), f"trial {trial}, alpha {alpha}"

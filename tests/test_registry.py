@@ -1,0 +1,57 @@
+"""Tests for the experiment registry and the CLI `reproduce` command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_names,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_experiment_is_registered(self):
+        names = set(experiment_names())
+        expected = {
+            "table1", "table3", "table4", "table5", "table6", "table7",
+            "table8", "table9", "table10", "table11", "table12", "table13",
+            "table14", "table15", "fig16a", "fig16b", "fig16c", "fig16d",
+            "fig17", "fig18", "fig19", "fig20", "karate-case", "brain-case",
+        }
+        assert expected <= names
+
+    def test_all_entries_are_callables(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="table1"):
+            run_experiment("no-such-table")
+
+    def test_table1_output_matches_paper_cells(self):
+        """Table I is an exact recomputation: spot-check the paper's values."""
+        text = run_experiment("table1")
+        assert "0.42" in text   # DSP of {B, D}
+        assert "0.38" in text   # EED of {A, B, C, D}
+        assert "EED" in text and "DSP" in text
+
+
+class TestCLIReproduce:
+    def test_list_prints_names(self, capsys):
+        assert main(["reproduce", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "brain-case" in out
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DSP" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["reproduce", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err

@@ -1,0 +1,68 @@
+"""Tests for the result containers and experiment-driver helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import MPDSResult, NDSResult, ScoredNodeSet
+from repro.experiments.common import format_table, timed
+
+
+class TestResultContainers:
+    def _mpds(self):
+        top = [
+            ScoredNodeSet(frozenset({1, 2}), 0.6),
+            ScoredNodeSet(frozenset({3}), 0.2),
+        ]
+        return MPDSResult(
+            top=top, candidates={s.nodes: s.probability for s in top},
+            theta=10, worlds_with_densest=8, densest_counts=[1, 1, 2],
+        )
+
+    def test_top_sets_order(self):
+        assert self._mpds().top_sets() == [frozenset({1, 2}), frozenset({3})]
+
+    def test_best(self):
+        assert self._mpds().best().probability == 0.6
+
+    def test_best_raises_on_empty(self):
+        empty = MPDSResult(
+            top=[], candidates={}, theta=4, worlds_with_densest=0,
+        )
+        with pytest.raises(ValueError, match="no candidate"):
+            empty.best()
+
+    def test_nds_best_raises_on_empty(self):
+        empty = NDSResult(top=[], theta=4, transactions=0)
+        with pytest.raises(ValueError, match="no closed node set"):
+            empty.best()
+
+    def test_scored_node_set_is_hashable_and_frozen(self):
+        scored = ScoredNodeSet(frozenset({1}), 0.5)
+        assert hash(scored) is not None
+        with pytest.raises(AttributeError):
+            scored.probability = 0.9  # type: ignore[misc]
+
+
+class TestCommonHelpers:
+    def test_timed_returns_value_and_positive_time(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [["x", 1], ["long-cell", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+        # every row has the same rendered width
+        assert len({len(line.rstrip()) for line in lines if line}) <= 2
+
+    def test_format_table_floats_are_compact(self):
+        text = format_table(["V"], [[0.123456789]])
+        assert "0.1235" in text or "0.1234" in text
+
+    def test_format_table_empty_body(self):
+        text = format_table(["Only", "Headers"], [])
+        assert "Only" in text and "Headers" in text

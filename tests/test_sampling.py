@@ -1,0 +1,130 @@
+"""Tests for the three possible-world samplers (MC, LP, RSS)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph.uncertain import UncertainGraph
+from repro.sampling import (
+    LazyPropagationSampler,
+    MonteCarloSampler,
+    RecursiveStratifiedSampler,
+    SAMPLERS,
+)
+
+from .conftest import random_uncertain_graph
+
+
+def edge_frequency(sampler, theta, edge):
+    """Weighted frequency of an edge across sampled worlds."""
+    hit = 0.0
+    total = 0.0
+    for weighted in sampler.worlds(theta):
+        total += weighted.weight
+        if weighted.graph.has_edge(*edge):
+            hit += weighted.weight
+    return hit / total if total else 0.0
+
+
+@pytest.fixture
+def two_edge_graph():
+    return UncertainGraph.from_weighted_edges([(1, 2, 0.3), (2, 3, 0.8)])
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_worlds_have_all_nodes(self, name, two_edge_graph):
+        sampler = SAMPLERS[name](two_edge_graph, seed=1)
+        for weighted in sampler.worlds(10):
+            assert set(weighted.graph.nodes()) == {1, 2, 3}
+
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_weights_sum_to_one(self, name, two_edge_graph):
+        sampler = SAMPLERS[name](two_edge_graph, seed=2)
+        total = sum(w.weight for w in sampler.worlds(50))
+        assert math.isclose(total, 1.0, rel_tol=0.02)
+
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_edge_marginals_unbiased(self, name, two_edge_graph):
+        sampler = SAMPLERS[name](two_edge_graph, seed=3)
+        theta = 4000
+        freq_low = edge_frequency(sampler, theta, (1, 2))
+        sampler2 = SAMPLERS[name](two_edge_graph, seed=4)
+        freq_high = edge_frequency(sampler2, theta, (2, 3))
+        assert abs(freq_low - 0.3) < 0.04, name
+        assert abs(freq_high - 0.8) < 0.04, name
+
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_invalid_theta(self, name, two_edge_graph):
+        sampler = SAMPLERS[name](two_edge_graph, seed=5)
+        with pytest.raises(ValueError):
+            list(sampler.worlds(0))
+
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_deterministic_given_seed(self, name, rng):
+        graph = random_uncertain_graph(rng, 8, 0.5)
+        a = SAMPLERS[name](graph, seed=42)
+        b = SAMPLERS[name](graph, seed=42)
+        worlds_a = [w.graph.edge_set() for w in a.worlds(10)]
+        worlds_b = [w.graph.edge_set() for w in b.worlds(10)]
+        assert worlds_a == worlds_b
+
+
+class TestMemoryAccounting:
+    def test_mc_stateless(self, two_edge_graph):
+        sampler = MonteCarloSampler(two_edge_graph, seed=1)
+        list(sampler.worlds(10))
+        assert sampler.memory_units() == 0
+
+    def test_lp_tracks_per_edge_state(self, two_edge_graph):
+        sampler = LazyPropagationSampler(two_edge_graph, seed=1)
+        list(sampler.worlds(10))
+        assert sampler.memory_units() == two_edge_graph.number_of_edges()
+
+    def test_rss_tracks_fixed_edges(self, rng):
+        graph = random_uncertain_graph(rng, 10, 0.5)
+        sampler = RecursiveStratifiedSampler(graph, seed=1, r=3)
+        list(sampler.worlds(100))
+        assert sampler.memory_units() > 0
+
+    def test_memory_ordering_matches_paper(self, rng):
+        """MC < LP: the Tables XIII/XIV ordering."""
+        graph = random_uncertain_graph(rng, 12, 0.6)
+        mc = MonteCarloSampler(graph, seed=1)
+        lp = LazyPropagationSampler(graph, seed=1)
+        list(mc.worlds(20))
+        list(lp.worlds(20))
+        assert mc.memory_units() < lp.memory_units()
+
+
+class TestRSSSpecifics:
+    def test_stratification_covers_certain_edge(self):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 1.0), (2, 3, 0.5)])
+        sampler = RecursiveStratifiedSampler(graph, seed=9, r=2)
+        for weighted in sampler.worlds(40):
+            assert weighted.graph.has_edge(1, 2)
+
+    def test_invalid_r(self, two_edge_graph):
+        with pytest.raises(ValueError):
+            RecursiveStratifiedSampler(two_edge_graph, r=0)
+
+    def test_rss_variance_not_worse_much(self, rng):
+        """RSS estimate of a simple statistic is consistent with MC."""
+        graph = random_uncertain_graph(rng, 8, 0.6, low=0.2, high=0.9)
+        expected = sum(p for _u, _v, p in graph.weighted_edges())
+
+        def estimate(sampler_cls, seed):
+            sampler = sampler_cls(graph, seed=seed)
+            total, weight = 0.0, 0.0
+            for w in sampler.worlds(800):
+                total += w.weight * w.graph.number_of_edges()
+                weight += w.weight
+            return total / weight
+
+        mc = estimate(MonteCarloSampler, 11)
+        rss = estimate(RecursiveStratifiedSampler, 11)
+        assert abs(mc - expected) < 0.08 * expected + 0.5
+        assert abs(rss - expected) < 0.08 * expected + 0.5

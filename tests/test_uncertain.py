@@ -1,0 +1,179 @@
+"""Tests for the uncertain-graph data model (possible-world semantics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+from repro.graph.uncertain import UncertainGraph, edge_probability_statistics
+
+from .conftest import random_uncertain_graph
+
+
+class TestConstruction:
+    def test_probability_bounds(self):
+        graph = UncertainGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, 1.5)
+        graph.add_edge(1, 2, 1.0)
+        assert graph.probability(1, 2) == 1.0
+        assert graph.probability(2, 1) == 1.0
+
+    def test_from_graph_lift(self, triangle_graph):
+        lifted = UncertainGraph.from_graph(triangle_graph, 0.5)
+        assert lifted.number_of_edges() == 3
+        assert all(p == 0.5 for _u, _v, p in lifted.weighted_edges())
+
+    def test_subgraph(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.5), (2, 3, 0.6), (3, 4, 0.7)]
+        )
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.number_of_edges() == 2
+        assert sub.probability(2, 3) == 0.6
+
+    def test_copy_independent(self):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 0.5)])
+        clone = graph.copy()
+        clone.add_edge(2, 3, 0.9)
+        assert graph.number_of_edges() == 1
+
+
+class TestPossibleWorlds:
+    def test_world_count_and_probability_sum(self, figure1):
+        worlds = list(figure1.possible_worlds())
+        assert len(worlds) == 8
+        assert math.isclose(sum(p for _w, p in worlds), 1.0)
+
+    def test_world_probability_matches_enumeration(self, figure1):
+        for world, probability in figure1.possible_worlds():
+            assert math.isclose(
+                figure1.world_probability(world), probability, rel_tol=1e-9
+            )
+
+    def test_world_probability_zero_for_alien_edges(self, figure1):
+        impostor = Graph.from_edges([("A", "D")])
+        for node in figure1.nodes():
+            impostor.add_node(node)
+        assert figure1.world_probability(impostor) == 0.0
+
+    def test_certain_edge_always_present(self):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 1.0), (2, 3, 0.5)])
+        for world, _p in graph.possible_worlds():
+            assert world.has_edge(1, 2)
+
+    def test_sample_world_frequencies(self, rng):
+        graph = UncertainGraph.from_weighted_edges([(1, 2, 0.3), (2, 3, 0.8)])
+        rounds = 4000
+        hits = {(1, 2): 0, (2, 3): 0}
+        for _ in range(rounds):
+            world = graph.sample_world(rng)
+            for edge in hits:
+                if world.has_edge(*edge):
+                    hits[edge] += 1
+        assert abs(hits[(1, 2)] / rounds - 0.3) < 0.03
+        assert abs(hits[(2, 3)] / rounds - 0.8) < 0.03
+
+
+class TestExpectations:
+    def test_expected_edge_density_closed_form(self, figure1):
+        """Closed form must equal exact expectation over worlds (Zou)."""
+        from repro.core.exact import exact_expected_densities
+        node_sets = [("A", "B"), ("B", "D"), ("A", "B", "C", "D")]
+        exact = exact_expected_densities(figure1, node_sets)
+        for node_set in node_sets:
+            closed = figure1.expected_edge_density(node_set)
+            assert math.isclose(closed, exact[frozenset(node_set)], rel_tol=1e-9)
+
+    def test_expected_degree(self, figure1):
+        assert math.isclose(figure1.expected_degree("A"), 0.8)
+        assert math.isclose(figure1.expected_degree("B"), 1.1)
+
+    def test_statistics(self, rng):
+        graph = random_uncertain_graph(rng, 12, 0.5, low=0.2, high=0.8)
+        stats = edge_probability_statistics(graph)
+        assert 0.2 <= stats["q1"] <= stats["q2"] <= stats["q3"] <= 0.8
+        assert 0.2 <= stats["mean"] <= 0.8
+        assert stats["std"] >= 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        min_size=1, max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_possible_world_probabilities_sum_to_one(edge_list):
+    graph = UncertainGraph()
+    for u, v, p in edge_list:
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, p)
+    if graph.number_of_edges() == 0:
+        return
+    total = sum(p for _w, p in graph.possible_worlds())
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+class TestConditioning:
+    def test_condition_present_sets_probability_one(self, figure1):
+        conditioned = figure1.condition("A", "B", present=True)
+        assert conditioned.probability("A", "B") == 1.0
+        # the original is untouched
+        assert figure1.probability("A", "B") < 1.0
+
+    def test_condition_absent_removes_edge(self, figure1):
+        conditioned = figure1.condition("A", "B", present=False)
+        assert not conditioned.has_edge("A", "B")
+        assert "A" in conditioned and "B" in conditioned
+        assert figure1.has_edge("A", "B")
+
+    def test_condition_unknown_edge_raises(self, figure1):
+        with pytest.raises(KeyError):
+            figure1.condition("A", "Z", present=True)
+
+    def test_condition_is_bayes_consistent(self, figure1):
+        """Law of total probability: tau(U) = p*tau(U|e) + (1-p)*tau(U|!e)."""
+        from repro.core.exact import exact_tau
+
+        target = frozenset({"B", "D"})
+        p = figure1.probability("A", "B")
+        tau = exact_tau(figure1, target)
+        tau_present = exact_tau(figure1.condition("A", "B", True), target)
+        tau_absent = exact_tau(figure1.condition("A", "B", False), target)
+        assert math.isclose(
+            tau, p * tau_present + (1 - p) * tau_absent, abs_tol=1e-9
+        )
+
+    def test_condition_world_count_halves(self, figure1):
+        m = figure1.number_of_edges()
+        conditioned = figure1.condition("A", "B", present=False)
+        assert conditioned.number_of_edges() == m - 1
+        worlds = list(conditioned.possible_worlds())
+        assert len(worlds) == 2 ** (m - 1)
+
+
+class TestPrune:
+    def test_prune_removes_low_probability_edges(self, figure1):
+        pruned = figure1.prune(0.5)
+        for _u, _v, p in pruned.weighted_edges():
+            assert p >= 0.5
+        assert pruned.number_of_nodes() == figure1.number_of_nodes()
+
+    def test_prune_zero_keeps_everything(self, figure1):
+        pruned = figure1.prune(0.0)
+        assert pruned.number_of_edges() == figure1.number_of_edges()
+
+    def test_prune_above_one_removes_everything(self, figure1):
+        pruned = figure1.prune(1.1)
+        assert pruned.number_of_edges() == 0
+        assert pruned.number_of_nodes() == figure1.number_of_nodes()

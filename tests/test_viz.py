@@ -1,0 +1,77 @@
+"""Tests for the DOT visualization exports (repro.viz)."""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.uncertain import UncertainGraph
+from repro.viz import graph_to_dot, uncertain_to_dot
+
+
+class TestGraphToDot:
+    def test_basic_structure(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph)
+        assert dot.startswith("graph {")
+        assert dot.endswith("}")
+        assert dot.count(" -- ") == 3
+
+    def test_all_nodes_declared(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph)
+        for node in (1, 2, 3):
+            assert f'"{node}";' in dot or f'"{node}" [' in dot
+
+    def test_highlight_adds_penwidth(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, highlight={1, 2})
+        assert dot.count("penwidth=3") == 2
+
+    def test_communities_colour_nodes(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, communities={1: "a", 2: "a", 3: "b"})
+        assert dot.count("style=filled") == 3
+        # two communities -> exactly two distinct fill colours
+        colours = {
+            line.split('fillcolor="')[1].split('"')[0]
+            for line in dot.splitlines()
+            if "fillcolor" in line
+        }
+        assert len(colours) == 2
+
+    def test_quoting_of_odd_labels(self):
+        graph = Graph.from_edges([('say "hi"', "b")])
+        dot = graph_to_dot(graph)
+        assert r"\"hi\"" in dot
+
+    def test_deterministic_output(self, triangle_graph):
+        assert graph_to_dot(triangle_graph) == graph_to_dot(triangle_graph)
+
+
+class TestUncertainToDot:
+    def _graph(self) -> UncertainGraph:
+        return UncertainGraph.from_weighted_edges(
+            [("A", "B", 1.0), ("B", "C", 0.5), ("A", "C", 0.02)]
+        )
+
+    def test_penwidth_scales_with_probability(self):
+        dot = uncertain_to_dot(self._graph(), max_penwidth=4.0)
+        assert "penwidth=4.00" in dot       # p = 1.0
+        assert "penwidth=2.00" in dot       # p = 0.5
+        assert "penwidth=0.20" in dot       # p = 0.02, floored
+
+    def test_tooltips_carry_probabilities(self):
+        dot = uncertain_to_dot(self._graph())
+        assert 'tooltip="p=0.500"' in dot
+
+    def test_highlight_and_communities_combine(self):
+        dot = uncertain_to_dot(
+            self._graph(),
+            highlight={"A"},
+            communities={"A": 0, "B": 0, "C": 1},
+        )
+        assert "penwidth=3" in dot
+        assert dot.count("style=filled") == 3
+
+    def test_karate_case_study_renders(self):
+        from repro.datasets import karate_club_uncertain
+        from repro.datasets.karate import KARATE_FACTIONS
+
+        graph = karate_club_uncertain(seed=2023)
+        dot = uncertain_to_dot(graph, communities=KARATE_FACTIONS)
+        assert dot.count(" -- ") == graph.number_of_edges()

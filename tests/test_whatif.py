@@ -1,0 +1,103 @@
+"""Tests for the edge-influence what-if analysis (repro.core.whatif)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.exact import exact_tau
+from repro.core.whatif import (
+    EdgeInfluence,
+    exact_edge_influence,
+    sampled_edge_influence,
+)
+from repro.graph.graph import canonical_edge
+from repro.graph.uncertain import UncertainGraph
+
+from .conftest import random_uncertain_graph
+
+
+class TestExactInfluence:
+    def test_figure1_ab_influence_on_bd(self, figure1):
+        """Confirming (A, B) kills {B, D}'s claim; refuting it helps."""
+        influences = exact_edge_influence(figure1, {"B", "D"})
+        by_edge = {i.edge: i for i in influences}
+        ab = by_edge[canonical_edge("A", "B")]
+        assert ab.tau_present == pytest.approx(0.0)
+        assert ab.tau_absent == pytest.approx(0.7)
+        assert ab.influence == pytest.approx(-0.7)
+
+    def test_total_probability_law_holds_exactly(self, figure1):
+        tau = exact_tau(figure1, frozenset({"B", "D"}))
+        for influence in exact_edge_influence(figure1, {"B", "D"}):
+            assert influence.reconstructed == pytest.approx(tau, abs=1e-12)
+
+    def test_ranked_by_absolute_influence(self, figure1):
+        influences = exact_edge_influence(figure1, {"B", "D"})
+        magnitudes = [abs(i.influence) for i in influences]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_certain_edges_skipped(self):
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 0.5)]
+        )
+        influences = exact_edge_influence(graph, {1, 2})
+        assert [i.edge for i in influences] == [canonical_edge(2, 3)]
+
+    def test_own_edge_has_positive_influence(self):
+        """The edge inside a two-node target decides whether it can be
+        densest at all; a disjoint edge of equal density only ties (all
+        densest subgraphs count), so its influence is zero."""
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.5), (3, 4, 0.5)]
+        )
+        influences = exact_edge_influence(graph, {1, 2})
+        by_edge = {i.edge: i for i in influences}
+        assert by_edge[canonical_edge(1, 2)].influence == pytest.approx(1.0)
+        assert by_edge[canonical_edge(3, 4)].influence == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_law_of_total_probability_random(self, seed):
+        graph = random_uncertain_graph(random.Random(seed), 5, 0.6)
+        nodes = frozenset(graph.nodes()[:2])
+        tau = exact_tau(graph, nodes)
+        for influence in exact_edge_influence(graph, nodes):
+            assert math.isclose(
+                influence.reconstructed, tau, rel_tol=1e-9, abs_tol=1e-12
+            )
+
+
+class TestSampledInfluence:
+    def test_sampled_tracks_exact(self, figure1):
+        exact = {
+            i.edge: i.influence
+            for i in exact_edge_influence(figure1, {"B", "D"})
+        }
+        sampled = sampled_edge_influence(
+            figure1, {"B", "D"}, theta=800, seed=3
+        )
+        for influence in sampled:
+            assert influence.influence == pytest.approx(
+                exact[influence.edge], abs=0.1
+            )
+
+    def test_influence_bounds(self, figure1):
+        for influence in sampled_edge_influence(
+            figure1, {"B", "D"}, theta=64, seed=0
+        ):
+            assert -1.0 <= influence.influence <= 1.0
+            assert 0.0 <= influence.tau_present <= 1.0
+            assert 0.0 <= influence.tau_absent <= 1.0
+
+
+class TestDataclass:
+    def test_influence_and_reconstructed_properties(self):
+        influence = EdgeInfluence(
+            edge=(1, 2), probability=0.25, tau_present=0.8, tau_absent=0.2
+        )
+        assert influence.influence == pytest.approx(0.6)
+        assert influence.reconstructed == pytest.approx(
+            0.25 * 0.8 + 0.75 * 0.2
+        )
