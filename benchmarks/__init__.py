@@ -1,0 +1,6 @@
+"""Benchmark package marker.
+
+Lets the bench modules use ``from .conftest import ...`` under a plain
+``PYTHONPATH=src python -m pytest benchmarks/`` invocation (same
+convention as ``tests/``).
+"""

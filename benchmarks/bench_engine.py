@@ -1,0 +1,114 @@
+"""Engine benchmark: vectorised vs pure-Python possible-world pipeline.
+
+Monte Carlo + edge-density MPDS at theta = 160 on a 500-node G(n, p)
+uncertain graph -- the workload of Algorithm 1 that dominates the Fig. 16
+runtime plots.  The vectorised engine must be >= 3x faster than the
+pure-Python sampler while returning *identical* estimates for the same
+seed (its contract; see ``repro/engine``).
+
+Also reports the isolated sampling-stage speedup (world materialisation
+alone, without the densest-subgraph work).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.mpds import top_k_mpds
+from repro.engine import VectorizedMonteCarloSampler
+from repro.graph.uncertain import UncertainGraph
+from repro.sampling import MonteCarloSampler
+
+from .conftest import emit
+
+BENCH_N = 500
+BENCH_EDGE_PROB = 0.01
+BENCH_THETA = 160
+BENCH_SEED = 7
+
+
+def _bench_graph(seed: int = 2023) -> UncertainGraph:
+    """A 500-node G(n, p) topology with uniform edge probabilities."""
+    rng = random.Random(seed)
+    graph = UncertainGraph()
+    for node in range(BENCH_N):
+        graph.add_node(node)
+    for u in range(BENCH_N):
+        for v in range(u + 1, BENCH_N):
+            if rng.random() < BENCH_EDGE_PROB:
+                graph.add_edge(u, v, rng.uniform(0.3, 0.9))
+    return graph
+
+
+def test_engine_speedup_with_identical_estimates(benchmark):
+    graph = _bench_graph()
+
+    def run(engine: str):
+        start = time.perf_counter()
+        result = top_k_mpds(
+            graph, k=3, theta=BENCH_THETA, seed=BENCH_SEED, engine=engine
+        )
+        return result, time.perf_counter() - start
+
+    (python_result, python_seconds), (vector_result, vector_seconds) = (
+        benchmark.pedantic(
+            lambda: (run("python"), run("vectorized")),
+            rounds=1,
+            iterations=1,
+        )
+    )
+
+    assert python_result.candidates == vector_result.candidates
+    assert python_result.top == vector_result.top
+    assert python_result.densest_counts == vector_result.densest_counts
+
+    speedup = python_seconds / vector_seconds
+    lines = [
+        f"graph: G(n={BENCH_N}, p={BENCH_EDGE_PROB}) "
+        f"m={graph.number_of_edges()} theta={BENCH_THETA} seed={BENCH_SEED}",
+        f"python engine:     {python_seconds:8.2f} s",
+        f"vectorized engine: {vector_seconds:8.2f} s",
+        f"speedup:           {speedup:8.2f} x",
+        f"identical estimates: "
+        f"{python_result.candidates == vector_result.candidates}",
+    ]
+    emit("bench_engine_mpds", "\n".join(lines))
+    assert speedup >= 3.0, (
+        f"vectorized engine only {speedup:.2f}x faster "
+        f"({python_seconds:.2f}s vs {vector_seconds:.2f}s)"
+    )
+
+
+def test_engine_sampling_stage_speedup(benchmark):
+    """World generation alone: batch Bernoulli draws vs per-edge flips."""
+    graph = _bench_graph()
+    theta = 400
+
+    def sample_python():
+        sampler = MonteCarloSampler(graph, BENCH_SEED)
+        return sum(1 for _ in sampler.worlds(theta))
+
+    def sample_vectorized():
+        sampler = VectorizedMonteCarloSampler(graph, BENCH_SEED)
+        return int(sampler.edge_masks(theta).sum())
+
+    def run():
+        start = time.perf_counter()
+        sample_python()
+        python_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        sample_vectorized()
+        vector_seconds = time.perf_counter() - start
+        return python_seconds, vector_seconds
+
+    python_seconds, vector_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = python_seconds / vector_seconds
+    emit(
+        "bench_engine_sampling",
+        f"theta={theta} python={python_seconds:.3f}s "
+        f"vectorized={vector_seconds:.3f}s speedup={speedup:.1f}x",
+    )
+    assert speedup > 1.0

@@ -11,6 +11,25 @@ Builds the 4-node uncertain graph of the paper's running example, then:
 4. prints the Theorem 2/3 accuracy bounds for the chosen sample size.
 
 Run:  python examples/quickstart.py
+
+Choosing a possible-world engine
+--------------------------------
+``top_k_mpds`` / ``top_k_nds`` accept ``engine="auto" | "python" |
+"vectorized"``.  The default ``"auto"`` silently switches to the
+vectorised engine (``repro.engine``) whenever that is a guaranteed
+drop-in: Monte Carlo sampling (the default sampler) combined with plain
+edge density.  The vectorised engine draws all ``theta x m`` Bernoulli
+trials in a single numpy call, runs degree counts / k-core peeling /
+Greedy++ bounds as array kernels, and finishes exactly with a few
+Dinkelbach max flows -- several times faster on non-trivial graphs while
+returning *byte-identical estimates for the same seed*.
+
+Force the pure-Python reference path with ``engine="python"`` (useful
+for timing comparisons -- see ``benchmarks/bench_engine.py`` -- or when
+debugging), or force ``engine="vectorized"`` to use batch sampling with
+any density measure (non-edge measures run through a mask -> Graph
+adapter).  Clique/pattern measures and the LP/RSS samplers always use
+the pure-Python path under ``"auto"``.
 """
 
 from __future__ import annotations
@@ -54,6 +73,13 @@ def main() -> None:
     for rank, scored in enumerate(nds.top, 1):
         print(f"  #{rank}: {sorted(scored.nodes)}  "
               f"gamma-hat = {scored.probability:.3f}")
+
+    print("\n== Engines agree byte-for-byte (same seed) ==")
+    python_run = top_k_mpds(graph, k=3, theta=theta, seed=7, engine="python")
+    vector_run = top_k_mpds(graph, k=3, theta=theta, seed=7,
+                            engine="vectorized")
+    print(f"  identical estimates: "
+          f"{python_run.candidates == vector_run.candidates}")
 
     print("\n== Accuracy guarantees at theta =", theta, "==")
     taus = [s.probability for s in exact.top]

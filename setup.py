@@ -1,10 +1,33 @@
-"""Setup shim: enables `pip install -e .` in offline environments.
+"""Packaging metadata for the repro library.
 
-The offline interpreter lacks the `wheel` package, so the PEP 517 editable
-path (`bdist_wheel`) fails; this shim lets pip fall back to the legacy
-`setup.py develop` route. All metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` (rather than PEP 517 ``pyproject.toml``) so
+``pip install -e .`` works in offline environments whose interpreter
+lacks the ``wheel`` package: pip can then fall back to the legacy
+``setup.py develop`` route.
+
+``numpy`` is a hard dependency: the exact bitmask solver
+(``repro.core.exact_bitmask``) and the vectorised possible-world engine
+(``repro.engine``) are built on it.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mpds",
+    version="1.0.0",
+    description=(
+        "Most Probable Densest Subgraphs in uncertain graphs "
+        "(reproduction of Saha, Ke, Khan, Long -- ICDE 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-mpds = repro.cli:main",
+        ],
+    },
+)

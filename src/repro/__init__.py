@@ -23,6 +23,8 @@ Package layout (see DESIGN.md for the full inventory):
 * ``repro.graph`` / ``repro.flow`` / ``repro.cliques`` /
   ``repro.patterns`` -- substrates;
 * ``repro.sampling`` -- Monte Carlo / Lazy Propagation / RSS;
+* ``repro.engine`` -- vectorised possible-world engine (numpy batch
+  sampling, array kernels; identical estimates, several times faster);
 * ``repro.itemsets`` -- TFP-style closed frequent itemset mining;
 * ``repro.baselines`` -- EDS, (k,eta)-core, (k,gamma)-truss, DDS;
 * ``repro.metrics`` -- PD, PCC, purity, F1, similarity;
@@ -61,6 +63,7 @@ from .sampling import (
     MonteCarloSampler,
     RecursiveStratifiedSampler,
 )
+from .engine import IndexedGraph, VectorizedMonteCarloSampler
 
 __version__ = "1.0.0"
 
@@ -92,5 +95,7 @@ __all__ = [
     "LazyPropagationSampler",
     "MonteCarloSampler",
     "RecursiveStratifiedSampler",
+    "IndexedGraph",
+    "VectorizedMonteCarloSampler",
     "__version__",
 ]

@@ -31,6 +31,7 @@ def top_k_mpds(
     seed: Optional[int] = None,
     enumerate_all: bool = True,
     per_world_limit: Optional[int] = 100_000,
+    engine: str = "auto",
 ) -> MPDSResult:
     """Estimate the top-k Most Probable Densest Subgraphs (Algorithm 1).
 
@@ -55,23 +56,41 @@ def top_k_mpds(
     per_world_limit:
         Safety cap on the number of densest subgraphs enumerated per world
         (their count can be exponential -- Table VIII).
+    engine:
+        ``"auto"`` (default), ``"python"`` or ``"vectorized"``; selects
+        the possible-world engine (see :mod:`repro.engine`).  Estimates
+        are identical across engines for the same seed.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     measure = measure or EdgeDensity()
-    sampler = sampler or MonteCarloSampler(graph, seed)
+    from ..engine.estimators import (
+        EngineMeasure,
+        resolve_engine,
+        vectorized_sampler,
+    )
+
+    if resolve_engine(engine, sampler, measure) == "vectorized":
+        worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
+        loop_measure: DensityMeasure = EngineMeasure(measure)
+    else:
+        sampler = sampler or MonteCarloSampler(graph, seed)
+        worlds = sampler.worlds(theta)
+        loop_measure = measure
     estimates: Dict[NodeSet, float] = {}
     total_weight = 0.0
     worlds_with_densest = 0
     densest_counts = []
     actual_theta = 0
-    for weighted in sampler.worlds(theta):
+    for weighted in worlds:
         actual_theta += 1
         total_weight += weighted.weight
         if enumerate_all:
-            densest_sets = measure.all_densest(weighted.graph, per_world_limit)
+            densest_sets = loop_measure.all_densest(
+                weighted.graph, per_world_limit
+            )
         else:
-            one = measure.one_densest(weighted.graph)
+            one = loop_measure.one_densest(weighted.graph)
             densest_sets = [one] if one is not None else []
         densest_counts.append(len(densest_sets))
         if densest_sets:

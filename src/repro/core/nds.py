@@ -29,6 +29,47 @@ from .measures import DensityMeasure, EdgeDensity
 from .results import NDSResult, NodeSet, ScoredNodeSet
 
 
+def collect_transactions(
+    graph: UncertainGraph,
+    theta: int,
+    measure: DensityMeasure,
+    sampler: Optional[WorldSampler] = None,
+    seed: Optional[int] = None,
+    engine: str = "auto",
+) -> Tuple[List[NodeSet], List[float], float, int]:
+    """Sample worlds and collect their maximum-sized densest subgraphs.
+
+    The transaction-collection stage of Algorithm 5 (lines 3-4), shared
+    by the sequential and multiprocess estimators.  Returns
+    ``(transactions, weights, total_weight, actual_theta)``.
+    """
+    from ..engine.estimators import (
+        EngineMeasure,
+        resolve_engine,
+        vectorized_sampler,
+    )
+
+    if resolve_engine(engine, sampler, measure) == "vectorized":
+        worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
+        loop_measure: DensityMeasure = EngineMeasure(measure)
+    else:
+        sampler = sampler or MonteCarloSampler(graph, seed)
+        worlds = sampler.worlds(theta)
+        loop_measure = measure
+    transactions: List[NodeSet] = []
+    weights: List[float] = []
+    total_weight = 0.0
+    actual_theta = 0
+    for weighted in worlds:
+        actual_theta += 1
+        total_weight += weighted.weight
+        maximal = loop_measure.maximum_sized_densest(weighted.graph)
+        if maximal:
+            transactions.append(maximal)
+            weights.append(weighted.weight)
+    return transactions, weights, total_weight, actual_theta
+
+
 def top_k_nds(
     graph: UncertainGraph,
     k: int = 1,
@@ -37,6 +78,7 @@ def top_k_nds(
     measure: Optional[DensityMeasure] = None,
     sampler: Optional[WorldSampler] = None,
     seed: Optional[int] = None,
+    engine: str = "auto",
 ) -> NDSResult:
     """Estimate the top-k Nucleus Densest Subgraphs (Algorithm 5).
 
@@ -54,24 +96,18 @@ def top_k_nds(
         probability (see :mod:`repro.core.guarantees`).
     measure / sampler / seed:
         As in :func:`repro.core.mpds.top_k_mpds`.
+    engine:
+        Possible-world engine selector (see :mod:`repro.engine`);
+        identical estimates across engines for the same seed.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if min_size < 1:
         raise ValueError(f"min_size (l_m) must be >= 1, got {min_size}")
     measure = measure or EdgeDensity()
-    sampler = sampler or MonteCarloSampler(graph, seed)
-    transactions: List[NodeSet] = []
-    weights: List[float] = []
-    total_weight = 0.0
-    actual_theta = 0
-    for weighted in sampler.worlds(theta):
-        actual_theta += 1
-        total_weight += weighted.weight
-        maximal = measure.maximum_sized_densest(weighted.graph)
-        if maximal:
-            transactions.append(maximal)
-            weights.append(weighted.weight)
+    transactions, weights, total_weight, actual_theta = collect_transactions(
+        graph, theta, measure, sampler=sampler, seed=seed, engine=engine
+    )
     if not transactions:
         return NDSResult(top=[], theta=actual_theta, transactions=0)
     mined = top_k_closed_itemsets(transactions, k, min_size, weights)

@@ -27,9 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.uncertain import UncertainGraph
 from ..itemsets.tfp import top_k_closed_itemsets
-from ..sampling.monte_carlo import MonteCarloSampler
 from .measures import DensityMeasure, EdgeDensity
 from .mpds import top_k_mpds
+from .nds import collect_transactions, top_k_nds
 from .results import MPDSResult, NDSResult, NodeSet, ScoredNodeSet
 
 
@@ -48,9 +48,9 @@ def _derive_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
 
 
 def _mpds_chunk(
-    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], bool, Optional[int]]
+    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], bool, Optional[int], str]
 ) -> Tuple[int, Dict[NodeSet, float], List[int]]:
-    graph, theta, measure, seed, enumerate_all, per_world_limit = args
+    graph, theta, measure, seed, enumerate_all, per_world_limit, engine = args
     result = top_k_mpds(
         graph,
         k=1,
@@ -59,20 +59,18 @@ def _mpds_chunk(
         seed=seed,
         enumerate_all=enumerate_all,
         per_world_limit=per_world_limit,
+        engine=engine,
     )
     return result.theta, result.candidates, result.densest_counts
 
 
 def _nds_chunk(
-    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int]]
+    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], str]
 ) -> List[NodeSet]:
-    graph, theta, measure, seed = args
-    sampler = MonteCarloSampler(graph, seed)
-    transactions: List[NodeSet] = []
-    for weighted in sampler.worlds(theta):
-        maximal = measure.maximum_sized_densest(weighted.graph)
-        if maximal:
-            transactions.append(maximal)
+    graph, theta, measure, seed, engine = args
+    transactions, _weights, _total, _theta = collect_transactions(
+        graph, theta, measure, seed=seed, engine=engine
+    )
     return transactions
 
 
@@ -94,12 +92,15 @@ def parallel_top_k_mpds(
     workers: int = 2,
     enumerate_all: bool = True,
     per_world_limit: Optional[int] = 100_000,
+    engine: str = "auto",
 ) -> MPDSResult:
     """Algorithm 1 with the sampling loop fanned out over processes.
 
     Semantically equivalent to :func:`repro.core.mpds.top_k_mpds` with the
     same total ``theta`` (worlds are merely processed by different workers).
-    See the module docstring for determinism caveats.
+    ``workers=1`` short-circuits to the sequential estimator with the
+    *same* seed, so it is byte-identical to calling ``top_k_mpds``
+    directly.  See the module docstring for determinism caveats.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -108,10 +109,22 @@ def parallel_top_k_mpds(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     measure = measure or EdgeDensity()
+    if workers == 1:
+        return top_k_mpds(
+            graph,
+            k=k,
+            theta=theta,
+            measure=measure,
+            seed=seed,
+            enumerate_all=enumerate_all,
+            per_world_limit=per_world_limit,
+            engine=engine,
+        )
     chunks = _chunk_thetas(theta, workers)
     seeds = _derive_seeds(seed, len(chunks))
     job_args = [
-        (graph, chunk, measure, chunk_seed, enumerate_all, per_world_limit)
+        (graph, chunk, measure, chunk_seed, enumerate_all, per_world_limit,
+         engine)
         for chunk, chunk_seed in zip(chunks, seeds)
     ]
     outputs = _run_pool(_mpds_chunk, job_args, workers)
@@ -146,8 +159,13 @@ def parallel_top_k_nds(
     measure: Optional[DensityMeasure] = None,
     seed: Optional[int] = None,
     workers: int = 2,
+    engine: str = "auto",
 ) -> NDSResult:
-    """Algorithm 5 with transaction collection fanned out over processes."""
+    """Algorithm 5 with transaction collection fanned out over processes.
+
+    ``workers=1`` short-circuits to the sequential estimator with the
+    same seed (byte-identical to ``top_k_nds``).
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if min_size < 1:
@@ -157,10 +175,20 @@ def parallel_top_k_nds(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     measure = measure or EdgeDensity()
+    if workers == 1:
+        return top_k_nds(
+            graph,
+            k=k,
+            min_size=min_size,
+            theta=theta,
+            measure=measure,
+            seed=seed,
+            engine=engine,
+        )
     chunks = _chunk_thetas(theta, workers)
     seeds = _derive_seeds(seed, len(chunks))
     job_args = [
-        (graph, chunk, measure, chunk_seed)
+        (graph, chunk, measure, chunk_seed, engine)
         for chunk, chunk_seed in zip(chunks, seeds)
     ]
     outputs = _run_pool(_nds_chunk, job_args, workers)

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import FrozenSet, Iterator, List, Optional, Tuple
 
-from ..flow.maxflow import max_flow, min_cut_maximal_source_side
+from ..flow.maxflow import (
+    max_flow,
+    min_cut_maximal_source_side,
+    min_cut_source_side,
+)
+from ..flow.network import FlowNetwork
 from ..graph.graph import Graph, Node
 from .component_enum import (
     ComponentStructure,
@@ -42,21 +47,24 @@ class _Prepared:
     maximal_nodes: FrozenSet[Node]
 
 
-def _prepare(graph: Graph) -> _Prepared:
-    if graph.number_of_edges() == 0:
-        return _Prepared(Fraction(0), None, frozenset())
-    exact = densest_subgraph(graph)
-    ceil_density = -(-exact.density.numerator // exact.density.denominator)
-    core = k_core(graph, ceil_density)
-    if core.number_of_edges() == 0:
-        core = graph
-    network = build_edge_density_network(core, exact.density)
-    value = max_flow(network, SOURCE, SINK)
-    expected = 2 * core.number_of_edges() * exact.density.denominator
-    if value != expected:  # pragma: no cover - guarded by exactness of rho*
-        raise AssertionError(
-            f"max flow {value} != 2 m q = {expected}; rho* not exact?"
-        )
+def _finalise(
+    core: Graph, density: Fraction, network: Optional[FlowNetwork] = None
+) -> _Prepared:
+    """Residual component structure + maximal min-cut side at alpha = rho*.
+
+    ``core`` must contain every densest subgraph and ``density`` must be
+    the exact optimum.  ``network`` may carry an already max-flowed
+    Goldberg network at that alpha (its flow is reused); otherwise the
+    flow is computed here and checked against ``2 m q``.
+    """
+    if network is None:
+        network = build_edge_density_network(core, density)
+        value = max_flow(network, SOURCE, SINK)
+        expected = 2 * core.number_of_edges() * density.denominator
+        if value != expected:  # pragma: no cover - guarded by exact rho*
+            raise AssertionError(
+                f"max flow {value} != 2 m q = {expected}; rho* not exact?"
+            )
     structure = build_component_structure(
         network, SOURCE, SINK, is_graph_node=lambda label: label in core
     )
@@ -65,7 +73,63 @@ def _prepare(graph: Graph) -> _Prepared:
         for label in min_cut_maximal_source_side(network, SINK)
         if label in core
     )
-    return _Prepared(exact.density, structure, maximal)
+    return _Prepared(density, structure, maximal)
+
+
+def _prepare(graph: Graph) -> _Prepared:
+    if graph.number_of_edges() == 0:
+        return _Prepared(Fraction(0), None, frozenset())
+    exact = densest_subgraph(graph)
+    ceil_density = -(-exact.density.numerator // exact.density.denominator)
+    core = k_core(graph, ceil_density)
+    if core.number_of_edges() == 0:
+        core = graph
+    return _finalise(core, exact.density)
+
+
+def prepare_from_bound(core: Graph, lower_bound: Fraction) -> _Prepared:
+    """Residual structure of a world given a pre-shrunk core and a bound.
+
+    Fast-path twin of :func:`_prepare` used by the vectorised engine
+    (:mod:`repro.engine`).  ``core`` must be the ``ceil(lower_bound)``-core
+    of some possible world ``W`` and ``lower_bound`` an edge density
+    *achieved* by an induced subgraph of ``W`` (so ``core`` contains every
+    densest subgraph of ``W``).  Returns exactly what ``_prepare(W)``
+    would, but replaces Goldberg's ~``log(n^3)``-step binary search with
+    Dinkelbach iteration: run one max flow at the currently achieved
+    density; either it certifies optimality, or its min cut is a strictly
+    denser subgraph to iterate from.  Achieved densities form a finite
+    increasing chain, so this terminates -- in practice within 2-4 flows.
+
+    The candidate sets, the exact density, and the maximum-sized densest
+    subgraph are identical to the reference pipeline's; only the *order*
+    in which :func:`enumerate_all_densest_subgraphs` emits candidates may
+    differ, which is observable solely under a truncating ``limit``.
+    """
+    if core.number_of_edges() == 0:
+        return _Prepared(Fraction(0), None, frozenset())
+    alpha = Fraction(lower_bound)
+    while True:
+        network = build_edge_density_network(core, alpha)
+        target = 2 * core.number_of_edges() * alpha.denominator
+        value = max_flow(network, SOURCE, SINK)
+        if value >= target:
+            break
+        side = set(min_cut_source_side(network, SOURCE))
+        witness = frozenset(node for node in core if node in side)
+        alpha = Fraction(
+            core.subgraph(witness).number_of_edges(), len(witness)
+        )
+    # alpha is now the exact rho*; rebuild on the tighter ceil(rho*)-core
+    # when it differs from `core` (mirroring _prepare), otherwise reuse
+    # the certifying network -- it is already max-flowed at alpha.
+    ceil_density = -(-alpha.numerator // alpha.denominator)
+    shrunken = k_core(core, ceil_density)
+    if shrunken.number_of_edges() == 0:  # pragma: no cover - see _prepare
+        shrunken = core
+    if shrunken.number_of_nodes() != core.number_of_nodes():
+        return _finalise(shrunken, alpha)
+    return _finalise(core, alpha, network=network)
 
 
 def enumerate_all_densest_subgraphs(

@@ -1,0 +1,173 @@
+"""Wiring of the vectorised engine into Algorithm 1 / Algorithm 5.
+
+The estimator loops in :mod:`repro.core.mpds` / :mod:`repro.core.nds`
+iterate ``(world, weight)`` pairs and query a :class:`DensityMeasure`.
+The vectorised path keeps those loops intact and swaps the two
+collaborators:
+
+* the sampler becomes :class:`VectorizedMonteCarloSampler`, yielding
+  :class:`MaskWorld` views drawn from one numpy Bernoulli batch;
+* the measure becomes :class:`EngineMeasure`, which answers edge-density
+  queries straight from the mask via the array kernels + Dinkelbach
+  stage, and falls back to materialising the world (``MaskWorld.to_graph``)
+  for every other measure -- so clique/pattern densities and custom
+  measures keep working unchanged.
+
+Because the batch sampler replays the pure-Python sampler's exact
+Bernoulli stream and the fast edge-density path provably returns the
+same candidate sets, both engines produce identical estimates for the
+same seed.  Worlds whose enumeration hits ``per_world_limit`` fall back
+to the python path so even the truncated subset matches byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.measures import DensityMeasure, EdgeDensity, NodeSet
+from ..dense.all_densest import (
+    _Prepared,
+    enumerate_independent_sets,
+    prepare_from_bound,
+)
+from ..sampling.monte_carlo import MonteCarloSampler
+from .indexed import MaskWorld
+from .kernels import batched_greedypp, k_core_alive
+from .sampler import VectorizedMonteCarloSampler
+
+ENGINES = ("auto", "python", "vectorized")
+
+#: batched Greedy++ rounds used to seed the Dinkelbach stage; more rounds
+#: tighten the bound (fewer flows) at the cost of extra array passes
+DEFAULT_GPP_ROUNDS = 2
+
+
+def resolve_engine(engine: str, sampler, measure: DensityMeasure) -> str:
+    """Decide which engine a ``top_k_mpds`` / ``top_k_nds`` call uses.
+
+    ``auto`` picks the vectorised engine exactly when it is a guaranteed
+    drop-in: Monte Carlo sampling (the default sampler, an explicit
+    :class:`MonteCarloSampler`, or an explicit vectorised one) combined
+    with plain :class:`EdgeDensity`.  ``vectorized`` forces it for any
+    measure (non-edge measures run through the mask->Graph adapter) but
+    still requires Monte Carlo -- LP and RSS carry cross-world state that
+    cannot be batch-drawn.  ``python`` always uses the original path.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    monte_carlo = sampler is None or isinstance(
+        sampler, (MonteCarloSampler, VectorizedMonteCarloSampler)
+    )
+    if engine == "python":
+        return "python"
+    if engine == "vectorized":
+        if not monte_carlo:
+            raise ValueError(
+                "engine='vectorized' supports Monte Carlo sampling only; "
+                f"got sampler {type(sampler).__name__}"
+            )
+        return "vectorized"
+    if monte_carlo and type(measure) is EdgeDensity:
+        return "vectorized"
+    return "python"
+
+
+def vectorized_sampler(
+    graph, sampler, seed: Optional[int]
+) -> VectorizedMonteCarloSampler:
+    """Build the batch sampler mirroring what the python path would use.
+
+    With no explicit sampler this replicates ``MonteCarloSampler(graph,
+    seed)``; an explicit pure-Python Monte Carlo sampler is adopted
+    mid-stream (same worlds it would have produced next).
+    """
+    if sampler is None:
+        return VectorizedMonteCarloSampler(graph, seed)
+    if isinstance(sampler, VectorizedMonteCarloSampler):
+        return sampler
+    return VectorizedMonteCarloSampler.from_monte_carlo(sampler)
+
+
+class EngineMeasure(DensityMeasure):
+    """Adapter measure answering :class:`MaskWorld` queries.
+
+    Edge-density queries run mask-native: batched Greedy++ bounds the
+    density, a k-core shrink drops the sparse periphery, and
+    :func:`prepare_from_bound` finishes exactly.  All other measures (and
+    the tie-breaking-sensitive ``one_densest``) delegate to the wrapped
+    measure on the materialised world, which is byte-identical to the
+    world the python engine would have sampled.
+    """
+
+    def __init__(
+        self,
+        inner: DensityMeasure,
+        gpp_rounds: int = DEFAULT_GPP_ROUNDS,
+    ) -> None:
+        self.inner = inner
+        self.gpp_rounds = gpp_rounds
+        self.name = inner.name
+        self._fast = type(inner) is EdgeDensity
+
+    # ------------------------------------------------------------------
+    # mask-native edge-density pipeline
+    # ------------------------------------------------------------------
+    def _prepared(self, world: MaskWorld) -> Optional[_Prepared]:
+        """Exact residual structure of a mask world, or None if edgeless."""
+        if not world.mask.any():
+            return None
+        indexed = world.indexed
+        num, den, _alive, _history = batched_greedypp(
+            indexed, world.mask, self.gpp_rounds
+        )
+        if num <= 0:  # pragma: no cover - edges imply a positive bound
+            return None
+        bound = Fraction(num, den)
+        k = -(-bound.numerator // bound.denominator)
+        node_alive, edge_alive = k_core_alive(indexed, world.mask, k)
+        if not edge_alive.any():  # pragma: no cover - see prepare_from_bound
+            node_alive = np.ones(indexed.n, dtype=bool)
+            edge_alive = world.mask
+        core = indexed.subworld_graph(edge_alive, node_alive)
+        return prepare_from_bound(core, bound)
+
+    def all_densest(
+        self, world: MaskWorld, limit: Optional[int] = None
+    ) -> List[NodeSet]:
+        if self._fast:
+            prepared = self._prepared(world)
+            if prepared is None or prepared.structure is None:
+                return []
+            densest = list(
+                enumerate_independent_sets(prepared.structure, limit)
+            )
+            if limit is not None and len(densest) >= limit:
+                # enumeration (possibly) truncated: within-world order is
+                # not part of prepare_from_bound's contract, so replay the
+                # python path on the identical materialised world to keep
+                # the *truncated subset* byte-identical across engines
+                return self.inner.all_densest(world.to_graph(), limit)
+            return densest
+        return self.inner.all_densest(world.to_graph(), limit)
+
+    def one_densest(self, world: MaskWorld) -> Optional[NodeSet]:
+        # tie-breaking must match the python engine's binary search, so
+        # this always runs on the materialised (identical) world
+        return self.inner.one_densest(world.to_graph())
+
+    def maximum_sized_densest(self, world: MaskWorld) -> Optional[NodeSet]:
+        if self._fast:
+            prepared = self._prepared(world)
+            if prepared is None or prepared.density <= 0:
+                return None
+            return prepared.maximal_nodes
+        return self.inner.maximum_sized_densest(world.to_graph())
+
+    def density(self, world: MaskWorld, nodes) -> Fraction:
+        return self.inner.density(world.to_graph(), nodes)
+
+    def __repr__(self) -> str:
+        return f"EngineMeasure({self.inner!r})"

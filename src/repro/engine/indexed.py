@@ -1,0 +1,164 @@
+"""Integer-indexed array view of an :class:`UncertainGraph`.
+
+The pure-Python estimators re-walk the label-keyed adjacency structure for
+every sampled world.  :class:`IndexedGraph` extracts, once per uncertain
+graph, the only things the hot loops need:
+
+* ``nodes`` -- the node labels in insertion order, so index ``i`` stands
+  for ``nodes[i]`` everywhere downstream;
+* ``edge_u`` / ``edge_v`` -- the endpoints of edge ``j`` as int arrays, in
+  ``weighted_edges()`` order (the order the Monte Carlo sampler flips
+  edges in, which keeps seeded streams aligned);
+* ``probs`` -- the edge existence probabilities as a float array.
+
+A *possible world* is then just a boolean mask over the edge axis; the
+:meth:`world_graph` adapter converts a mask back into a :class:`Graph`
+with exactly the same node/edge insertion sequence the pure-Python
+sampler would have produced, so every downstream measure and solver works
+unchanged on either representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph, Node
+from ..graph.uncertain import UncertainGraph
+
+
+class IndexedGraph:
+    """Array-of-edges view of an uncertain graph (see module docstring)."""
+
+    __slots__ = ("nodes", "node_index", "edge_u", "edge_v", "probs")
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        probs: np.ndarray,
+    ) -> None:
+        self.nodes = nodes
+        self.node_index: Dict[Node, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.probs = probs
+
+    @classmethod
+    def from_uncertain(cls, graph: UncertainGraph) -> "IndexedGraph":
+        """Extract index arrays from ``graph`` (once; O(n + m))."""
+        nodes = graph.nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        us: List[int] = []
+        vs: List[int] = []
+        ps: List[float] = []
+        for u, v, p in graph.weighted_edges():
+            us.append(index[u])
+            vs.append(index[v])
+            ps.append(p)
+        return cls(
+            nodes,
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ps, dtype=np.float64),
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of uncertain edges."""
+        return len(self.edge_u)
+
+    # ------------------------------------------------------------------
+    # mask -> Graph adapters
+    # ------------------------------------------------------------------
+    def world_graph(self, edge_mask: np.ndarray) -> Graph:
+        """Materialise the possible world selected by ``edge_mask``.
+
+        Replays the exact insertion sequence of
+        :meth:`UncertainGraph.sample_world` / ``MonteCarloSampler`` (all
+        nodes first, then the present edges in index order), so the
+        resulting :class:`Graph` is indistinguishable from a sampled one.
+        """
+        world = Graph()
+        nodes = self.nodes
+        for node in nodes:
+            world.add_node(node)
+        for j in np.flatnonzero(edge_mask):
+            world.add_edge(nodes[self.edge_u[j]], nodes[self.edge_v[j]])
+        return world
+
+    def subworld_graph(
+        self, edge_mask: np.ndarray, node_alive: np.ndarray
+    ) -> Graph:
+        """Materialise the subgraph of a world induced by ``node_alive``.
+
+        Only alive nodes are added (no isolated periphery), in index
+        order; edges must have both endpoints alive to survive.  Used to
+        hand the vectorised engine's shrunken world cores to the exact
+        flow machinery.
+        """
+        world = Graph()
+        nodes = self.nodes
+        for i in np.flatnonzero(node_alive):
+            world.add_node(nodes[i])
+        keep = edge_mask & node_alive[self.edge_u] & node_alive[self.edge_v]
+        for j in np.flatnonzero(keep):
+            world.add_edge(nodes[self.edge_u[j]], nodes[self.edge_v[j]])
+        return world
+
+    def node_set(self, node_alive: np.ndarray) -> FrozenSet[Node]:
+        """Translate a boolean node mask back to a label frozenset."""
+        return frozenset(self.nodes[i] for i in np.flatnonzero(node_alive))
+
+    def to_uncertain(self) -> UncertainGraph:
+        """Rebuild the uncertain graph (round-trips nodes, edges, probs)."""
+        graph = UncertainGraph()
+        for node in self.nodes:
+            graph.add_node(node)
+        for j in range(self.m):
+            graph.add_edge(
+                self.nodes[self.edge_u[j]],
+                self.nodes[self.edge_v[j]],
+                float(self.probs[j]),
+            )
+        return graph
+
+    def __repr__(self) -> str:
+        return f"IndexedGraph(n={self.n}, m={self.m})"
+
+
+class MaskWorld:
+    """A possible world as (indexed graph, boolean edge mask).
+
+    Lightweight stand-in for a :class:`Graph` inside the vectorised
+    estimator loop; :meth:`to_graph` materialises it on demand for
+    measures that need the object form.
+    """
+
+    __slots__ = ("indexed", "mask", "_graph")
+
+    def __init__(self, indexed: IndexedGraph, mask: np.ndarray) -> None:
+        self.indexed = indexed
+        self.mask = mask
+        self._graph: Optional[Graph] = None
+
+    def to_graph(self) -> Graph:
+        """Materialise (and cache) the full world graph."""
+        if self._graph is None:
+            self._graph = self.indexed.world_graph(self.mask)
+        return self._graph
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskWorld(n={self.indexed.n}, "
+            f"edges={int(self.mask.sum())}/{self.indexed.m})"
+        )

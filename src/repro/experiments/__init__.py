@@ -56,6 +56,7 @@ from .fig16_runtimes import (
     clique_measures,
     format_fig16,
     pattern_measures,
+    run_fig16_engine_comparison,
     run_fig16_mpds,
     run_fig16_nds,
 )
@@ -94,7 +95,7 @@ __all__ = [
     "format_fig17", "format_fig18", "format_table15",
     "run_fig17", "run_fig18", "run_table15", "synthetic_graphs",
     "RuntimeRow", "clique_measures", "format_fig16", "pattern_measures",
-    "run_fig16_mpds", "run_fig16_nds",
+    "run_fig16_engine_comparison", "run_fig16_mpds", "run_fig16_nds",
     "KPoint", "LmPoint", "ThetaPoint",
     "format_fig19", "format_fig20", "run_fig19", "run_fig20_k", "run_fig20_lm",
     "BrainGroupResult", "KarateCaseResult",

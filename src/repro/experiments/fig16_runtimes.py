@@ -100,6 +100,39 @@ def run_fig16_nds(
     return rows
 
 
+def run_fig16_engine_comparison(
+    datasets: Optional[Dict[str, Callable[[], UncertainGraph]]] = None,
+    theta: Optional[int] = None,
+    seed: int = 7,
+) -> List[RuntimeRow]:
+    """Engine ablation rider on panel (a): edge-density MPDS per engine.
+
+    Times the same Monte Carlo + edge-density estimation once per
+    possible-world engine (``repro.engine``); the engines return
+    identical estimates, so the rows differ only in runtime.
+    """
+    datasets = datasets or SMALL_DATASETS
+    rows: List[RuntimeRow] = []
+    for name, loader in datasets.items():
+        graph = loader()
+        t = theta or DEFAULT_THETA.get(name, 64)
+        results = {}
+        for engine in ("python", "vectorized"):
+            result, seconds = timed(
+                lambda: top_k_mpds(
+                    graph, k=1, theta=t, seed=seed, engine=engine
+                )
+            )
+            results[engine] = result
+            rows.append(RuntimeRow("a", name, f"edge[{engine}]", seconds))
+        if results["python"].candidates != results["vectorized"].candidates:
+            raise AssertionError(
+                f"engines disagree on {name}: the vectorized engine must "
+                "return identical estimates"
+            )
+    return rows
+
+
 def format_fig16(rows: List[RuntimeRow]) -> str:
     """Render the Fig. 16 bars as a table."""
     headers = ["Panel", "Dataset", "Notion", "Time(s)"]

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Making ``tests`` a package lets the modules use ``from .conftest import
+...`` regardless of pytest's rootdir/importmode, so the suite collects
+under a plain ``PYTHONPATH=src python -m pytest``.
+"""

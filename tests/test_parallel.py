@@ -54,17 +54,12 @@ class TestParallelMPDS:
         assert len(result.densest_counts) == 50
 
     def test_single_worker_matches_sequential(self, figure1):
-        """workers=1 with the same derived seed samples the same worlds.
-
-        The merge step divides by the total theta, so estimates can
-        differ from the sequential ones by one float rounding.
-        """
-        seed = _derive_seeds(9, 1)[0]
-        sequential = top_k_mpds(figure1, k=2, theta=80, seed=seed)
+        """workers=1 short-circuits to the sequential path: byte-identical."""
+        sequential = top_k_mpds(figure1, k=2, theta=80, seed=9)
         parallel = parallel_top_k_mpds(figure1, k=2, theta=80, seed=9, workers=1)
-        assert set(parallel.candidates) == set(sequential.candidates)
-        for nodes, estimate in sequential.candidates.items():
-            assert parallel.candidates[nodes] == pytest.approx(estimate)
+        assert parallel.candidates == sequential.candidates
+        assert parallel.top == sequential.top
+        assert parallel.densest_counts == sequential.densest_counts
 
     def test_estimates_are_probabilities(self, rng):
         graph = random_uncertain_graph(rng, 6, 0.5)
