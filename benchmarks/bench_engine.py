@@ -18,7 +18,11 @@ import time
 from repro.core.mpds import top_k_mpds
 from repro.engine import VectorizedMonteCarloSampler
 from repro.graph.uncertain import UncertainGraph
-from repro.sampling import MonteCarloSampler
+from repro.sampling import (
+    LazyPropagationSampler,
+    MonteCarloSampler,
+    RecursiveStratifiedSampler,
+)
 
 from .conftest import emit
 
@@ -27,16 +31,23 @@ BENCH_EDGE_PROB = 0.01
 BENCH_THETA = 160
 BENCH_SEED = 7
 
+#: per-sampler comparison scale (three samplers x two engines per run)
+SAMPLER_BENCH_N = 300
+SAMPLER_BENCH_EDGE_PROB = 0.015
+SAMPLER_BENCH_THETA = 60
 
-def _bench_graph(seed: int = 2023) -> UncertainGraph:
-    """A 500-node G(n, p) topology with uniform edge probabilities."""
+
+def _bench_graph(
+    seed: int = 2023, n: int = BENCH_N, edge_prob: float = BENCH_EDGE_PROB
+) -> UncertainGraph:
+    """A G(n, p) topology with uniform edge probabilities."""
     rng = random.Random(seed)
     graph = UncertainGraph()
-    for node in range(BENCH_N):
+    for node in range(n):
         graph.add_node(node)
-    for u in range(BENCH_N):
-        for v in range(u + 1, BENCH_N):
-            if rng.random() < BENCH_EDGE_PROB:
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_prob:
                 graph.add_edge(u, v, rng.uniform(0.3, 0.9))
     return graph
 
@@ -78,6 +89,65 @@ def test_engine_speedup_with_identical_estimates(benchmark):
         f"vectorized engine only {speedup:.2f}x faster "
         f"({python_seconds:.2f}s vs {vector_seconds:.2f}s)"
     )
+
+
+def test_engine_speedup_per_sampler(benchmark):
+    """Widened fast path: MC vs LP vs RSS, python vs vectorised engine.
+
+    The per-sampler speedups track the perf trajectory of the widened
+    engine: each strategy must return identical estimates on both engines
+    and the vectorised path must stay faster for every one of them (the
+    win comes mostly from the mask-native measure pipeline, which all
+    three samplers now feed).
+    """
+    graph = _bench_graph(
+        n=SAMPLER_BENCH_N, edge_prob=SAMPLER_BENCH_EDGE_PROB
+    )
+    factories = {
+        "MC": lambda: MonteCarloSampler(graph, BENCH_SEED),
+        "LP": lambda: LazyPropagationSampler(graph, BENCH_SEED),
+        "RSS": lambda: RecursiveStratifiedSampler(graph, BENCH_SEED),
+    }
+
+    def run_all():
+        rows = {}
+        for name, factory in factories.items():
+            timings = {}
+            results = {}
+            for engine in ("python", "vectorized"):
+                start = time.perf_counter()
+                results[engine] = top_k_mpds(
+                    graph,
+                    k=3,
+                    theta=SAMPLER_BENCH_THETA,
+                    sampler=factory(),
+                    engine=engine,
+                )
+                timings[engine] = time.perf_counter() - start
+            rows[name] = (timings, results)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"graph: G(n={SAMPLER_BENCH_N}, p={SAMPLER_BENCH_EDGE_PROB}) "
+        f"m={graph.number_of_edges()} theta={SAMPLER_BENCH_THETA} "
+        f"seed={BENCH_SEED}",
+    ]
+    for name, (timings, results) in rows.items():
+        identical = (
+            results["python"].candidates == results["vectorized"].candidates
+        )
+        speedup = timings["python"] / timings["vectorized"]
+        lines.append(
+            f"{name:3s} python={timings['python']:7.2f}s "
+            f"vectorized={timings['vectorized']:7.2f}s "
+            f"speedup={speedup:6.2f}x identical={identical}"
+        )
+        assert identical, f"{name}: engines disagree"
+        assert speedup > 1.2, (
+            f"vectorized {name} only {speedup:.2f}x faster"
+        )
+    emit("bench_engine_per_sampler", "\n".join(lines))
 
 
 def test_engine_sampling_stage_speedup(benchmark):

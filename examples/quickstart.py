@@ -16,20 +16,23 @@ Choosing a possible-world engine
 --------------------------------
 ``top_k_mpds`` / ``top_k_nds`` accept ``engine="auto" | "python" |
 "vectorized"``.  The default ``"auto"`` silently switches to the
-vectorised engine (``repro.engine``) whenever that is a guaranteed
-drop-in: Monte Carlo sampling (the default sampler) combined with plain
-edge density.  The vectorised engine draws all ``theta x m`` Bernoulli
-trials in a single numpy call, runs degree counts / k-core peeling /
-Greedy++ bounds as array kernels, and finishes exactly with a few
-Dinkelbach max flows -- several times faster on non-trivial graphs while
-returning *byte-identical estimates for the same seed*.
+vectorised engine (``repro.engine``) for every guaranteed byte-identical
+combination: any of the paper's samplers (Monte Carlo -- the default --,
+Lazy Propagation, Recursive Stratified Sampling) with any of the paper's
+measures (edge, clique or pattern density).  Each sampler's vectorised
+twin replays its exact RNG stream in numpy batches; edge density runs
+mask-native (array kernels + a few Dinkelbach max flows) and
+clique/pattern worlds are pre-filtered to the core that provably
+contains every densest set -- several times faster on non-trivial graphs
+while returning *byte-identical estimates for the same seed* (proven by
+the sweep in ``tests/test_engine_differential.py``).
 
 Force the pure-Python reference path with ``engine="python"`` (useful
 for timing comparisons -- see ``benchmarks/bench_engine.py`` -- or when
 debugging), or force ``engine="vectorized"`` to use batch sampling with
-any density measure (non-edge measures run through a mask -> Graph
-adapter).  Clique/pattern measures and the LP/RSS samplers always use
-the pure-Python path under ``"auto"``.
+any density measure (custom measures run through a mask -> Graph
+adapter).  Custom sampler or measure *types* fall back to the
+pure-Python path under ``"auto"``.
 """
 
 from __future__ import annotations

@@ -58,8 +58,10 @@ def top_k_mpds(
         (their count can be exponential -- Table VIII).
     engine:
         ``"auto"`` (default), ``"python"`` or ``"vectorized"``; selects
-        the possible-world engine (see :mod:`repro.engine`).  Estimates
-        are identical across engines for the same seed.
+        the possible-world engine (see :mod:`repro.engine`).  ``auto``
+        vectorises every {MC, LP, RSS} x {edge, clique, pattern density}
+        combination; custom sampler/measure types run pure-Python.
+        Estimates are identical across engines for the same seed.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -70,9 +72,11 @@ def top_k_mpds(
         vectorized_sampler,
     )
 
+    engine_measure: Optional[EngineMeasure] = None
     if resolve_engine(engine, sampler, measure) == "vectorized":
         worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
-        loop_measure: DensityMeasure = EngineMeasure(measure)
+        engine_measure = EngineMeasure(measure)
+        loop_measure: DensityMeasure = engine_measure
     else:
         sampler = sampler or MonteCarloSampler(graph, seed)
         worlds = sampler.worlds(theta)
@@ -114,6 +118,9 @@ def top_k_mpds(
         theta=actual_theta,
         worlds_with_densest=worlds_with_densest,
         densest_counts=densest_counts,
+        replayed_worlds=(
+            engine_measure.replayed_worlds if engine_measure else 0
+        ),
     )
 
 

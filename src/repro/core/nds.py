@@ -97,8 +97,10 @@ def top_k_nds(
     measure / sampler / seed:
         As in :func:`repro.core.mpds.top_k_mpds`.
     engine:
-        Possible-world engine selector (see :mod:`repro.engine`);
-        identical estimates across engines for the same seed.
+        Possible-world engine selector (see :mod:`repro.engine`).
+        ``auto`` vectorises every {MC, LP, RSS} x {edge, clique, pattern
+        density} combination; identical estimates across engines for the
+        same seed.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")

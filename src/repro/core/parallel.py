@@ -17,7 +17,8 @@ Merging preserves unbiasedness (Lemma 1 applies per world).  Determinism:
 ``workers`` count (different counts chunk the stream differently).
 
 Only Monte Carlo sampling is supported here -- LP and RSS keep cross-world
-state that does not shard.
+state that does not shard (the sequential estimators vectorise them via
+``engine="auto"`` instead; see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -49,7 +50,7 @@ def _derive_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
 
 def _mpds_chunk(
     args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], bool, Optional[int], str]
-) -> Tuple[int, Dict[NodeSet, float], List[int]]:
+) -> Tuple[int, Dict[NodeSet, float], List[int], int]:
     graph, theta, measure, seed, enumerate_all, per_world_limit, engine = args
     result = top_k_mpds(
         graph,
@@ -61,7 +62,12 @@ def _mpds_chunk(
         per_world_limit=per_world_limit,
         engine=engine,
     )
-    return result.theta, result.candidates, result.densest_counts
+    return (
+        result.theta,
+        result.candidates,
+        result.densest_counts,
+        result.replayed_worlds,
+    )
 
 
 def _nds_chunk(
@@ -130,9 +136,11 @@ def parallel_top_k_mpds(
     outputs = _run_pool(_mpds_chunk, job_args, workers)
     merged: Dict[NodeSet, float] = {}
     total_theta = 0
+    total_replayed = 0
     densest_counts: List[int] = []
-    for chunk_theta, candidates, counts in outputs:
+    for chunk_theta, candidates, counts, replayed in outputs:
         total_theta += chunk_theta
+        total_replayed += replayed
         densest_counts.extend(counts)
         for nodes, estimate in candidates.items():
             merged[nodes] = merged.get(nodes, 0.0) + estimate * chunk_theta
@@ -148,6 +156,7 @@ def parallel_top_k_mpds(
         theta=total_theta,
         worlds_with_densest=sum(1 for c in densest_counts if c > 0),
         densest_counts=densest_counts,
+        replayed_worlds=total_replayed,
     )
 
 

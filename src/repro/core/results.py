@@ -35,6 +35,12 @@ class MPDSResult:
     densest_counts:
         Per sampled world, the number of densest subgraphs found -- the
         statistic summarised in Table VIII.
+    replayed_worlds:
+        Number of worlds the vectorised engine replayed through the
+        pure-Python path because their densest-subgraph enumeration hit
+        ``per_world_limit`` (the truncated subset is order-sensitive, so
+        the replay keeps it byte-identical across engines).  Always 0 on
+        the pure-Python engine.
     """
 
     top: List[ScoredNodeSet]
@@ -42,6 +48,7 @@ class MPDSResult:
     theta: int
     worlds_with_densest: int
     densest_counts: List[int] = field(default_factory=list)
+    replayed_worlds: int = 0
 
     def top_sets(self) -> List[NodeSet]:
         """Return just the node sets of the top-k, in rank order."""

@@ -8,55 +8,86 @@ stages while returning **identical estimates for the same seed**:
 1. :class:`IndexedGraph` extracts integer node indices, endpoint arrays
    and a probability vector once per uncertain graph; a world becomes a
    boolean edge mask.
-2. :class:`VectorizedMonteCarloSampler` draws all ``theta * m``
-   Bernoulli trials in one ``rng.random((theta, m)) < p`` call, replaying
-   the exact MT19937 stream of the pure-Python sampler.
+2. Each sampling strategy has a vectorised twin replaying the exact
+   MT19937 stream of its pure-Python counterpart:
+   :class:`VectorizedMonteCarloSampler` draws all ``theta * m`` Bernoulli
+   trials in one ``rng.random((theta, m)) < p`` call;
+   :class:`VectorizedLazyPropagationSampler` draws each round's
+   geometric-jump gaps as one batch and keeps the next-occurrence
+   schedule in arrays; :class:`VectorizedStratifiedSampler` replays the
+   deterministic stratum tree and draws each stratum's free-edge trial
+   matrix in one call.
 3. :mod:`~repro.engine.kernels` runs the hot per-world passes (degree
    counts, k-core peeling, batched Greedy++ bounds) via ``np.bincount``;
    the exact finish reuses the flow machinery through
    :func:`repro.dense.all_densest.prepare_from_bound`, whose Dinkelbach
    iteration needs ~2-4 max flows instead of a ~25-step binary search.
+   Clique/pattern worlds are pre-filtered to the core that provably
+   contains every densest set before the exact per-world machinery runs.
 
 When does the vectorised path activate?
 ---------------------------------------
 ``top_k_mpds`` / ``top_k_nds`` / the ``core.parallel`` wrappers accept
 ``engine="auto" | "python" | "vectorized"``:
 
-* ``auto`` (default) -- vectorised exactly when it is a guaranteed
-  drop-in: Monte Carlo sampling (the default) + plain ``EdgeDensity``;
-  anything else runs the original pure-Python path.
-* ``vectorized`` -- force it; non-edge measures still work through the
-  mask -> :class:`Graph` adapter (:meth:`IndexedGraph.world_graph`).
+* ``auto`` (default) -- vectorised for every guaranteed byte-identical
+  combination: {MC (default), LP, RSS} x {EdgeDensity, CliqueDensity,
+  PatternDensity}.  Custom sampler or measure types run the original
+  pure-Python path.
+* ``vectorized`` -- force it; unknown measures still work through the
+  mask -> :class:`Graph` adapter (:meth:`IndexedGraph.world_graph`), but
+  the sampler must be MC, LP or RSS (or a vectorised twin).
 * ``python`` -- force the original path (e.g. for timing comparisons:
   see ``benchmarks/bench_engine.py``).
 
-Estimates are byte-identical across engines for a fixed seed.  A world
-whose densest-subgraph enumeration hits ``per_world_limit`` is replayed
+Estimates are byte-identical across engines for a fixed seed; the
+differential harness in ``tests/test_engine_differential.py`` sweeps
+sampler x measure x seed x engine to prove it.  A world whose
+densest-subgraph enumeration hits ``per_world_limit`` is replayed
 through the pure-Python path (within-world enumeration *order* is not
-part of the fast path's contract), so even truncated candidate subsets
-match exactly.
+part of the fast path's contract) and counted in the result's
+``replayed_worlds``, so even truncated candidate subsets match exactly.
 """
 
 from .indexed import IndexedGraph, MaskWorld
 from .kernels import (
+    batch_k_core_alive,
     batch_world_degrees,
     batched_greedypp,
     k_core_alive,
     world_degrees,
 )
-from .sampler import VectorizedMonteCarloSampler, randomstate_like
-from .estimators import ENGINES, EngineMeasure, resolve_engine
+from .lazy import VectorizedLazyPropagationSampler
+from .sampler import (
+    VectorizedMonteCarloSampler,
+    randomstate_like,
+    write_back_state,
+)
+from .stratified import VectorizedStratifiedSampler
+from .estimators import (
+    ENGINES,
+    EngineMeasure,
+    measure_core_k,
+    resolve_engine,
+    vectorized_sampler,
+)
 
 __all__ = [
     "IndexedGraph",
     "MaskWorld",
     "VectorizedMonteCarloSampler",
+    "VectorizedLazyPropagationSampler",
+    "VectorizedStratifiedSampler",
     "randomstate_like",
+    "write_back_state",
     "world_degrees",
     "batch_world_degrees",
     "k_core_alive",
+    "batch_k_core_alive",
     "batched_greedypp",
     "ENGINES",
     "EngineMeasure",
+    "measure_core_k",
     "resolve_engine",
+    "vectorized_sampler",
 ]

@@ -5,19 +5,25 @@ iterate ``(world, weight)`` pairs and query a :class:`DensityMeasure`.
 The vectorised path keeps those loops intact and swaps the two
 collaborators:
 
-* the sampler becomes :class:`VectorizedMonteCarloSampler`, yielding
-  :class:`MaskWorld` views drawn from one numpy Bernoulli batch;
+* the sampler becomes the vectorised twin of whichever strategy was
+  requested -- :class:`VectorizedMonteCarloSampler`,
+  :class:`VectorizedLazyPropagationSampler` or
+  :class:`VectorizedStratifiedSampler` -- yielding :class:`MaskWorld`
+  views drawn from numpy batches that replay the pure-Python sampler's
+  exact MT19937 stream;
 * the measure becomes :class:`EngineMeasure`, which answers edge-density
   queries straight from the mask via the array kernels + Dinkelbach
-  stage, and falls back to materialising the world (``MaskWorld.to_graph``)
-  for every other measure -- so clique/pattern densities and custom
-  measures keep working unchanged.
+  stage, pre-filters clique/pattern worlds to the core that provably
+  contains every densest set before materialising them, and falls back
+  to the full materialised world (``MaskWorld.to_graph``) for custom
+  measures and tie-breaking-sensitive queries.
 
-Because the batch sampler replays the pure-Python sampler's exact
-Bernoulli stream and the fast edge-density path provably returns the
-same candidate sets, both engines produce identical estimates for the
+Because the batch samplers replay the pure-Python samplers' exact
+Bernoulli/geometric streams and the fast measure paths provably return
+the same candidate sets, both engines produce identical estimates for the
 same seed.  Worlds whose enumeration hits ``per_world_limit`` fall back
-to the python path so even the truncated subset matches byte-for-byte.
+to the python path (counted in :attr:`EngineMeasure.replayed_worlds`), so
+even the truncated subset matches byte-for-byte.
 """
 
 from __future__ import annotations
@@ -27,16 +33,27 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.measures import DensityMeasure, EdgeDensity, NodeSet
+from ..core.measures import (
+    CliqueDensity,
+    DensityMeasure,
+    EdgeDensity,
+    NodeSet,
+    PatternDensity,
+)
 from ..dense.all_densest import (
     _Prepared,
     enumerate_independent_sets,
     prepare_from_bound,
 )
+from ..graph.graph import Graph
+from ..sampling.lazy_propagation import LazyPropagationSampler
 from ..sampling.monte_carlo import MonteCarloSampler
+from ..sampling.stratified import RecursiveStratifiedSampler
 from .indexed import MaskWorld
 from .kernels import batched_greedypp, k_core_alive
+from .lazy import VectorizedLazyPropagationSampler
 from .sampler import VectorizedMonteCarloSampler
+from .stratified import VectorizedStratifiedSampler
 
 ENGINES = ("auto", "python", "vectorized")
 
@@ -44,51 +61,106 @@ ENGINES = ("auto", "python", "vectorized")
 #: tighten the bound (fewer flows) at the cost of extra array passes
 DEFAULT_GPP_ROUNDS = 2
 
+#: sampler types the vectorised engine can replay byte-for-byte
+_VECTORIZABLE_SAMPLERS = (
+    MonteCarloSampler,
+    VectorizedMonteCarloSampler,
+    LazyPropagationSampler,
+    VectorizedLazyPropagationSampler,
+    RecursiveStratifiedSampler,
+    VectorizedStratifiedSampler,
+)
+
+#: measure types with a mask-native fast path (exact type match: a
+#: subclass may change semantics the fast paths do not know about)
+_FAST_MEASURES = (EdgeDensity, CliqueDensity, PatternDensity)
+
 
 def resolve_engine(engine: str, sampler, measure: DensityMeasure) -> str:
     """Decide which engine a ``top_k_mpds`` / ``top_k_nds`` call uses.
 
-    ``auto`` picks the vectorised engine exactly when it is a guaranteed
-    drop-in: Monte Carlo sampling (the default sampler, an explicit
-    :class:`MonteCarloSampler`, or an explicit vectorised one) combined
-    with plain :class:`EdgeDensity`.  ``vectorized`` forces it for any
-    measure (non-edge measures run through the mask->Graph adapter) but
-    still requires Monte Carlo -- LP and RSS carry cross-world state that
-    cannot be batch-drawn.  ``python`` always uses the original path.
+    ``auto`` picks the vectorised engine whenever the combination is a
+    guaranteed byte-identical drop-in: any of the three paper samplers
+    (MC -- the default --, LP, RSS, or their vectorised twins) combined
+    with any of the three paper measures (:class:`EdgeDensity`,
+    :class:`CliqueDensity`, :class:`PatternDensity`).  Custom sampler or
+    measure *types* fall back to the pure-Python path because the engine
+    cannot vouch for their replay semantics.  ``vectorized`` forces the
+    engine for any measure (unknown measures run through the
+    mask->Graph adapter) but still requires one of the replayable
+    samplers.  ``python`` always uses the original path.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-    monte_carlo = sampler is None or isinstance(
-        sampler, (MonteCarloSampler, VectorizedMonteCarloSampler)
+    replayable = sampler is None or (
+        type(sampler) in _VECTORIZABLE_SAMPLERS
     )
     if engine == "python":
         return "python"
     if engine == "vectorized":
-        if not monte_carlo:
+        if not replayable:
             raise ValueError(
-                "engine='vectorized' supports Monte Carlo sampling only; "
+                "engine='vectorized' supports MC, LP and RSS sampling only; "
                 f"got sampler {type(sampler).__name__}"
             )
         return "vectorized"
-    if monte_carlo and type(measure) is EdgeDensity:
+    if replayable and type(measure) in _FAST_MEASURES:
         return "vectorized"
     return "python"
 
 
-def vectorized_sampler(
-    graph, sampler, seed: Optional[int]
-) -> VectorizedMonteCarloSampler:
+def vectorized_sampler(graph, sampler, seed: Optional[int]):
     """Build the batch sampler mirroring what the python path would use.
 
     With no explicit sampler this replicates ``MonteCarloSampler(graph,
-    seed)``; an explicit pure-Python Monte Carlo sampler is adopted
-    mid-stream (same worlds it would have produced next).
+    seed)``; an explicit pure-Python MC/LP/RSS sampler is adopted
+    mid-stream (same worlds it would have produced next, with its RNG and
+    ``memory_units`` bookkeeping kept in sync); a vectorised sampler is
+    used as-is.
     """
     if sampler is None:
         return VectorizedMonteCarloSampler(graph, seed)
-    if isinstance(sampler, VectorizedMonteCarloSampler):
+    if isinstance(
+        sampler,
+        (
+            VectorizedMonteCarloSampler,
+            VectorizedLazyPropagationSampler,
+            VectorizedStratifiedSampler,
+        ),
+    ):
         return sampler
-    return VectorizedMonteCarloSampler.from_monte_carlo(sampler)
+    if isinstance(sampler, MonteCarloSampler):
+        return VectorizedMonteCarloSampler.from_monte_carlo(sampler)
+    if isinstance(sampler, LazyPropagationSampler):
+        return VectorizedLazyPropagationSampler.from_lazy_propagation(sampler)
+    if isinstance(sampler, RecursiveStratifiedSampler):
+        return VectorizedStratifiedSampler.from_stratified(sampler)
+    raise ValueError(
+        f"no vectorised twin for sampler {type(sampler).__name__}"
+    )
+
+
+def measure_core_k(measure: DensityMeasure) -> Optional[int]:
+    """Return the k-core order that provably contains every densest set.
+
+    * ``CliqueDensity(h)``: every h-clique (and hence every clique-densest
+      set, whose nodes each sit in an h-clique *within the set*) survives
+      (h-1)-core peeling;
+    * ``PatternDensity(psi)``: every instance induces minimum degree
+      >= delta_min(psi) on its own nodes, so it survives
+      delta_min(psi)-core peeling;
+    * anything else: ``None`` (no safe pre-filter known).
+
+    Densities of subsets of the core are unchanged (the core is induced),
+    so enumerating densest subgraphs over the filtered world returns
+    exactly the full world's family.
+    """
+    if type(measure) is CliqueDensity:
+        return measure.h - 1
+    if type(measure) is PatternDensity:
+        pattern_graph = measure.pattern.graph()
+        return min(pattern_graph.degree(node) for node in pattern_graph)
+    return None
 
 
 class EngineMeasure(DensityMeasure):
@@ -96,10 +168,17 @@ class EngineMeasure(DensityMeasure):
 
     Edge-density queries run mask-native: batched Greedy++ bounds the
     density, a k-core shrink drops the sparse periphery, and
-    :func:`prepare_from_bound` finishes exactly.  All other measures (and
-    the tie-breaking-sensitive ``one_densest``) delegate to the wrapped
-    measure on the materialised world, which is byte-identical to the
-    world the python engine would have sampled.
+    :func:`prepare_from_bound` finishes exactly.  Clique/pattern-density
+    queries pre-filter the mask to the core guaranteed to contain every
+    densest set (:func:`measure_core_k`) before materialising a shrunken
+    world for the exact per-world machinery.  All other measures (and the
+    tie-breaking-sensitive ``one_densest``) delegate to the wrapped
+    measure on the fully materialised world, which is byte-identical to
+    the world the python engine would have sampled.
+
+    ``replayed_worlds`` counts the worlds whose (possibly) truncated
+    enumeration was replayed through the pure-Python path to keep the
+    ``per_world_limit`` subset byte-identical across engines.
     """
 
     def __init__(
@@ -111,6 +190,8 @@ class EngineMeasure(DensityMeasure):
         self.gpp_rounds = gpp_rounds
         self.name = inner.name
         self._fast = type(inner) is EdgeDensity
+        self._core_k = measure_core_k(inner)
+        self.replayed_worlds = 0
 
     # ------------------------------------------------------------------
     # mask-native edge-density pipeline
@@ -134,6 +215,16 @@ class EngineMeasure(DensityMeasure):
         core = indexed.subworld_graph(edge_alive, node_alive)
         return prepare_from_bound(core, bound)
 
+    # ------------------------------------------------------------------
+    # clique/pattern pre-filtering
+    # ------------------------------------------------------------------
+    def _filtered_world(self, world: MaskWorld) -> Graph:
+        """Materialise only the core that can contain densest sets."""
+        node_alive, edge_alive = k_core_alive(
+            world.indexed, world.mask, self._core_k
+        )
+        return world.indexed.subworld_graph(edge_alive, node_alive)
+
     def all_densest(
         self, world: MaskWorld, limit: Optional[int] = None
     ) -> List[NodeSet]:
@@ -144,14 +235,18 @@ class EngineMeasure(DensityMeasure):
             densest = list(
                 enumerate_independent_sets(prepared.structure, limit)
             )
-            if limit is not None and len(densest) >= limit:
-                # enumeration (possibly) truncated: within-world order is
-                # not part of prepare_from_bound's contract, so replay the
-                # python path on the identical materialised world to keep
-                # the *truncated subset* byte-identical across engines
-                return self.inner.all_densest(world.to_graph(), limit)
-            return densest
-        return self.inner.all_densest(world.to_graph(), limit)
+        elif self._core_k is not None:
+            densest = self.inner.all_densest(self._filtered_world(world), limit)
+        else:
+            return self.inner.all_densest(world.to_graph(), limit)
+        if limit is not None and len(densest) >= limit:
+            # enumeration (possibly) truncated: within-world order is not
+            # part of the fast paths' contract, so replay the python path
+            # on the identical materialised world to keep the *truncated
+            # subset* byte-identical across engines
+            self.replayed_worlds += 1
+            return self.inner.all_densest(world.to_graph(), limit)
+        return densest
 
     def one_densest(self, world: MaskWorld) -> Optional[NodeSet]:
         # tie-breaking must match the python engine's binary search, so
@@ -164,6 +259,10 @@ class EngineMeasure(DensityMeasure):
             if prepared is None or prepared.density <= 0:
                 return None
             return prepared.maximal_nodes
+        if self._core_k is not None:
+            # the maximal densest set (a maximal min-cut side) is unique,
+            # and the filtered core preserves the whole densest family
+            return self.inner.maximum_sized_densest(self._filtered_world(world))
         return self.inner.maximum_sized_densest(world.to_graph())
 
     def density(self, world: MaskWorld, nodes) -> Fraction:

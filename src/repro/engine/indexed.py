@@ -80,19 +80,31 @@ class IndexedGraph:
     # ------------------------------------------------------------------
     # mask -> Graph adapters
     # ------------------------------------------------------------------
-    def world_graph(self, edge_mask: np.ndarray) -> Graph:
+    def world_graph(
+        self, edge_mask: np.ndarray, order: Optional[np.ndarray] = None
+    ) -> Graph:
         """Materialise the possible world selected by ``edge_mask``.
 
         Replays the exact insertion sequence of
         :meth:`UncertainGraph.sample_world` / ``MonteCarloSampler`` (all
         nodes first, then the present edges in index order), so the
         resulting :class:`Graph` is indistinguishable from a sampled one.
+
+        ``order``, when given, overrides the edge insertion sequence: it
+        must list exactly the present edge indices, in the order the
+        originating pure-Python sampler would have inserted them.  LP
+        inserts edges in schedule order and RSS fixed-present-then-free,
+        so replaying their order keeps even the adjacency-set internals
+        (and hence any iteration-order-sensitive downstream tie-breaking)
+        identical across engines.
         """
         world = Graph()
         nodes = self.nodes
         for node in nodes:
             world.add_node(node)
-        for j in np.flatnonzero(edge_mask):
+        if order is None:
+            order = np.flatnonzero(edge_mask)
+        for j in order:
             world.add_edge(nodes[self.edge_u[j]], nodes[self.edge_v[j]])
         return world
 
@@ -141,20 +153,29 @@ class MaskWorld:
 
     Lightweight stand-in for a :class:`Graph` inside the vectorised
     estimator loop; :meth:`to_graph` materialises it on demand for
-    measures that need the object form.
+    measures that need the object form.  ``order`` optionally records the
+    pure-Python sampler's edge insertion sequence (see
+    :meth:`IndexedGraph.world_graph`) so the materialised graph is
+    indistinguishable from the one that sampler would have built.
     """
 
-    __slots__ = ("indexed", "mask", "_graph")
+    __slots__ = ("indexed", "mask", "order", "_graph")
 
-    def __init__(self, indexed: IndexedGraph, mask: np.ndarray) -> None:
+    def __init__(
+        self,
+        indexed: IndexedGraph,
+        mask: np.ndarray,
+        order: Optional[np.ndarray] = None,
+    ) -> None:
         self.indexed = indexed
         self.mask = mask
+        self.order = order
         self._graph: Optional[Graph] = None
 
     def to_graph(self) -> Graph:
         """Materialise (and cache) the full world graph."""
         if self._graph is None:
-            self._graph = self.indexed.world_graph(self.mask)
+            self._graph = self.indexed.world_graph(self.mask, self.order)
         return self._graph
 
     def __repr__(self) -> str:

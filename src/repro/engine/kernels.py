@@ -5,7 +5,9 @@ These replace the per-world Python loops of the estimator pipeline with
 
 * :func:`world_degrees` / :func:`batch_world_degrees` -- degree counts of
   one world / a whole batch of worlds;
-* :func:`k_core_alive` -- iterative k-core peeling as boolean masks;
+* :func:`k_core_alive` / :func:`batch_k_core_alive` -- iterative k-core
+  peeling as boolean masks, per world (the pre-filter for mask-native
+  clique/pattern density evaluation) or over a whole batch;
 * :func:`batched_greedypp` -- load-aware Greedy++-style peeling rounds
   yielding a certified density lower bound (an *achieved* density, which
   is what seeds the exact Dinkelbach stage in
@@ -44,6 +46,36 @@ def batch_world_degrees(
     np.add.at(counts, (world_idx, indexed.edge_u[edge_idx]), 1)
     np.add.at(counts, (world_idx, indexed.edge_v[edge_idx]), 1)
     return counts
+
+
+def batch_k_core_alive(
+    indexed: IndexedGraph, edge_masks: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Peel a whole ``(theta, m)`` batch of worlds to their k-cores at once.
+
+    Returns ``(node_alive, edge_alive)`` of shapes ``(theta, n)`` and
+    ``(theta, m)``; row ``t`` equals :func:`k_core_alive` on world ``t``.
+    All worlds peel in lockstep (a world that has converged simply stops
+    changing), so the pass count is the maximum peel depth of the batch.
+
+    The streaming estimator loop pre-filters clique/pattern worlds one at
+    a time via :func:`k_core_alive` (worlds are consumed lazily to keep
+    adopted sampler RNGs in sync); this batch variant serves pipelines
+    that already hold a full ``(theta, m)`` mask matrix.
+    """
+    u, v = indexed.edge_u, indexed.edge_v
+    theta = edge_masks.shape[0]
+    edge_alive = edge_masks.copy()
+    node_alive = np.ones((theta, indexed.n), dtype=bool)
+    if k <= 0:
+        return node_alive, edge_alive
+    while True:
+        degree = batch_world_degrees(indexed, edge_alive)
+        dead = node_alive & (degree < k)
+        if not dead.any():
+            return node_alive, edge_alive
+        node_alive &= ~dead
+        edge_alive &= node_alive[:, u] & node_alive[:, v]
 
 
 def k_core_alive(

@@ -1,0 +1,157 @@
+"""Vectorised Lazy Propagation sampling (geometric-jump skips, array-wise).
+
+The pure-Python :class:`~repro.sampling.lazy_propagation.LazyPropagationSampler`
+draws each edge's next-occurrence gap with one ``rng.random()`` call at a
+time and materialises every world edge-by-edge.  This module draws each
+round's gap batch in **one** ``random_sample`` call (continuing the exact
+MT19937 stream, see :func:`~repro.engine.sampler.randomstate_like`) and
+computes the geometric jumps ``1 + floor(log(1-u) / log(1-p))`` array-wise,
+representing worlds as boolean edge masks.
+
+One deliberate exception to "array-wise": the two logarithms are taken
+with :func:`math.log` element-by-element.  numpy's SIMD ``np.log`` differs
+from the C library's ``log`` by one ulp on a fraction of inputs, and a
+one-ulp difference in the quotient can flip the truncated jump length --
+which would silently desynchronise the replayed schedule.  The division,
+truncation, masking and schedule bookkeeping all stay array ops, and the
+per-edge denominators ``log(1-p)`` are precomputed once per graph.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..graph.uncertain import UncertainGraph
+from ..sampling.base import WeightedWorld
+from ..sampling.lazy_propagation import LazyPropagationSampler
+from .indexed import IndexedGraph, MaskWorld
+from .sampler import randomstate_like, write_back_state
+
+
+class VectorizedLazyPropagationSampler:
+    """Lazy Propagation sampler with batched geometric-jump draws.
+
+    Drop-in replacement for :class:`LazyPropagationSampler`: for the same
+    seed it yields byte-identical worlds, just built from edge masks.  The
+    schedule (one next-occurrence round per edge) is replayed exactly --
+    each round's gaps come from one ``random_sample`` batch assigned to
+    the occurring edges in the pure-Python sampler's processing order.
+    """
+
+    name = "LP"
+
+    def __init__(
+        self,
+        graph: Union[UncertainGraph, IndexedGraph],
+        seed: Optional[int] = None,
+    ) -> None:
+        if isinstance(graph, IndexedGraph):
+            self._indexed = graph
+        else:
+            self._indexed = IndexedGraph.from_uncertain(graph)
+        self._state = randomstate_like(random.Random(seed))
+        self._source: Optional[LazyPropagationSampler] = None
+        self._state_cells = 0
+        self._prepare()
+
+    def _prepare(self) -> None:
+        probs = self._indexed.probs
+        self._drawable = probs < 1.0
+        # denominators replay math.log(1.0 - p) bit-for-bit (see module
+        # docstring for why np.log cannot be used here)
+        self._log_one_minus_p = np.array(
+            [math.log(1.0 - p) if p < 1.0 else -1.0 for p in probs.tolist()]
+        )
+
+    @classmethod
+    def from_lazy_propagation(
+        cls, sampler: LazyPropagationSampler
+    ) -> "VectorizedLazyPropagationSampler":
+        """Adopt a pure-Python LP sampler's graph and *current* RNG state.
+
+        Continues exactly where ``sampler`` left off (between ``worlds()``
+        calls -- LP rebuilds its schedule per call, so only the RNG
+        carries over); every batch drawn here is synced back into
+        ``sampler``'s RNG, and its ``memory_units`` bookkeeping is kept
+        up to date, so the adopted sampler stays interchangeable.
+        """
+        out = cls.__new__(cls)
+        out._indexed = IndexedGraph.from_uncertain(sampler._graph)
+        out._state = randomstate_like(sampler._rng)
+        out._source = sampler
+        out._state_cells = 0
+        out._prepare()
+        return out
+
+    def _sync_source(self) -> None:
+        if self._source is not None:
+            write_back_state(self._state, self._source._rng)
+
+    @property
+    def indexed(self) -> IndexedGraph:
+        """The shared index arrays (built once per uncertain graph)."""
+        return self._indexed
+
+    def _gaps(self, edge_indices: np.ndarray) -> np.ndarray:
+        """Geometric gaps for ``edge_indices``, replaying the python stream.
+
+        Certain edges (p >= 1) consume no draw and jump by 1, exactly as
+        :meth:`LazyPropagationSampler._geometric_gap` does; the rest share
+        one ``random_sample`` batch in ``edge_indices`` order.
+        """
+        gaps = np.ones(edge_indices.size, dtype=np.int64)
+        drawable = self._drawable[edge_indices]
+        count = int(drawable.sum())
+        if count:
+            u = self._state.random_sample(count)
+            self._sync_source()
+            numerators = np.array([math.log(1.0 - x) for x in u.tolist()])
+            denominators = self._log_one_minus_p[edge_indices[drawable]]
+            gaps[drawable] = 1 + (numerators / denominators).astype(np.int64)
+        return gaps
+
+    def mask_worlds(self, theta: int) -> Iterator[WeightedWorld]:
+        """Yield ``theta`` :class:`MaskWorld`-backed weighted worlds."""
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        indexed = self._indexed
+        m = indexed.m
+        weight = 1.0 / theta
+        # schedule[r]: edge indices occurring in round r, in the order the
+        # pure-Python sampler would append (and hence process) them
+        schedule: Dict[int, List[int]] = {}
+        first = self._gaps(np.arange(m, dtype=np.int64)) - 1
+        for index, round_index in enumerate(first.tolist()):
+            if round_index < theta:
+                schedule.setdefault(round_index, []).append(index)
+        self._state_cells = m  # one next-occurrence per edge
+        if self._source is not None:
+            self._source._state_cells = m
+        for round_index in range(theta):
+            occurring = schedule.pop(round_index, [])
+            order = np.asarray(occurring, dtype=np.int64)
+            mask = np.zeros(m, dtype=bool)
+            mask[order] = True
+            if occurring:
+                next_rounds = round_index + self._gaps(order)
+                for index, next_round in zip(occurring, next_rounds.tolist()):
+                    if next_round < theta:
+                        schedule.setdefault(next_round, []).append(index)
+            yield WeightedWorld(MaskWorld(indexed, mask, order=order), weight)
+
+    def worlds(self, theta: int) -> Iterator[WeightedWorld]:
+        """Yield ``theta`` materialised worlds, each with weight 1/theta.
+
+        Byte-identical to :meth:`LazyPropagationSampler.worlds` for the
+        same seed (same graphs in the same insertion order).
+        """
+        for weighted in self.mask_worlds(theta):
+            yield WeightedWorld(weighted.graph.to_graph(), weighted.weight)
+
+    def memory_units(self) -> int:
+        """One next-occurrence counter per edge (the LP contract)."""
+        return self._state_cells

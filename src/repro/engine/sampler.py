@@ -54,6 +54,17 @@ def randomstate_like(rng: random.Random) -> np.random.RandomState:
     return state
 
 
+def write_back_state(state: np.random.RandomState, rng: random.Random) -> None:
+    """Write ``state``'s MT19937 position back into a ``random.Random``.
+
+    The inverse of :func:`randomstate_like`: after a batch draw, syncing
+    keeps an adopted pure-Python sampler's RNG interleavable with the
+    vectorised one (drawing from either side advances both identically).
+    """
+    _kind, keys, pos = state.get_state()[:3]
+    rng.setstate((3, tuple(int(key) for key in keys) + (pos,), None))
+
+
 class VectorizedMonteCarloSampler:
     """Monte Carlo sampler drawing all Bernoulli trials in numpy batches.
 
@@ -103,12 +114,8 @@ class VectorizedMonteCarloSampler:
 
     def _sync_source(self) -> None:
         """Write the numpy MT19937 state back into the adopted Random."""
-        if self._source_rng is None:
-            return
-        _kind, keys, pos = self._state.get_state()[:3]
-        self._source_rng.setstate(
-            (3, tuple(int(key) for key in keys) + (pos,), None)
-        )
+        if self._source_rng is not None:
+            write_back_state(self._state, self._source_rng)
 
     @property
     def indexed(self) -> IndexedGraph:

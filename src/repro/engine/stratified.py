@@ -1,0 +1,166 @@
+"""Vectorised Recursive Stratified Sampling (batched free-edge trials).
+
+The pure-Python :class:`~repro.sampling.stratified.RecursiveStratifiedSampler`
+walks a deterministic recursion tree (stratum selection and allocation use
+no randomness) and draws one world at a time at the leaves, one
+``rng.random()`` call per free edge.  This module reuses that exact tree
+via :meth:`~repro.sampling.stratified.RecursiveStratifiedSampler.leaf_strata`
+and replaces the per-world flips with one
+``random_sample((rows, |free|)) < probs[free]`` trial matrix per batch of
+rows -- row-major fill order makes the doubles land on exactly the edges
+the sequential sampler would have flipped, so for the same seed the worlds
+are byte-identical, just represented as boolean edge masks.
+
+Stratum masks: each leaf's fixed edge states become a base mask shared by
+all of its worlds; the weighted estimator combine (weight =
+``Pr(stratum) / theta_stratum``) is inherited unchanged from the leaf.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from ..graph.uncertain import UncertainGraph
+from ..sampling.base import WeightedWorld
+from ..sampling.stratified import RecursiveStratifiedSampler
+from .indexed import IndexedGraph, MaskWorld
+from .sampler import DEFAULT_BATCH, randomstate_like, write_back_state
+
+
+class VectorizedStratifiedSampler:
+    """RSS sampler drawing each stratum's free-edge trials in numpy batches.
+
+    Drop-in replacement for :class:`RecursiveStratifiedSampler`: for the
+    same seed it yields byte-identical weighted worlds.  The recursion
+    tree (and its ``memory_units`` peak bookkeeping) is delegated to a
+    wrapped pure-Python sampler, so the stratum structure cannot drift
+    between engines.
+    """
+
+    name = "RSS"
+
+    def __init__(
+        self,
+        graph: Union[UncertainGraph, IndexedGraph],
+        seed: Optional[int] = None,
+        r: int = 4,
+        max_depth: int = 2,
+        min_samples_to_recurse: int = 32,
+        batch: int = DEFAULT_BATCH,
+    ) -> None:
+        if isinstance(graph, IndexedGraph):
+            indexed = graph
+            uncertain = graph.to_uncertain()
+        else:
+            indexed = IndexedGraph.from_uncertain(graph)
+            uncertain = graph
+        inner = RecursiveStratifiedSampler(
+            uncertain,
+            seed=seed,
+            r=r,
+            max_depth=max_depth,
+            min_samples_to_recurse=min_samples_to_recurse,
+        )
+        self._bind(inner, indexed, adopted=False, batch=batch)
+
+    def _bind(
+        self,
+        inner: RecursiveStratifiedSampler,
+        indexed: IndexedGraph,
+        adopted: bool,
+        batch: int,
+    ) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self._inner = inner
+        self._indexed = indexed
+        self._state = randomstate_like(inner._rng)
+        self._source_rng = inner._rng if adopted else None
+        self._batch = batch
+
+    @classmethod
+    def from_stratified(
+        cls,
+        sampler: RecursiveStratifiedSampler,
+        batch: int = DEFAULT_BATCH,
+    ) -> "VectorizedStratifiedSampler":
+        """Adopt a pure-Python RSS sampler's graph and *current* RNG state.
+
+        Every trial batch drawn here is synced back into ``sampler``'s
+        RNG, and ``sampler`` itself provides the recursion tree, so its
+        ``memory_units`` bookkeeping stays correct and the original
+        sampler remains interleavable between engines.
+        """
+        out = cls.__new__(cls)
+        out._bind(
+            sampler,
+            IndexedGraph.from_uncertain(sampler._graph),
+            adopted=True,
+            batch=batch,
+        )
+        return out
+
+    def _sync_source(self) -> None:
+        if self._source_rng is not None:
+            write_back_state(self._state, self._source_rng)
+
+    @property
+    def indexed(self) -> IndexedGraph:
+        """The shared index arrays (built once per uncertain graph)."""
+        return self._indexed
+
+    def mask_worlds(self, theta: int) -> Iterator[WeightedWorld]:
+        """Yield ~``theta`` :class:`MaskWorld`-backed weighted worlds."""
+        indexed = self._indexed
+        for fixed, free, allocation, probability in self._inner.leaf_strata(
+            theta
+        ):
+            weight = probability / allocation
+            fixed_present = np.array(
+                [index for index, present in fixed.items() if present],
+                dtype=np.int64,
+            )
+            free_arr = np.asarray(free, dtype=np.int64)
+            base = np.zeros(indexed.m, dtype=bool)
+            base[fixed_present] = True
+            free_probs = indexed.probs[free_arr]
+            # bound the live trial matrix at ~batch cells per draw
+            rows_cap = max(1, self._batch // max(1, free_arr.size))
+            done = 0
+            while done < allocation:
+                rows = min(allocation - done, rows_cap)
+                if free_arr.size:
+                    trials = (
+                        self._state.random_sample((rows, free_arr.size))
+                        < free_probs
+                    )
+                    self._sync_source()
+                else:
+                    trials = np.zeros((rows, 0), dtype=bool)
+                for i in range(rows):
+                    present_free = free_arr[trials[i]]
+                    mask = base.copy()
+                    mask[present_free] = True
+                    # python insertion order: fixed present edges first
+                    # (dict order), then the surviving free edges
+                    order = np.concatenate([fixed_present, present_free])
+                    yield WeightedWorld(
+                        MaskWorld(indexed, mask, order=order), weight
+                    )
+                done += rows
+
+    def worlds(self, theta: int) -> Iterator[WeightedWorld]:
+        """Yield ~``theta`` materialised weighted worlds.
+
+        Byte-identical to :meth:`RecursiveStratifiedSampler.worlds` for
+        the same seed (same graphs, weights and insertion order).
+        """
+        for weighted in self.mask_worlds(theta):
+            yield WeightedWorld(weighted.graph.to_graph(), weighted.weight)
+
+    def memory_units(self) -> int:
+        """Peak fixed-edge bookkeeping (delegated to the recursion tree)."""
+        return self._inner.memory_units()

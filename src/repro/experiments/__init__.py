@@ -36,6 +36,7 @@ from .table11_12_heuristics import (
 from .table13_14_sampling import (
     SamplerRow,
     format_table13_14,
+    golden_table13_14,
     run_table13,
     run_table14,
 )
@@ -90,7 +91,8 @@ __all__ = [
     "run_table8", "run_table9",
     "PurityRow", "format_table10", "run_table10",
     "HeuristicRow", "format_table11_12", "run_table11", "run_table12",
-    "SamplerRow", "format_table13_14", "run_table13", "run_table14",
+    "SamplerRow", "format_table13_14", "golden_table13_14",
+    "run_table13", "run_table14",
     "EdgeProbabilityRow", "ExactVsApproxRow", "F1Row",
     "format_fig17", "format_fig18", "format_table15",
     "run_fig17", "run_fig18", "run_table15", "synthetic_graphs",

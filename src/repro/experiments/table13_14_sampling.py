@@ -33,6 +33,7 @@ class SamplerRow:
     theta: int
     seconds: float
     memory_units: int
+    top_sets: Optional[List[frozenset]] = None
 
 
 def _sampler_factory(name: str, graph: UncertainGraph, seed: int):
@@ -61,12 +62,13 @@ def _compare_samplers(
             run, start_theta=start_theta, max_theta=max_theta, threshold=0.98
         )
         final_sampler = _sampler_factory(name, graph, seed)
-        _result, seconds = timed(lambda: run_with(final_sampler, theta))
+        result, seconds = timed(lambda: run_with(final_sampler, theta))
         rows.append(SamplerRow(
             method=name,
             theta=theta,
             seconds=seconds,
             memory_units=final_sampler.memory_units(),
+            top_sets=list(result),
         ))
     return rows
 
@@ -113,3 +115,23 @@ def format_table13_14(rows: List[SamplerRow]) -> str:
     headers = ["Method", "theta", "Time(s)", "Memory(units)"]
     body = [[r.method, r.theta, r.seconds, r.memory_units] for r in rows]
     return format_table(headers, body)
+
+
+def golden_table13_14(rows: List[SamplerRow]) -> str:
+    """Deterministic rendering for golden-file regression (no timings).
+
+    Includes, per sampler, everything a fixed seed pins down: the
+    converged theta, the memory bookkeeping, and the returned top-k node
+    sets in rank order.  Wall-clock seconds are deliberately excluded.
+    """
+    lines = []
+    for row in rows:
+        sets = "; ".join(
+            "{" + ", ".join(repr(node) for node in sorted(s, key=repr)) + "}"
+            for s in (row.top_sets or [])
+        )
+        lines.append(
+            f"{row.method} theta={row.theta} "
+            f"memory_units={row.memory_units} top=[{sets}]"
+        )
+    return "\n".join(lines) + "\n"

@@ -72,22 +72,40 @@ class RecursiveStratifiedSampler:
 
     def worlds(self, theta: int) -> Iterator[WeightedWorld]:
         """Yield ~``theta`` weighted worlds (weights sum to ~1)."""
+        for fixed, free, allocation, probability in self.leaf_strata(theta):
+            weight = probability / allocation
+            for _ in range(allocation):
+                yield self._draw_world(fixed, free, weight)
+
+    def leaf_strata(
+        self, theta: int
+    ) -> Iterator[Tuple[Dict[int, bool], List[int], int, float]]:
+        """Yield the leaf strata of the recursion tree, draw-order first.
+
+        Each leaf is ``(fixed, free, allocation, probability)``: draw
+        ``allocation`` worlds with the ``fixed`` edge states pinned, the
+        ``free`` edges flipped independently, each carrying weight
+        ``probability / allocation``.  The tree is deterministic (edge
+        selection and allocation use no randomness), which is what lets
+        the vectorised engine replay the exact same strata and spend its
+        RNG draws only on the free-edge trials.
+        """
         if theta <= 0:
             raise ValueError(f"theta must be positive, got {theta}")
         self._peak_fixed_cells = 0
-        yield from self._sample_stratum(
+        yield from self._leaf_strata(
             fixed={}, free=list(range(len(self._edges))),
             allocation=theta, probability=1.0, depth=0,
         )
 
-    def _sample_stratum(
+    def _leaf_strata(
         self,
         fixed: Dict[int, bool],
         free: List[int],
         allocation: int,
         probability: float,
         depth: int,
-    ) -> Iterator[WeightedWorld]:
+    ) -> Iterator[Tuple[Dict[int, bool], List[int], int, float]]:
         self._peak_fixed_cells = max(
             self._peak_fixed_cells, len(fixed) * (depth + 1)
         )
@@ -99,9 +117,7 @@ class RecursiveStratifiedSampler:
         if not recurse:
             if allocation <= 0:
                 return
-            weight = probability / allocation
-            for _ in range(allocation):
-                yield self._draw_world(fixed, free, weight)
+            yield fixed, free, allocation, probability
             return
 
         selected = self._select_edges(free)
@@ -135,7 +151,7 @@ class RecursiveStratifiedSampler:
         for (stratum_fixed, stratum_free, share), count in zip(strata, counts):
             if count <= 0 or share <= 0.0:
                 continue
-            yield from self._sample_stratum(
+            yield from self._leaf_strata(
                 stratum_fixed, stratum_free,
                 count, probability * share, depth + 1,
             )

@@ -29,9 +29,11 @@ from repro.dense.kcore import k_core
 from repro.engine import (
     IndexedGraph,
     VectorizedMonteCarloSampler,
+    batch_k_core_alive,
     batch_world_degrees,
     batched_greedypp,
     k_core_alive,
+    measure_core_k,
     resolve_engine,
     world_degrees,
 )
@@ -206,6 +208,33 @@ class TestKernels:
         with pytest.raises(ValueError):
             batched_greedypp(indexed, mask, 0)
 
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_batch_k_core_matches_per_world(self, rng, k):
+        _graph, indexed, _ = self._indexed_and_mask(rng, n=14, p=0.35)
+        masks = np.random.RandomState(11).random_sample((7, indexed.m)) < 0.5
+        node_batch, edge_batch = batch_k_core_alive(indexed, masks, k)
+        for t in range(7):
+            node_one, edge_one = k_core_alive(indexed, masks[t], k)
+            assert np.array_equal(node_batch[t], node_one)
+            assert np.array_equal(edge_batch[t], edge_one)
+
+
+class TestMeasureCoreK:
+    def test_clique_measure_uses_h_minus_one_core(self):
+        assert measure_core_k(CliqueDensity(3)) == 2
+        assert measure_core_k(CliqueDensity(4)) == 3
+
+    def test_pattern_measure_uses_min_pattern_degree(self):
+        from repro.core.measures import PatternDensity
+        from repro.patterns.pattern import Pattern
+
+        assert measure_core_k(PatternDensity(Pattern.two_star())) == 1
+        assert measure_core_k(PatternDensity(Pattern.diamond())) == 2
+        assert measure_core_k(PatternDensity(Pattern.clique(4))) == 3
+
+    def test_other_measures_have_no_prefilter(self):
+        assert measure_core_k(EdgeDensity()) is None
+
 
 class TestPrepareFromBound:
     def test_matches_reference_pipeline(self, rng):
@@ -234,21 +263,40 @@ class TestPrepareFromBound:
             assert fast == reference
 
 
+class _CustomMeasure(EdgeDensity):
+    """Subclass stand-in for a user measure the fast paths can't vouch for."""
+
+
+class _CustomSampler:
+    """Stand-in for a user sampler with no vectorised twin."""
+
+    def worlds(self, theta):  # pragma: no cover - never drawn from
+        return iter(())
+
+    def memory_units(self):  # pragma: no cover
+        return 0
+
+
 class TestEngineResolution:
     def test_auto_uses_vectorized_for_mc_edge_density(self):
         assert resolve_engine("auto", None, EdgeDensity()) == "vectorized"
 
-    def test_auto_falls_back_for_other_measures(self):
-        assert resolve_engine("auto", None, CliqueDensity(3)) == "python"
+    def test_auto_vectorizes_paper_measures(self):
+        assert resolve_engine("auto", None, CliqueDensity(3)) == "vectorized"
 
-    def test_auto_falls_back_for_stateful_samplers(self, figure1):
+    def test_auto_vectorizes_stateful_samplers(self, figure1):
         sampler = RecursiveStratifiedSampler(figure1, seed=1)
-        assert resolve_engine("auto", sampler, EdgeDensity()) == "python"
+        assert resolve_engine("auto", sampler, EdgeDensity()) == "vectorized"
 
-    def test_vectorized_rejects_stateful_samplers(self, figure1):
-        sampler = RecursiveStratifiedSampler(figure1, seed=1)
+    def test_auto_falls_back_for_custom_measures(self):
+        assert resolve_engine("auto", None, _CustomMeasure()) == "python"
+
+    def test_auto_falls_back_for_custom_samplers(self):
+        assert resolve_engine("auto", _CustomSampler(), EdgeDensity()) == "python"
+
+    def test_vectorized_rejects_custom_samplers(self):
         with pytest.raises(ValueError):
-            resolve_engine("vectorized", sampler, EdgeDensity())
+            resolve_engine("vectorized", _CustomSampler(), EdgeDensity())
 
     def test_unknown_engine_rejected(self, figure1):
         with pytest.raises(ValueError):
@@ -409,3 +457,17 @@ class TestSeededDeterminism:
             figure1, k=2, theta=60, seed=4, workers=2, engine="vectorized"
         )
         assert python.candidates == vector.candidates
+
+    def test_parallel_merges_replayed_worlds(self):
+        # two certain disjoint edges tie 3 densest sets per world, so
+        # per_world_limit=2 forces a python replay in every chunk
+        graph = UncertainGraph.from_weighted_edges(
+            [("a", "b", 1.0), ("c", "d", 1.0), ("a", "c", 0.5)]
+        )
+        result = parallel_top_k_mpds(
+            graph, k=5, theta=20, seed=1, workers=2, per_world_limit=2,
+            engine="vectorized",
+        )
+        truncated = sum(1 for count in result.densest_counts if count >= 2)
+        assert truncated > 0
+        assert result.replayed_worlds == truncated

@@ -1,0 +1,255 @@
+"""Cross-engine differential harness (the gate for widening the engine).
+
+Sweeps random uncertain graphs across sampler x measure x seed x engine
+and asserts the vectorised engine reproduces the pure-Python engine
+byte-for-byte: identical candidate estimates, top-k rankings, per-world
+densest counts, world counts, and sampler ``memory_units`` bookkeeping.
+Every combination ``auto`` now routes to the vectorised path is covered,
+so any future engine change that breaks replay fidelity fails here first.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
+from repro.core.mpds import top_k_mpds
+from repro.core.nds import top_k_nds
+from repro.engine import (
+    VectorizedLazyPropagationSampler,
+    VectorizedMonteCarloSampler,
+    VectorizedStratifiedSampler,
+    resolve_engine,
+)
+from repro.graph.uncertain import UncertainGraph
+from repro.patterns.pattern import Pattern
+from repro.sampling import (
+    LazyPropagationSampler,
+    MonteCarloSampler,
+    RecursiveStratifiedSampler,
+)
+
+from .conftest import random_uncertain_graph
+
+SAMPLER_NAMES = ["default", "MC", "LP", "RSS"]
+MPDS_MEASURES = ["edge", "3-clique", "2-star"]
+NDS_MEASURES = ["edge", "3-clique", "2-star"]
+SEEDS = [3, 11]
+
+_SAMPLERS = {
+    "MC": MonteCarloSampler,
+    "LP": LazyPropagationSampler,
+    "RSS": RecursiveStratifiedSampler,
+}
+
+
+def make_sampler(name: str, graph, seed: int):
+    """An explicit pure-Python sampler, or None for the MC default."""
+    if name == "default":
+        return None
+    return _SAMPLERS[name](graph, seed)
+
+
+def make_measure(name: str):
+    if name == "edge":
+        return EdgeDensity()
+    if name == "3-clique":
+        return CliqueDensity(3)
+    if name == "2-star":
+        return PatternDensity(Pattern.two_star())
+    raise ValueError(name)
+
+
+def differential_graph() -> UncertainGraph:
+    """A fixed small G(n, p) graph with mixed edge probabilities."""
+    return random_uncertain_graph(
+        random.Random(20230613), 9, 0.45, low=0.2, high=0.95
+    )
+
+
+class TestAutoCoversEverything:
+    """``auto`` must route every sampler x measure combination fast."""
+
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    @pytest.mark.parametrize("measure_name", MPDS_MEASURES)
+    def test_auto_resolves_vectorized(self, sampler_name, measure_name):
+        graph = differential_graph()
+        sampler = make_sampler(sampler_name, graph, 1)
+        measure = make_measure(measure_name)
+        assert resolve_engine("auto", sampler, measure) == "vectorized"
+
+    @pytest.mark.parametrize(
+        "vectorized_cls",
+        [
+            VectorizedMonteCarloSampler,
+            VectorizedLazyPropagationSampler,
+            VectorizedStratifiedSampler,
+        ],
+    )
+    def test_auto_accepts_vectorized_twins(self, vectorized_cls):
+        graph = differential_graph()
+        sampler = vectorized_cls(graph, 1)
+        assert resolve_engine("auto", sampler, EdgeDensity()) == "vectorized"
+
+
+class TestMPDSDifferential:
+    """tau-hat must match byte-for-byte across engines, per combination."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("measure_name", MPDS_MEASURES)
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_identical_estimates(self, sampler_name, measure_name, seed):
+        graph = differential_graph()
+        theta = 24 if measure_name == "2-star" else 36
+        results = {}
+        memory = {}
+        for engine in ("python", "vectorized"):
+            sampler = make_sampler(sampler_name, graph, seed)
+            results[engine] = top_k_mpds(
+                graph,
+                k=3,
+                theta=theta,
+                measure=make_measure(measure_name),
+                sampler=sampler,
+                seed=seed,
+                engine=engine,
+            )
+            memory[engine] = sampler.memory_units() if sampler else 0
+        python, vector = results["python"], results["vectorized"]
+        assert python.candidates == vector.candidates
+        assert python.top == vector.top
+        assert python.densest_counts == vector.densest_counts
+        assert python.theta == vector.theta
+        assert python.worlds_with_densest == vector.worlds_with_densest
+        # the vectorised engine must leave the sampler's bookkeeping in
+        # the exact state the pure-Python run would have
+        assert memory["python"] == memory["vectorized"]
+        assert python.replayed_worlds == 0
+
+
+class TestNDSDifferential:
+    """gamma-hat (transactions + mined top-k) must match across engines."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("measure_name", NDS_MEASURES)
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_identical_estimates(self, sampler_name, measure_name, seed):
+        graph = differential_graph()
+        results = {}
+        memory = {}
+        for engine in ("python", "vectorized"):
+            sampler = make_sampler(sampler_name, graph, seed)
+            results[engine] = top_k_nds(
+                graph,
+                k=3,
+                min_size=2,
+                theta=40,
+                measure=make_measure(measure_name),
+                sampler=sampler,
+                seed=seed,
+                engine=engine,
+            )
+            memory[engine] = sampler.memory_units() if sampler else 0
+        python, vector = results["python"], results["vectorized"]
+        assert python.top == vector.top
+        assert python.transactions == vector.transactions
+        assert python.theta == vector.theta
+        assert memory["python"] == memory["vectorized"]
+
+
+class TestTruncationReplay:
+    """Forced ``per_world_limit`` truncation must keep identical subsets."""
+
+    def truncating_graph(self) -> UncertainGraph:
+        # two certain disjoint edges: every world has 3 tied densest sets
+        # ({a,b}, {c,d}, their union), so per_world_limit=2 truncates
+        return UncertainGraph.from_weighted_edges(
+            [("a", "b", 1.0), ("c", "d", 1.0), ("a", "c", 0.5)]
+        )
+
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_truncated_subsets_identical(self, sampler_name):
+        graph = self.truncating_graph()
+        results = {}
+        for engine in ("python", "vectorized"):
+            sampler = make_sampler(sampler_name, graph, 1)
+            results[engine] = top_k_mpds(
+                graph,
+                k=5,
+                theta=20,
+                sampler=sampler,
+                seed=1,
+                per_world_limit=2,
+                engine=engine,
+            )
+        python, vector = results["python"], results["vectorized"]
+        assert python.candidates == vector.candidates
+        assert python.densest_counts == vector.densest_counts
+        # the python engine never replays; the vectorised engine must
+        # account one replay per world whose enumeration hit the limit
+        assert python.replayed_worlds == 0
+        truncated = sum(1 for count in vector.densest_counts if count >= 2)
+        assert truncated > 0
+        assert vector.replayed_worlds == truncated
+
+    def test_clique_truncation_replay(self):
+        # two certain disjoint triangles tie at 3-clique density 1/3
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0),
+             (4, 5, 1.0), (5, 6, 1.0), (4, 6, 1.0),
+             (3, 4, 0.5)]
+        )
+        measure = CliqueDensity(3)
+        python = top_k_mpds(
+            graph, k=5, theta=10, seed=2, measure=measure,
+            per_world_limit=2, engine="python",
+        )
+        vector = top_k_mpds(
+            graph, k=5, theta=10, seed=2, measure=measure,
+            per_world_limit=2, engine="vectorized",
+        )
+        assert python.candidates == vector.candidates
+        assert python.densest_counts == vector.densest_counts
+        assert vector.replayed_worlds > 0
+
+
+class TestSamplerStreamDifferential:
+    """Raw sampler output (graphs, weights, order) matches per seed."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    @pytest.mark.parametrize("name", ["MC", "LP", "RSS"])
+    def test_worlds_identical(self, name, seed):
+        graph = differential_graph()
+        vectorized = {
+            "MC": VectorizedMonteCarloSampler,
+            "LP": VectorizedLazyPropagationSampler,
+            "RSS": VectorizedStratifiedSampler,
+        }[name]
+        python_worlds = list(_SAMPLERS[name](graph, seed).worlds(25))
+        vector_worlds = list(vectorized(graph, seed).worlds(25))
+        assert len(python_worlds) == len(vector_worlds)
+        for pw, vw in zip(python_worlds, vector_worlds):
+            assert pw.weight == vw.weight
+            assert pw.graph == vw.graph
+
+    @pytest.mark.parametrize("name", ["LP", "RSS"])
+    def test_adoption_continues_stream(self, name):
+        """Adopting a sampler between calls continues its exact RNG stream.
+
+        LP/RSS rebuild their per-call state (schedule, stratum tree), so
+        the control is a pure-Python sampler making the same two calls.
+        """
+        graph = differential_graph()
+        adopt = {
+            "LP": VectorizedLazyPropagationSampler.from_lazy_propagation,
+            "RSS": VectorizedStratifiedSampler.from_stratified,
+        }[name]
+        python = _SAMPLERS[name](graph, 42)
+        first = [w.graph for w in python.worlds(10)]
+        adopted = adopt(python)
+        second = [w.graph for w in adopted.worlds(10)]
+        control = _SAMPLERS[name](graph, 42)
+        assert first == [w.graph for w in control.worlds(10)]
+        assert second == [w.graph for w in control.worlds(10)]

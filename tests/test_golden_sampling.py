@@ -1,0 +1,84 @@
+"""Golden-file regression for the Table XIII/XIV sampler comparison.
+
+Runs the MC / LP / RSS comparison on a tiny fixed graph and diffs the
+deterministic parts (converged theta, memory bookkeeping, returned top-k
+sets) against committed fixtures under ``benchmarks/results/``.  Any
+change to a sampler's draw order, the convergence protocol, or the
+engine's replay fidelity shows up as a golden diff before it can reach
+the paper-scale benchmarks.
+
+Regenerate the fixtures after an *intentional* change with::
+
+    PYTHONPATH=src python -m tests.test_golden_sampling --write
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+from repro.experiments import golden_table13_14, run_table13, run_table14
+from repro.graph.uncertain import UncertainGraph
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+TABLE13_GOLDEN = GOLDEN_DIR / "table13_tiny.golden"
+TABLE14_GOLDEN = GOLDEN_DIR / "table14_tiny.golden"
+
+
+def tiny_graph() -> UncertainGraph:
+    """A fixed 12-node G(n, p) uncertain graph (same on every platform)."""
+    rng = random.Random(2023)
+    graph = UncertainGraph()
+    for node in range(12):
+        graph.add_node(node)
+    for u in range(12):
+        for v in range(u + 1, 12):
+            if rng.random() < 0.3:
+                graph.add_edge(u, v, rng.uniform(0.2, 0.9))
+    return graph
+
+
+def regenerate_table13() -> str:
+    rows = run_table13(
+        loader=tiny_graph, k=3, start_theta=8, max_theta=32, seed=7
+    )
+    return golden_table13_14(rows)
+
+
+def regenerate_table14() -> str:
+    rows = run_table14(
+        loader=tiny_graph, k=3, min_size=2, start_theta=8, max_theta=32, seed=7
+    )
+    return golden_table13_14(rows)
+
+
+def test_table13_matches_golden():
+    assert TABLE13_GOLDEN.exists(), (
+        f"missing fixture {TABLE13_GOLDEN}; regenerate with "
+        "PYTHONPATH=src python -m tests.test_golden_sampling --write"
+    )
+    assert regenerate_table13() == TABLE13_GOLDEN.read_text(encoding="utf-8")
+
+
+def test_table14_matches_golden():
+    assert TABLE14_GOLDEN.exists(), (
+        f"missing fixture {TABLE14_GOLDEN}; regenerate with "
+        "PYTHONPATH=src python -m tests.test_golden_sampling --write"
+    )
+    assert regenerate_table14() == TABLE14_GOLDEN.read_text(encoding="utf-8")
+
+
+def _write_fixtures() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    TABLE13_GOLDEN.write_text(regenerate_table13(), encoding="utf-8")
+    TABLE14_GOLDEN.write_text(regenerate_table14(), encoding="utf-8")
+    print(f"wrote {TABLE13_GOLDEN}")
+    print(f"wrote {TABLE14_GOLDEN}")
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        _write_fixtures()
+    else:
+        print(__doc__)

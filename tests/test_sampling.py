@@ -100,7 +100,71 @@ class TestMemoryAccounting:
         assert mc.memory_units() < lp.memory_units()
 
 
+class TestLPSpecifics:
+    @pytest.mark.parametrize("name", ["LP", "RSS"])
+    def test_per_edge_inclusion_frequency_converges(self, name, rng):
+        """Every edge's weighted inclusion frequency converges to its p."""
+        graph = random_uncertain_graph(rng, 8, 0.5, low=0.1, high=0.9)
+        sampler = SAMPLERS[name](graph, seed=13)
+        hits = {}
+        total = 0.0
+        for weighted in sampler.worlds(2500):
+            total += weighted.weight
+            for u, v in weighted.graph.edges():
+                key = frozenset((u, v))
+                hits[key] = hits.get(key, 0.0) + weighted.weight
+        for u, v, p in graph.weighted_edges():
+            freq = hits.get(frozenset((u, v)), 0.0) / total
+            assert abs(freq - p) < 0.05, (name, u, v, p, freq)
+
+    def test_memory_units_zero_before_sampling(self, two_edge_graph):
+        """The docstring contract: state cells appear only once drawn."""
+        sampler = LazyPropagationSampler(two_edge_graph, seed=1)
+        assert sampler.memory_units() == 0
+        list(sampler.worlds(5))
+        assert sampler.memory_units() == two_edge_graph.number_of_edges()
+
+
 class TestRSSSpecifics:
+    def test_stratum_probabilities_sum_to_one(self):
+        """The r+1 strata of one split partition the world space exactly."""
+        graph = UncertainGraph.from_weighted_edges(
+            [(1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5)]
+        )
+        sampler = RecursiveStratifiedSampler(graph, seed=3, r=2)
+        leaves = list(sampler.leaf_strata(64))
+        assert sum(probability for *_rest, probability in leaves) == pytest.approx(
+            1.0, abs=1e-12
+        )
+        # allocations account for every requested world
+        assert sum(allocation for _f, _fr, allocation, _p in leaves) == 64
+
+    def test_leaf_strata_is_deterministic_and_rng_free(self, rng):
+        graph = random_uncertain_graph(rng, 10, 0.5)
+        first = RecursiveStratifiedSampler(graph, seed=1)
+        second = RecursiveStratifiedSampler(graph, seed=99)
+        to_tuples = lambda sampler: [
+            (tuple(fixed.items()), tuple(free), allocation, probability)
+            for fixed, free, allocation, probability in sampler.leaf_strata(100)
+        ]
+        # the tree ignores the seed entirely (draws happen only at leaves)
+        assert to_tuples(first) == to_tuples(second)
+
+    def test_memory_units_matches_peak_fixed_cells(self):
+        """Docstring contract: peak of len(fixed) * (depth + 1) over strata."""
+        graph = UncertainGraph.from_weighted_edges(
+            [(u, v, 0.5) for u, v in
+             [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1)]]
+        )
+        sampler = RecursiveStratifiedSampler(graph, seed=2, r=3, max_depth=1)
+        assert sampler.memory_units() == 0
+        list(sampler.worlds(100))
+        # one stratification level (all strata allocated): the all-absent
+        # stratum fixes r edges at depth 1, so the peak is r * (1 + 1)
+        assert sampler.memory_units() == 2 * 3
+
+
+class TestRSSSampling:
     def test_stratification_covers_certain_edge(self):
         graph = UncertainGraph.from_weighted_edges([(1, 2, 1.0), (2, 3, 0.5)])
         sampler = RecursiveStratifiedSampler(graph, seed=9, r=2)
