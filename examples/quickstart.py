@@ -15,20 +15,26 @@ Run:  python examples/quickstart.py
 Choosing a possible-world engine
 --------------------------------
 ``top_k_mpds`` / ``top_k_nds`` accept ``engine="auto" | "python" |
-"vectorized"``.  The default ``"auto"`` silently switches to the
+"vectorized"`` (also reachable from the CLI: ``repro-mpds mpds ...
+--engine vectorized``).  The default ``"auto"`` silently switches to the
 vectorised engine (``repro.engine``) for every guaranteed byte-identical
 combination: any of the paper's samplers (Monte Carlo -- the default --,
 Lazy Propagation, Recursive Stratified Sampling) with any of the paper's
 measures (edge, clique or pattern density).  Each sampler's vectorised
-twin replays its exact RNG stream in numpy batches; edge density runs
-mask-native (array kernels + a few Dinkelbach max flows) and
-clique/pattern worlds are pre-filtered to the core that provably
-contains every densest set -- several times faster on non-trivial graphs
-while returning *byte-identical estimates for the same seed* (proven by
-the sweep in ``tests/test_engine_differential.py``).
+twin replays its exact RNG stream in numpy batches, and each sampled
+world stays an array its whole life: edge-density worlds are peeled,
+core-shrunk, max-flowed (CSR push-relabel on integer capacities) and
+condensed without ever materialising ``Graph`` objects, while
+clique/pattern worlds materialise only the k-core that provably contains
+every densest set.  Several times faster on non-trivial graphs while
+returning *byte-identical estimates for the same seed* (proven by the
+sweep in ``tests/test_engine_differential.py``; see the "Execution
+substrates" section of ``docs/API.md`` for the three world
+representations and their contract).
 
 Force the pure-Python reference path with ``engine="python"`` (useful
-for timing comparisons -- see ``benchmarks/bench_engine.py`` -- or when
+for timing comparisons -- see ``benchmarks/bench_engine.py``, which
+reports sampling and world-evaluation stages separately -- or when
 debugging), or force ``engine="vectorized"`` to use batch sampling with
 any density measure (custom measures run through a mask -> Graph
 adapter).  Custom sampler or measure *types* fall back to the

@@ -12,6 +12,10 @@ comments allowed).  Density notions: ``--density edge`` (default),
 ``--density clique --h 3``, ``--density pattern --pattern diamond``
 (2-star / 3-star / c3-star / diamond), or ``--density surplus --alpha
 0.33`` (edge-surplus quasi-cliques; extension).
+
+``mpds`` and ``nds`` accept ``--engine {auto,python,vectorized}`` to pick
+the possible-world engine (:mod:`repro.engine`); estimates are identical
+across engines for a fixed ``--seed``.
 """
 
 from __future__ import annotations
@@ -91,6 +95,11 @@ def make_parser() -> argparse.ArgumentParser:
     mpds.add_argument("--theta", type=int, default=160, help="sample count")
     mpds.add_argument("--sampler", choices=("MC", "LP", "RSS"), default="MC")
     mpds.add_argument(
+        "--engine", choices=("auto", "python", "vectorized"), default="auto",
+        help="possible-world engine (auto picks the vectorized fast path "
+        "whenever it is byte-identical; see repro.engine)",
+    )
+    mpds.add_argument(
         "--heuristic", action="store_true",
         help="use the Section III-C core heuristic instead of enumeration",
     )
@@ -107,6 +116,11 @@ def make_parser() -> argparse.ArgumentParser:
     _add_common(nds)
     nds.add_argument("--theta", type=int, default=640, help="sample count")
     nds.add_argument("--sampler", choices=("MC", "LP", "RSS"), default="MC")
+    nds.add_argument(
+        "--engine", choices=("auto", "python", "vectorized"), default="auto",
+        help="possible-world engine (auto picks the vectorized fast path "
+        "whenever it is byte-identical; see repro.engine)",
+    )
     nds.add_argument("--min-size", type=int, default=2, help="l_m")
     nds.add_argument("--heuristic", action="store_true")
     nds.add_argument(
@@ -174,13 +188,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = parallel_top_k_mpds(
                 graph, k=args.k, theta=args.theta, measure=measure,
                 seed=args.seed, workers=args.workers,
-                enumerate_all=not args.one_per_world,
+                enumerate_all=not args.one_per_world, engine=args.engine,
             )
         else:
             sampler = SAMPLERS[args.sampler](graph, args.seed)
             result = top_k_mpds(
                 graph, k=args.k, theta=args.theta, measure=measure,
                 sampler=sampler, enumerate_all=not args.one_per_world,
+                engine=args.engine,
             )
         _print_scored(result.top, "tau-hat")
     elif args.command == "nds":
@@ -191,12 +206,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = parallel_top_k_nds(
                 graph, k=args.k, min_size=args.min_size, theta=args.theta,
                 measure=measure, seed=args.seed, workers=args.workers,
+                engine=args.engine,
             )
         else:
             sampler = SAMPLERS[args.sampler](graph, args.seed)
             result = top_k_nds(
                 graph, k=args.k, min_size=args.min_size, theta=args.theta,
-                measure=measure, sampler=sampler,
+                measure=measure, sampler=sampler, engine=args.engine,
             )
         _print_scored(result.top, "gamma-hat")
     else:  # exact

@@ -66,21 +66,11 @@ def top_k_mpds(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     measure = measure or EdgeDensity()
-    from ..engine.estimators import (
-        EngineMeasure,
-        resolve_engine,
-        vectorized_sampler,
-    )
+    from ..engine.estimators import prepare_world_stream
 
-    engine_measure: Optional[EngineMeasure] = None
-    if resolve_engine(engine, sampler, measure) == "vectorized":
-        worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
-        engine_measure = EngineMeasure(measure)
-        loop_measure: DensityMeasure = engine_measure
-    else:
-        sampler = sampler or MonteCarloSampler(graph, seed)
-        worlds = sampler.worlds(theta)
-        loop_measure = measure
+    worlds, loop_measure, engine_measure = prepare_world_stream(
+        graph, theta, measure, sampler, seed, engine
+    )
     estimates: Dict[NodeSet, float] = {}
     total_weight = 0.0
     worlds_with_densest = 0

@@ -43,19 +43,11 @@ def collect_transactions(
     by the sequential and multiprocess estimators.  Returns
     ``(transactions, weights, total_weight, actual_theta)``.
     """
-    from ..engine.estimators import (
-        EngineMeasure,
-        resolve_engine,
-        vectorized_sampler,
-    )
+    from ..engine.estimators import prepare_world_stream
 
-    if resolve_engine(engine, sampler, measure) == "vectorized":
-        worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
-        loop_measure: DensityMeasure = EngineMeasure(measure)
-    else:
-        sampler = sampler or MonteCarloSampler(graph, seed)
-        worlds = sampler.worlds(theta)
-        loop_measure = measure
+    worlds, loop_measure, _engine_measure = prepare_world_stream(
+        graph, theta, measure, sampler, seed, engine
+    )
     transactions: List[NodeSet] = []
     weights: List[float] = []
     total_weight = 0.0

@@ -17,6 +17,8 @@ from .all_densest import (
     count_densest_subgraphs,
     enumerate_all_densest_subgraphs,
     maximum_sized_densest_subgraph,
+    prepare_from_bound,
+    prepare_from_bound_csr,
 )
 from .clique_density import (
     CliqueDensestResult,
@@ -49,6 +51,7 @@ from .peeling import (
     PeelingResult,
     peel_clique_density,
     peel_edge_density,
+    peel_edge_density_csr,
     peel_pattern_density,
 )
 from .kclistpp import KClistResult, kclistpp_densest
@@ -69,6 +72,8 @@ __all__ = [
     "count_densest_subgraphs",
     "enumerate_all_densest_subgraphs",
     "maximum_sized_densest_subgraph",
+    "prepare_from_bound",
+    "prepare_from_bound_csr",
     "CliqueDensestResult",
     "all_clique_densest_subgraphs",
     "build_clique_density_network",
@@ -93,6 +98,7 @@ __all__ = [
     "PeelingResult",
     "peel_clique_density",
     "peel_edge_density",
+    "peel_edge_density_csr",
     "peel_pattern_density",
     "KClistResult",
     "kclistpp_densest",

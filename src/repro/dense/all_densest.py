@@ -19,23 +19,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import FrozenSet, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from ..flow.csr import build_edge_density_network_csr
 from ..flow.maxflow import (
     max_flow,
     min_cut_maximal_source_side,
     min_cut_source_side,
 )
 from ..flow.network import FlowNetwork
+from ..flow.push_relabel import csr_max_preflow_min_cut, csr_push_relabel
 from ..graph.graph import Graph, Node
 from .component_enum import (
     ComponentStructure,
     build_component_structure,
+    build_component_structure_indexed,
     count_independent_sets,
     enumerate_independent_sets,
 )
 from .goldberg import SINK, SOURCE, build_edge_density_network, densest_subgraph
 from .kcore import k_core
+from .peeling import _peel_arrays
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> dense)
+    from ..engine.indexed import SubWorldView
 
 
 @dataclass
@@ -130,6 +139,212 @@ def prepare_from_bound(core: Graph, lower_bound: Fraction) -> _Prepared:
     if shrunken.number_of_nodes() != core.number_of_nodes():
         return _finalise(shrunken, alpha)
     return _finalise(core, alpha, network=network)
+
+
+def _dinkelbach_component(view: "SubWorldView", bound: Fraction):
+    """Exact rho* of one connected component view via Dinkelbach flows.
+
+    ``bound`` must be an edge density achieved by some induced subgraph
+    dominated by the component (so that a certifying flow proves
+    optimality).  Returns ``(rho*, network, view)`` where ``network`` is
+    a max-flowed CSR Goldberg network of ``view`` at ``alpha = rho*``
+    (``view`` may have been re-shrunk to the tighter ceil(rho*)-core,
+    mirroring :func:`prepare_from_bound`).
+    """
+    alpha = Fraction(bound)
+    while True:
+        network = build_edge_density_network_csr(
+            view.n, view.edge_lu, view.edge_lv, view.degrees(), alpha
+        )
+        # total source capacity is exactly the certification target, so a
+        # value >= target preflow parked no excess and IS a max flow: the
+        # network stays valid for residual queries, and the improving case
+        # only needs the phase-1 height cut as its witness
+        target = 2 * view.m * alpha.denominator
+        value, cut = csr_max_preflow_min_cut(network)
+        if value >= target:
+            break
+        member = np.array(cut[: view.n], dtype=bool)
+        alpha = Fraction(view.induced_edges(member), int(member.sum()))
+    # alpha is now the exact rho*; rebuild on the tighter ceil(rho*)-core
+    # when it differs from `view` (mirroring prepare_from_bound),
+    # otherwise reuse the certifying network -- it is already max-flowed.
+    ceil_density = -(-alpha.numerator // alpha.denominator)
+    shrunken = view.k_core(ceil_density)
+    if shrunken.m == 0:  # pragma: no cover - see prepare_from_bound
+        shrunken = view
+    if shrunken.n != view.n:
+        view = shrunken
+        network = build_edge_density_network_csr(
+            view.n, view.edge_lu, view.edge_lv, view.degrees(), alpha
+        )
+        value = csr_push_relabel(network)
+        expected = 2 * view.m * alpha.denominator
+        if value != expected:  # pragma: no cover - guarded by exact rho*
+            raise AssertionError(
+                f"max flow {value} != 2 m q = {expected}; rho* not exact?"
+            )
+    return alpha, network, view
+
+
+def _component_residual_structure(network, view: "SubWorldView"):
+    """Condense one component's max-flowed network; return its structure
+    and the component's maximal min-cut side (as label frozensets).
+
+    The condensation is restricted to the nodes that can no longer reach
+    the sink (the maximal min-cut source side plus the source's own
+    region): that set is successor-closed in the residual graph and
+    contains every kept component -- each kept component's closure is a
+    densest subgraph, and densest subgraphs lie inside the maximal
+    min-cut source side -- so Tarjan only ever walks the dense pocket
+    instead of the whole network.
+    """
+    coreachable = network.coreachable_to_sink()
+    candidates = [i for i, flag in enumerate(coreachable) if not flag]
+    structure = build_component_structure_indexed(
+        network.num_nodes,
+        network.residual_successors,
+        network.source,
+        network.sink,
+        view.label_of,
+        lambda label: True,
+        vertices=candidates,
+    )
+    maximal = view.label_set(i for i in candidates if i < view.n)
+    return structure, maximal
+
+
+def _tree_structure(view: "SubWorldView"):
+    """Closed-form residual structure of a tree component.
+
+    A tree's unique densest subgraph is the whole tree (any proper
+    induced subforest with ``c`` parts has density ``(n' - c) / n' <
+    (n - 1) / n``), and the residual condensation of Goldberg's network
+    at ``alpha = (n - 1) / n`` is a single kept SCC holding every tree
+    node.  Synthesising it skips the flow entirely -- the bulk of the
+    components of a sparse sampled world are trees.
+    """
+    labels = frozenset(view.labels())
+    return ComponentStructure([labels], [labels], [set()], [set()]), labels
+
+
+def _merge_structures(structures) -> ComponentStructure:
+    """Concatenate disjoint components' structures (index-shifted).
+
+    The residual SCC DAGs of distinct connected components share no
+    edges, so merging is concatenation with renumbered descendant /
+    ancestor sets; the enumeration over the merged structure then emits
+    exactly the unions of per-component densest subgraphs.
+    """
+    if len(structures) == 1:
+        return structures[0]
+    components: List = []
+    graph_nodes: List = []
+    descendants: List = []
+    ancestors: List = []
+    offset = 0
+    for structure in structures:
+        components.extend(structure.components)
+        graph_nodes.extend(structure.graph_nodes)
+        descendants.extend(
+            {child + offset for child in s} for s in structure.descendants
+        )
+        ancestors.extend(
+            {child + offset for child in s} for s in structure.ancestors
+        )
+        offset += len(structure)
+    return ComponentStructure(components, graph_nodes, descendants, ancestors)
+
+
+def prepare_from_bound_csr(
+    view: "SubWorldView", lower_bound: Fraction
+) -> _Prepared:
+    """Array-native twin of :func:`prepare_from_bound` over a world view.
+
+    Runs the same exact pipeline, but entirely on the CSR/bitmask
+    substrate, decomposed by connected component:
+
+    * tree components are solved in closed form (:func:`_tree_structure`);
+    * every other component gets a bucketed Charikar peel
+      (:func:`repro.dense.peeling._peel_arrays`) for an achieved local
+      bound plus its degeneracy, and is skipped outright when the
+      degeneracy (an upper bound on any subgraph's density) cannot reach
+      the best exact density already found;
+    * surviving components run Dinkelbach iteration -- CSR Goldberg
+      networks (:func:`repro.flow.csr.build_edge_density_network_csr`),
+      flat push-relabel flows, mask k-core re-shrinks;
+    * the residual structures of the components achieving ``rho*`` are
+      concatenated (:func:`_merge_structures`), which reproduces the
+      monolithic network's enumeration family exactly: a densest
+      subgraph of a disjoint union is a union of component-densest
+      subgraphs over components achieving the global optimum.
+
+    No :class:`~repro.graph.graph.Graph` or
+    :class:`~repro.flow.network.FlowNetwork` object is materialised, and
+    node labels only re-enter in the returned structure's frozensets.
+
+    The contract matches :func:`prepare_from_bound`: ``view`` must be the
+    ``ceil(lower_bound)``-core of some possible world ``W`` (isolated
+    nodes are tolerated and ignored) and ``lower_bound`` an edge density
+    achieved by an induced subgraph of ``W``.  The returned density,
+    candidate family and maximum-sized densest subgraph are
+    byte-identical to the reference pipeline's; only the enumeration
+    *order* of :attr:`_Prepared.structure` may differ (observable solely
+    under a truncating ``limit``, which callers replay).
+    """
+    if view.m == 0:
+        return _Prepared(Fraction(0), None, frozenset())
+    components = view.components()
+    solved = []  # (rho_c, max-flowed network or None for trees, comp view)
+    if len(components) == 1 and components[0].m != components[0].n - 1:
+        # single non-tree component: the caller's achieved global bound
+        # applies to it directly, no per-component peel needed
+        comp = components[0]
+        solved.append(_dinkelbach_component(comp, lower_bound))
+    else:
+        trees = []
+        others = []
+        for comp in components:
+            if comp.m == comp.n - 1:
+                trees.append(comp)
+            else:
+                indptr, neighbors = comp.csr()
+                _o, _e, num, den, _size, degeneracy = _peel_arrays(
+                    comp.n, indptr, neighbors
+                )
+                others.append((Fraction(num, den), degeneracy, comp))
+        best: Optional[Fraction] = None
+        for comp in trees:
+            rho_c = Fraction(comp.n - 1, comp.n)
+            solved.append((rho_c, None, comp))
+            if best is None or rho_c > best:
+                best = rho_c
+        others.sort(key=lambda item: item[0], reverse=True)
+        for bound_c, degeneracy, comp in others:
+            if best is not None and degeneracy < best:
+                continue  # cannot contain a subgraph at the best density
+            core = comp.k_core(-(-bound_c.numerator // bound_c.denominator))
+            if core.m == 0:  # pragma: no cover - bound is achieved in comp
+                core = comp
+            result = _dinkelbach_component(core, bound_c)
+            solved.append(result)
+            if best is None or result[0] > best:
+                best = result[0]
+    rho = max(entry[0] for entry in solved)
+    structures = []
+    maximal = set()
+    for rho_c, network, comp in solved:
+        if rho_c != rho:
+            continue
+        if network is None:
+            structure, comp_maximal = _tree_structure(comp)
+        else:
+            structure, comp_maximal = _component_residual_structure(
+                network, comp
+            )
+        structures.append(structure)
+        maximal |= comp_maximal
+    return _Prepared(rho, _merge_structures(structures), frozenset(maximal))
 
 
 def enumerate_all_densest_subgraphs(

@@ -70,27 +70,35 @@ class ComponentStructure:
         return len(self.components)
 
 
-def build_component_structure(
-    network: FlowNetwork,
-    source: NetNode,
-    sink: NetNode,
+def build_component_structure_indexed(
+    num_nodes: int,
+    successors: Callable[[int], Iterable[int]],
+    source_index: int,
+    sink_index: int,
+    to_label: Callable[[int], NetNode],
     is_graph_node: Callable[[NetNode], bool],
+    vertices: Optional[Iterable[int]] = None,
 ) -> ComponentStructure:
-    """Condense the residual graph of ``network`` under its current flow.
+    """Condense an integer-indexed residual graph (shared condensation core).
 
-    Residual arcs are those with positive residual capacity (line 7 of
-    Algorithms 2/4: "excluding the SCCs of s and t").
+    ``successors`` yields the positive-residual successors of a node
+    index; ``to_label`` translates a kept node index back to its network
+    label.  Used directly by the CSR flow pipeline (where node indices
+    *are* the representation) and via :func:`build_component_structure`
+    for object :class:`FlowNetwork` residual graphs.
+
+    ``vertices`` restricts the condensation to a subset of node indices;
+    the subset must be closed under ``successors``.  (The CSR pipeline
+    passes the non-coreachable-to-sink set: it is successor-closed and
+    provably contains every kept component, so the condensation of the
+    restriction equals the restriction of the condensation.)
     """
-    indices = list(range(network.number_of_nodes()))
-
-    def successors(index: int) -> Iterator[int]:
-        return network.residual_successors(index)
-
-    raw_components = strongly_connected_components(indices, successors)
+    raw_components = strongly_connected_components(
+        list(range(num_nodes)) if vertices is None else list(vertices),
+        successors,
+    )
     dag = condensation_successors(raw_components, successors)
 
-    source_index = network.index_of(source)
-    sink_index = network.index_of(sink)
     keep: List[int] = []
     for position, component in enumerate(raw_components):
         if source_index in component or sink_index in component:
@@ -101,7 +109,7 @@ def build_component_structure(
     components: List[FrozenSet[NetNode]] = []
     graph_nodes: List[FrozenSet[NetNode]] = []
     for old in keep:
-        labels = frozenset(network.label_of(i) for i in raw_components[old])
+        labels = frozenset(to_label(i) for i in raw_components[old])
         components.append(labels)
         graph_nodes.append(frozenset(l for l in labels if is_graph_node(l)))
 
@@ -128,6 +136,27 @@ def build_component_structure(
         for child in desc:
             ancestors[child].add(new)
     return ComponentStructure(components, graph_nodes, descendants, ancestors)
+
+
+def build_component_structure(
+    network: FlowNetwork,
+    source: NetNode,
+    sink: NetNode,
+    is_graph_node: Callable[[NetNode], bool],
+) -> ComponentStructure:
+    """Condense the residual graph of ``network`` under its current flow.
+
+    Residual arcs are those with positive residual capacity (line 7 of
+    Algorithms 2/4: "excluding the SCCs of s and t").
+    """
+    return build_component_structure_indexed(
+        network.number_of_nodes(),
+        network.residual_successors,
+        network.index_of(source),
+        network.index_of(sink),
+        network.label_of,
+        is_graph_node,
+    )
 
 
 def enumerate_independent_sets(

@@ -15,6 +15,7 @@ subgraphs recorded here.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -55,14 +56,29 @@ class PeelingResult:
 
 
 def peel_edge_density(graph: Graph) -> PeelingResult:
-    """Charikar's greedy peeling for edge density (1/2-approximation)."""
+    """Charikar's greedy peeling for edge density (1/2-approximation).
+
+    Ties among minimum-degree nodes break deterministically toward the
+    first-inserted node, so the peel order (and hence the returned node
+    set and trajectory) is a pure function of the graph -- the contract
+    that lets :func:`peel_edge_density_csr` reproduce it bit-for-bit on
+    the array substrate.
+    """
     if graph.number_of_nodes() == 0:
         return PeelingResult(Fraction(0), frozenset(), ())
+    insertion_rank = {node: rank for rank, node in enumerate(graph)}
     degrees = {node: graph.degree(node) for node in graph}
     max_degree = max(degrees.values(), default=0)
-    buckets: List[set] = [set() for _ in range(max_degree + 1)]
+    # lazy min-heaps per degree bucket, keyed by insertion rank (ranks are
+    # distinct, so heap entries never compare the -- possibly unorderable --
+    # node labels); stale entries are skipped on pop
+    buckets: List[List[Tuple[int, Node]]] = [
+        [] for _ in range(max_degree + 1)
+    ]
     for node, degree in degrees.items():
-        buckets[degree].add(node)
+        buckets[degree].append((insertion_rank[node], node))
+    for bucket in buckets:
+        heapq.heapify(bucket)
     edges_left = graph.number_of_edges()
     nodes_left = graph.number_of_nodes()
     order: List[Node] = []
@@ -72,9 +88,16 @@ def peel_edge_density(graph: Graph) -> PeelingResult:
     trajectory: List[Tuple[Fraction, int]] = [(best, nodes_left)]
     pointer = 0
     while nodes_left > 1:
-        while not buckets[pointer]:
+        while True:
+            bucket = buckets[pointer]
+            while bucket and (
+                bucket[0][1] in removed or degrees[bucket[0][1]] != pointer
+            ):
+                heapq.heappop(bucket)
+            if bucket:
+                break
             pointer += 1
-        node = buckets[pointer].pop()
+        _rank, node = heapq.heappop(buckets[pointer])
         order.append(node)
         removed.add(node)
         edges_left -= degrees[node]
@@ -82,10 +105,9 @@ def peel_edge_density(graph: Graph) -> PeelingResult:
         for neighbor in graph.neighbors(node):
             if neighbor in removed:
                 continue
-            d = degrees[neighbor]
-            buckets[d].discard(neighbor)
-            degrees[neighbor] = d - 1
-            buckets[d - 1].add(neighbor)
+            d = degrees[neighbor] - 1
+            degrees[neighbor] = d
+            heapq.heappush(buckets[d], (insertion_rank[neighbor], neighbor))
         # removing a minimum-degree node can lower the minimum by at most 1
         pointer = max(0, pointer - 1)
         density = Fraction(edges_left, nodes_left)
@@ -99,6 +121,109 @@ def peel_edge_density(graph: Graph) -> PeelingResult:
     # nodes: everything except the first n - best_size removals
     drop = graph.number_of_nodes() - best_size
     best_nodes = frozenset(full_order[drop:])
+    return PeelingResult(best, best_nodes, tuple(trajectory), full_order)
+
+
+def _peel_arrays(
+    n: int,
+    indptr,
+    neighbors,
+) -> Tuple[List[int], List[int], int, int, int, int]:
+    """Charikar peel over local CSR arrays (bucketed degree arrays).
+
+    The array core shared by :func:`peel_edge_density_csr` and the
+    engine's per-component bound stage.  Buckets are indexed by degree;
+    each bucket is a lazy min-heap of local node indices, so the removed
+    node is always the *smallest-index* node of minimum degree -- exactly
+    the deterministic tie-break of :func:`peel_edge_density` (local index
+    order equals insertion order).  Stale heap entries (from earlier
+    degrees) are skipped on pop.
+
+    Returns ``(order, edges_after, best_num, best_den, best_size,
+    degeneracy)``: the removal order over all ``n`` nodes, the edge count
+    after each of the ``n - 1`` removals, the best intermediate density
+    as an exact ratio with its subgraph size, and the degeneracy (the
+    largest minimum degree seen, an upper bound on any subgraph's edge
+    density).
+    """
+    neighbors = neighbors.tolist()
+    indptr = indptr.tolist()
+    degree = [indptr[i + 1] - indptr[i] for i in range(n)]
+    edges_left = sum(degree) // 2
+    buckets: List[List[int]] = [[] for _ in range(max(degree, default=0) + 1)]
+    for i in range(n):
+        buckets[degree[i]].append(i)
+    for bucket in buckets:
+        heapq.heapify(bucket)
+    alive = [True] * n
+    order: List[int] = []
+    edges_after: List[int] = []
+    nodes_left = n
+    best_num, best_den = edges_left, nodes_left
+    best_size = nodes_left
+    degeneracy = 0
+    pointer = 0
+    while nodes_left > 1:
+        while True:
+            bucket = buckets[pointer]
+            while bucket and (
+                not alive[bucket[0]] or degree[bucket[0]] != pointer
+            ):
+                heapq.heappop(bucket)
+            if bucket:
+                break
+            pointer += 1
+        node = heapq.heappop(buckets[pointer])
+        if pointer > degeneracy:
+            degeneracy = pointer
+        alive[node] = False
+        order.append(node)
+        edges_left -= degree[node]
+        nodes_left -= 1
+        for pos in range(indptr[node], indptr[node + 1]):
+            other = neighbors[pos]
+            if alive[other]:
+                d = degree[other] - 1
+                degree[other] = d
+                heapq.heappush(buckets[d], other)
+        # removing a minimum-degree node can lower the minimum by at most 1
+        if pointer > 0:
+            pointer -= 1
+        edges_after.append(edges_left)
+        if edges_left * best_den > best_num * nodes_left:
+            best_num, best_den = edges_left, nodes_left
+            best_size = nodes_left
+    for i in range(n):  # the lone survivor closes the order
+        if alive[i]:
+            order.append(i)
+            break
+    return order, edges_after, best_num, best_den, best_size, degeneracy
+
+
+def peel_edge_density_csr(view) -> PeelingResult:
+    """Charikar peeling on a :class:`~repro.engine.indexed.SubWorldView`.
+
+    Array twin of :func:`peel_edge_density`: identical density, node set,
+    trajectory and order for the world (or world core) the view denotes,
+    without materialising a :class:`Graph`.
+    """
+    n = view.n
+    if n == 0:
+        return PeelingResult(Fraction(0), frozenset(), ())
+    indptr, neighbors = view.csr()
+    order, edges_after, _num, _den, best_size, _degen = _peel_arrays(
+        n, indptr, neighbors
+    )
+    labels = view.labels()
+    trajectory: List[Tuple[Fraction, int]] = [(Fraction(view.m, n), n)]
+    best = trajectory[0][0]
+    for removals, edges_left in enumerate(edges_after, start=1):
+        density = Fraction(edges_left, n - removals)
+        trajectory.append((density, n - removals))
+        if density > best:
+            best = density
+    full_order = tuple(labels[i] for i in order)
+    best_nodes = frozenset(full_order[n - best_size:])
     return PeelingResult(best, best_nodes, tuple(trajectory), full_order)
 
 

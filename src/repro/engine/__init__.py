@@ -17,13 +17,20 @@ stages while returning **identical estimates for the same seed**:
    schedule in arrays; :class:`VectorizedStratifiedSampler` replays the
    deterministic stratum tree and draws each stratum's free-edge trial
    matrix in one call.
-3. :mod:`~repro.engine.kernels` runs the hot per-world passes (degree
-   counts, k-core peeling, batched Greedy++ bounds) via ``np.bincount``;
-   the exact finish reuses the flow machinery through
-   :func:`repro.dense.all_densest.prepare_from_bound`, whose Dinkelbach
-   iteration needs ~2-4 max flows instead of a ~25-step binary search.
-   Clique/pattern worlds are pre-filtered to the core that provably
-   contains every densest set before the exact per-world machinery runs.
+3. Per-world evaluation never leaves the array substrate for edge
+   density: each :class:`MaskWorld` becomes a :class:`SubWorldView`
+   (compact local index arrays over the shared CSR adjacency), gets a
+   bucketed Charikar peel bound + mask k-core shrink, and finishes
+   exactly through
+   :func:`repro.dense.all_densest.prepare_from_bound_csr` --
+   per-connected-component Dinkelbach iteration (~1-3 first-phase CSR
+   push-relabel flows on integer capacities instead of a ~25-step
+   binary search), tree components in closed form, and the residual
+   SCC condensation restricted to the dense pocket.  No ``Graph`` or
+   object ``FlowNetwork`` is materialised on that path.  Clique/pattern
+   worlds are pre-filtered to the core that provably contains every
+   densest set and only that shrunken core is materialised for the
+   exact per-world machinery.
 
 When does the vectorised path activate?
 ---------------------------------------
@@ -49,7 +56,7 @@ part of the fast path's contract) and counted in the result's
 ``replayed_worlds``, so even truncated candidate subsets match exactly.
 """
 
-from .indexed import IndexedGraph, MaskWorld
+from .indexed import IndexedGraph, MaskWorld, SubWorldView
 from .kernels import (
     batch_k_core_alive,
     batch_world_degrees,
@@ -68,6 +75,7 @@ from .estimators import (
     ENGINES,
     EngineMeasure,
     measure_core_k,
+    prepare_world_stream,
     resolve_engine,
     vectorized_sampler,
 )
@@ -75,6 +83,7 @@ from .estimators import (
 __all__ = [
     "IndexedGraph",
     "MaskWorld",
+    "SubWorldView",
     "VectorizedMonteCarloSampler",
     "VectorizedLazyPropagationSampler",
     "VectorizedStratifiedSampler",
@@ -88,6 +97,7 @@ __all__ = [
     "ENGINES",
     "EngineMeasure",
     "measure_core_k",
+    "prepare_world_stream",
     "resolve_engine",
     "vectorized_sampler",
 ]

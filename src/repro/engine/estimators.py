@@ -12,11 +12,13 @@ collaborators:
   views drawn from numpy batches that replay the pure-Python sampler's
   exact MT19937 stream;
 * the measure becomes :class:`EngineMeasure`, which answers edge-density
-  queries straight from the mask via the array kernels + Dinkelbach
-  stage, pre-filters clique/pattern worlds to the core that provably
-  contains every densest set before materialising them, and falls back
-  to the full materialised world (``MaskWorld.to_graph``) for custom
-  measures and tie-breaking-sensitive queries.
+  queries entirely on the CSR/bitmask substrate (peel bound, k-core
+  shrink, per-component Dinkelbach flows and residual condensation over
+  :class:`SubWorldView` arrays -- zero ``to_graph()`` calls), pre-filters
+  clique/pattern worlds to the core that provably contains every densest
+  set before materialising them, and falls back to the full materialised
+  world (``MaskWorld.to_graph``) only for custom measures and
+  tie-breaking-sensitive queries.
 
 Because the batch samplers replay the pure-Python samplers' exact
 Bernoulli/geometric streams and the fast measure paths provably return
@@ -43,23 +45,20 @@ from ..core.measures import (
 from ..dense.all_densest import (
     _Prepared,
     enumerate_independent_sets,
-    prepare_from_bound,
+    prepare_from_bound_csr,
 )
+from ..dense.peeling import _peel_arrays
 from ..graph.graph import Graph
 from ..sampling.lazy_propagation import LazyPropagationSampler
 from ..sampling.monte_carlo import MonteCarloSampler
 from ..sampling.stratified import RecursiveStratifiedSampler
-from .indexed import MaskWorld
-from .kernels import batched_greedypp, k_core_alive
+from .indexed import MaskWorld, SubWorldView
+from .kernels import k_core_alive
 from .lazy import VectorizedLazyPropagationSampler
 from .sampler import VectorizedMonteCarloSampler
 from .stratified import VectorizedStratifiedSampler
 
 ENGINES = ("auto", "python", "vectorized")
-
-#: batched Greedy++ rounds used to seed the Dinkelbach stage; more rounds
-#: tighten the bound (fewer flows) at the cost of extra array passes
-DEFAULT_GPP_ROUNDS = 2
 
 #: sampler types the vectorised engine can replay byte-for-byte
 _VECTORIZABLE_SAMPLERS = (
@@ -140,6 +139,34 @@ def vectorized_sampler(graph, sampler, seed: Optional[int]):
     )
 
 
+def prepare_world_stream(
+    graph,
+    theta: int,
+    measure: DensityMeasure,
+    sampler,
+    seed: Optional[int],
+    engine: str,
+):
+    """Resolve the engine and build one estimator run's collaborators.
+
+    The single entry point the sampling estimators (Algorithms 1 and 5 in
+    :mod:`repro.core.mpds` / :mod:`repro.core.nds`) use to set up their
+    ``(world, weight)`` loop.  Returns ``(worlds, loop_measure,
+    engine_measure)``: on the vectorised path ``worlds`` yields
+    :class:`MaskWorld` views and ``loop_measure`` is an
+    :class:`EngineMeasure` (also returned as ``engine_measure`` for
+    bookkeeping access); on the python path ``worlds`` yields
+    materialised :class:`Graph` worlds, ``loop_measure`` is the plain
+    measure and ``engine_measure`` is ``None``.
+    """
+    if resolve_engine(engine, sampler, measure) == "vectorized":
+        worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
+        engine_measure = EngineMeasure(measure)
+        return worlds, engine_measure, engine_measure
+    sampler = sampler or MonteCarloSampler(graph, seed)
+    return sampler.worlds(theta), measure, None
+
+
 def measure_core_k(measure: DensityMeasure) -> Optional[int]:
     """Return the k-core order that provably contains every densest set.
 
@@ -166,13 +193,16 @@ def measure_core_k(measure: DensityMeasure) -> Optional[int]:
 class EngineMeasure(DensityMeasure):
     """Adapter measure answering :class:`MaskWorld` queries.
 
-    Edge-density queries run mask-native: batched Greedy++ bounds the
-    density, a k-core shrink drops the sparse periphery, and
-    :func:`prepare_from_bound` finishes exactly.  Clique/pattern-density
-    queries pre-filter the mask to the core guaranteed to contain every
-    densest set (:func:`measure_core_k`) before materialising a shrunken
-    world for the exact per-world machinery.  All other measures (and the
-    tie-breaking-sensitive ``one_densest``) delegate to the wrapped
+    Edge-density queries run array-native end to end: a bucketed
+    Charikar peel bounds the density, a mask k-core shrink drops the
+    sparse periphery, and :func:`prepare_from_bound_csr` finishes
+    exactly on the CSR substrate (per-component Dinkelbach flows, tree
+    components in closed form) -- the sampled world is never
+    materialised.  Clique/pattern-density queries pre-filter the mask to
+    the core guaranteed to contain every densest set
+    (:func:`measure_core_k`) before materialising only that shrunken
+    world for the exact per-world machinery.  All other measures (and
+    the tie-breaking-sensitive ``one_densest``) delegate to the wrapped
     measure on the fully materialised world, which is byte-identical to
     the world the python engine would have sampled.
 
@@ -181,13 +211,8 @@ class EngineMeasure(DensityMeasure):
     ``per_world_limit`` subset byte-identical across engines.
     """
 
-    def __init__(
-        self,
-        inner: DensityMeasure,
-        gpp_rounds: int = DEFAULT_GPP_ROUNDS,
-    ) -> None:
+    def __init__(self, inner: DensityMeasure) -> None:
         self.inner = inner
-        self.gpp_rounds = gpp_rounds
         self.name = inner.name
         self._fast = type(inner) is EdgeDensity
         self._core_k = measure_core_k(inner)
@@ -197,12 +222,21 @@ class EngineMeasure(DensityMeasure):
     # mask-native edge-density pipeline
     # ------------------------------------------------------------------
     def _prepared(self, world: MaskWorld) -> Optional[_Prepared]:
-        """Exact residual structure of a mask world, or None if edgeless."""
+        """Exact residual structure of a mask world, or None if edgeless.
+
+        Fully array-native: the world never leaves the CSR/bitmask
+        substrate (no :class:`Graph`, no object flow network) -- the
+        bucketed Charikar peel bound, the k-core shrink, the Dinkelbach
+        flows and the residual condensation all run on index arrays, and
+        node labels only reappear in the returned structure's frozensets.
+        """
         if not world.mask.any():
             return None
         indexed = world.indexed
-        num, den, _alive, _history = batched_greedypp(
-            indexed, world.mask, self.gpp_rounds
+        view = world.view()
+        indptr, neighbors = view.csr()
+        _order, _edges, num, den, _size, _degen = _peel_arrays(
+            view.n, indptr, neighbors
         )
         if num <= 0:  # pragma: no cover - edges imply a positive bound
             return None
@@ -212,8 +246,8 @@ class EngineMeasure(DensityMeasure):
         if not edge_alive.any():  # pragma: no cover - see prepare_from_bound
             node_alive = np.ones(indexed.n, dtype=bool)
             edge_alive = world.mask
-        core = indexed.subworld_graph(edge_alive, node_alive)
-        return prepare_from_bound(core, bound)
+        core = SubWorldView(indexed, edge_alive, node_alive)
+        return prepare_from_bound_csr(core, bound)
 
     # ------------------------------------------------------------------
     # clique/pattern pre-filtering
@@ -223,7 +257,7 @@ class EngineMeasure(DensityMeasure):
         node_alive, edge_alive = k_core_alive(
             world.indexed, world.mask, self._core_k
         )
-        return world.indexed.subworld_graph(edge_alive, node_alive)
+        return SubWorldView(world.indexed, edge_alive, node_alive).materialize()
 
     def all_densest(
         self, world: MaskWorld, limit: Optional[int] = None
@@ -266,6 +300,21 @@ class EngineMeasure(DensityMeasure):
         return self.inner.maximum_sized_densest(world.to_graph())
 
     def density(self, world: MaskWorld, nodes) -> Fraction:
+        if self._fast:
+            # induced edge density straight off the mask: count alive
+            # edges with both endpoints in `nodes` (exact, label-free)
+            indexed = world.indexed
+            node_list = [n for n in set(nodes) if n in indexed.node_index]
+            if not node_list:
+                return Fraction(0)
+            member = np.zeros(indexed.n, dtype=bool)
+            member[[indexed.node_index[node] for node in node_list]] = True
+            inside = (
+                world.mask
+                & member[indexed.edge_u]
+                & member[indexed.edge_v]
+            )
+            return Fraction(int(inside.sum()), len(node_list))
         return self.inner.density(world.to_graph(), nodes)
 
     def __repr__(self) -> str:

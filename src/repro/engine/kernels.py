@@ -9,9 +9,10 @@ These replace the per-world Python loops of the estimator pipeline with
   peeling as boolean masks, per world (the pre-filter for mask-native
   clique/pattern density evaluation) or over a whole batch;
 * :func:`batched_greedypp` -- load-aware Greedy++-style peeling rounds
-  yielding a certified density lower bound (an *achieved* density, which
-  is what seeds the exact Dinkelbach stage in
-  :func:`repro.dense.all_densest.prepare_from_bound`).
+  yielding a certified density lower bound (an *achieved* density, valid
+  as a Dinkelbach seed; the engine's default bound is the sequential
+  bucketed peel in :func:`repro.dense.peeling._peel_arrays`, which is as
+  tight in practice and cheaper per world).
 
 All kernels take an :class:`~repro.engine.indexed.IndexedGraph` plus a
 boolean edge mask and never materialise :class:`Graph` objects.

@@ -1,15 +1,22 @@
-"""FIFO push-relabel maximum flow (ablation / cross-check for Dinic).
+"""FIFO push-relabel maximum flow: object networks and the CSR port.
 
-The library's primary max-flow engine is Dinic's algorithm
+The library's reference max-flow engine is Dinic's algorithm
 (:mod:`repro.flow.maxflow`); this module provides the classic
-Goldberg-Tarjan FIFO push-relabel algorithm over the same
-:class:`~repro.flow.network.FlowNetwork` so the two can cross-validate each
-other (tests) and be compared on the paper's flow networks
-(``benchmarks/bench_ablation_maxflow.py``).
+Goldberg-Tarjan FIFO push-relabel algorithm in two forms:
 
-Like Dinic, it runs on exact ``int`` / ``Fraction`` capacities and leaves
-the network's arcs carrying a valid maximum flow, so all residual-graph
-queries (min-cut sides, SCC condensation) work identically afterwards.
+* :func:`push_relabel_max_flow` over the object
+  :class:`~repro.flow.network.FlowNetwork` (ablation / cross-check for
+  Dinic, ``benchmarks/bench_ablation_maxflow.py``);
+* :func:`csr_push_relabel` over the flat-array
+  :class:`~repro.flow.csr.CSRFlowNetwork` -- the hot per-world solver of
+  the vectorised engine's exact edge-density stage.  Same algorithm, but
+  arcs are plain list entries instead of Python objects, which removes
+  the attribute-chasing that dominated the per-world profile.
+
+Both run on exact ``int`` (or, for the object form, ``Fraction``)
+capacities and leave the network carrying a valid maximum flow, so all
+residual-graph queries (min-cut sides, SCC condensation) work identically
+afterwards -- and return flow-invariant answers, whichever solver ran.
 
 Implementation notes: FIFO active-node queue, per-node current-arc
 pointers, and the gap heuristic (when a height level empties, every node
@@ -20,8 +27,9 @@ Goldberg's construction produces.
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import List, Tuple
 
+from .csr import CSRFlowNetwork
 from .network import Capacity, FlowNetwork, NetNode
 
 
@@ -110,3 +118,193 @@ def push_relabel_max_flow(
         if excess[node] > 0:  # pragma: no cover - defensive re-queue
             enqueue(node)
     return excess[t]
+
+
+def csr_push_relabel(network: CSRFlowNetwork) -> int:
+    """Push a maximum flow through a :class:`CSRFlowNetwork`; return its value.
+
+    Mutates ``network.cap`` in place (it holds residual capacities), so
+    the residual queries on the network are valid afterwards.  The flat
+    twin of :func:`push_relabel_max_flow` -- FIFO queue, current-arc
+    pointers, gap heuristic, arcs in tail-sorted lists with an explicit
+    ``twin`` array -- plus *global relabeling*: heights are periodically
+    recomputed as exact residual BFS distances (``d(v, t)``, or
+    ``n + d(v, s)`` for nodes that can no longer reach the sink), which
+    is what keeps the excess-return phase from climbing heights one
+    relabel at a time on Goldberg's star-shaped networks.
+    """
+    value, _cut = _push_relabel(network, phase1_only=False)
+    return value
+
+
+def csr_max_preflow_min_cut(network: CSRFlowNetwork) -> Tuple[int, List[bool]]:
+    """First-phase push-relabel: max-flow *value* and a min-cut source side.
+
+    Runs push-relabel but never processes nodes lifted to height >= n,
+    leaving their excess parked (the classic two-phase scheme).  Returns
+    ``(value, side)`` where ``value`` is the maximum-flow value (a max
+    preflow reaches the sink with exactly the max-flow amount) and
+    ``side[v]`` flags the source side of a minimum cut
+    (``height[v] >= n`` at termination).
+
+    ``network.cap`` is left holding a max *preflow* residual, which is
+    generally NOT a valid flow -- residual queries are only meaningful if
+    ``value`` equals the network's total source capacity, in which case
+    no excess was parked anywhere and the preflow is a maximum flow.
+    (Goldberg's edge-density networks certify exactly in that case:
+    total source capacity is ``2 m q``, the certification target.)
+    """
+    return _push_relabel(network, phase1_only=True)
+
+
+def _push_relabel(
+    network: CSRFlowNetwork, phase1_only: bool
+) -> Tuple[int, List[bool]]:
+    n = network.num_nodes
+    s = network.source
+    t = network.sink
+    if s == t:
+        raise ValueError("source and sink must differ")
+    to = network.to
+    cap = network.cap
+    twin = network.twin
+    indptr = network.indptr
+
+    height = [0] * n
+    excess = [0] * n
+    count_at_height = [0] * (2 * n + 2)
+
+    active: deque = deque()
+    in_queue = [False] * n
+    push_queue = active.append
+
+    # saturate every arc out of the source
+    for e in range(indptr[s], indptr[s + 1]):
+        delta = cap[e]
+        if delta <= 0:
+            continue
+        cap[e] = 0
+        cap[twin[e]] += delta
+        head = to[e]
+        excess[head] += delta
+        excess[s] -= delta
+
+    pointers = [0] * n
+
+    def global_relabel() -> None:
+        """Set heights to exact residual BFS distances; rebuild the queue."""
+        infinity = 2 * n
+        for i in range(n):
+            height[i] = infinity
+        height[t] = 0
+        height[s] = n
+        # backward BFS from the sink: d(v, t) over residual arcs v -> ...
+        queue = deque([t])
+        while queue:
+            v = queue.popleft()
+            dist = height[v] + 1
+            for e in range(indptr[v], indptr[v + 1]):
+                u = to[e]
+                # residual arc u -> v is the twin of v -> u
+                if cap[twin[e]] > 0 and height[u] == infinity:
+                    height[u] = dist
+                    queue.append(u)
+        if not phase1_only:
+            # backward BFS from the source: n + d(v, s) for the rest
+            queue = deque([s])
+            while queue:
+                v = queue.popleft()
+                dist = height[v] + 1
+                for e in range(indptr[v], indptr[v + 1]):
+                    u = to[e]
+                    if cap[twin[e]] > 0 and height[u] == infinity:
+                        height[u] = dist
+                        queue.append(u)
+        cutoff = n if phase1_only else infinity
+        for level in range(2 * n + 2):
+            count_at_height[level] = 0
+        for i in range(n):
+            count_at_height[height[i]] += 1
+            pointers[i] = indptr[i]
+            in_queue[i] = False
+        active.clear()
+        for i in range(n):
+            if excess[i] > 0 and i != s and i != t and height[i] < cutoff:
+                in_queue[i] = True
+                push_queue(i)
+
+    global_relabel()
+    relabels_since_global = 0
+
+    def relabel(node: int) -> None:
+        old = height[node]
+        smallest = 2 * n
+        for e in range(indptr[node], indptr[node + 1]):
+            if cap[e] > 0 and height[to[e]] < smallest:
+                smallest = height[to[e]]
+        height[node] = smallest + 1
+        count_at_height[old] -= 1
+        count_at_height[smallest + 1] += 1
+        pointers[node] = indptr[node]
+        # gap heuristic: a now-empty level below n disconnects everything
+        # above it from the sink; lift those nodes past n in one step
+        if count_at_height[old] == 0 and old < n:
+            for other in range(n):
+                if old < height[other] <= n and other != s:
+                    count_at_height[height[other]] -= 1
+                    height[other] = n + 1
+                    count_at_height[n + 1] += 1
+
+    while active:
+        node = active.popleft()
+        in_queue[node] = False
+        if phase1_only and height[node] >= n:
+            continue  # lifted past the cut while queued; excess stays parked
+        limit = indptr[node + 1]
+        node_excess = excess[node]
+        while node_excess > 0:
+            e = pointers[node]
+            if e >= limit:
+                excess[node] = node_excess
+                relabel(node)
+                relabels_since_global += 1
+                if relabels_since_global >= n:
+                    relabels_since_global = 0
+                    global_relabel()
+                    node_excess = 0  # re-queued (if still routable) above
+                    break
+                if phase1_only and height[node] >= n:
+                    node_excess = 0  # parked above the cut from now on
+                    break
+                node_excess = excess[node]
+                if height[node] > 2 * n:  # pragma: no cover - defensive
+                    break
+                continue
+            head = to[e]
+            residual = cap[e]
+            if residual > 0 and height[node] == height[head] + 1:
+                delta = node_excess if node_excess < residual else residual
+                cap[e] = residual - delta
+                cap[twin[e]] += delta
+                node_excess -= delta
+                excess[head] += delta
+                if (
+                    not in_queue[head]
+                    and head != s
+                    and head != t
+                    and excess[head] > 0
+                ):
+                    in_queue[head] = True
+                    push_queue(head)
+            else:
+                pointers[node] = e + 1
+        else:
+            excess[node] = node_excess
+        if phase1_only and height[node] >= n:
+            continue  # parked: its excess never re-enters the queue
+        if (  # pragma: no cover - defensive re-queue
+            excess[node] > 0 and not in_queue[node] and node != s and node != t
+        ):
+            in_queue[node] = True
+            push_queue(node)
+    return excess[t], [h >= n for h in height]

@@ -88,3 +88,30 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "tau-hat" in out
+
+    @pytest.mark.parametrize("command", ["mpds", "nds"])
+    def test_engine_option_identical_output(self, command, graph_file, capsys):
+        """--engine python and --engine vectorized print identical results."""
+        outputs = {}
+        for engine in ("python", "vectorized", "auto"):
+            code = main([
+                command, graph_file, "--k", "2", "--theta", "120",
+                "--seed", "9", "--engine", engine,
+            ])
+            assert code == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["python"] == outputs["vectorized"] == outputs["auto"]
+        assert outputs["python"].strip()
+
+    def test_engine_option_with_explicit_sampler(self, graph_file, capsys):
+        for engine in ("python", "vectorized"):
+            code = main([
+                "mpds", graph_file, "--sampler", "LP", "--theta", "80",
+                "--seed", "2", "--engine", engine,
+            ])
+            assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_engine_option_rejects_unknown(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["mpds", graph_file, "--engine", "warp-drive"])

@@ -215,6 +215,115 @@ class TestTruncationReplay:
         assert vector.replayed_worlds > 0
 
 
+class TestSparseDisconnectedWorlds:
+    """Sparse graphs sample mostly forests: the dense layer's tree
+    closed-form and cross-component merging must stay byte-identical."""
+
+    def sparse_graph(self) -> UncertainGraph:
+        return random_uncertain_graph(
+            random.Random(77), 14, 0.16, low=0.15, high=0.8
+        )
+
+    @pytest.mark.parametrize("seed", [1, 19])
+    def test_identical_estimates(self, seed):
+        graph = self.sparse_graph()
+        results = {}
+        for engine in ("python", "vectorized"):
+            results[engine] = top_k_mpds(
+                graph, k=4, theta=48, seed=seed, engine=engine
+            )
+        python, vector = results["python"], results["vectorized"]
+        assert python.candidates == vector.candidates
+        assert python.top == vector.top
+        assert python.densest_counts == vector.densest_counts
+
+    def test_identical_nds(self):
+        graph = self.sparse_graph()
+        python = top_k_nds(graph, k=3, theta=48, seed=5, engine="python")
+        vector = top_k_nds(graph, k=3, theta=48, seed=5, engine="vectorized")
+        assert python.top == vector.top
+        assert python.transactions == vector.transactions
+
+
+class TestNoWorldMaterialization:
+    """The acceptance spy: vectorised EdgeDensity MPDS / NDS never leaves
+    the array substrate -- zero ``to_graph`` / ``world_graph`` /
+    ``subworld_graph`` calls on the sampled-world path."""
+
+    @pytest.fixture
+    def spy(self, monkeypatch):
+        from repro.engine import indexed as indexed_module
+
+        calls = {"to_graph": 0, "world_graph": 0, "subworld_graph": 0}
+        original_to_graph = indexed_module.MaskWorld.to_graph
+        original_world = indexed_module.IndexedGraph.world_graph
+        original_subworld = indexed_module.IndexedGraph.subworld_graph
+
+        def spy_to_graph(self):
+            calls["to_graph"] += 1
+            return original_to_graph(self)
+
+        def spy_world(self, *args, **kwargs):
+            calls["world_graph"] += 1
+            return original_world(self, *args, **kwargs)
+
+        def spy_subworld(self, *args, **kwargs):
+            calls["subworld_graph"] += 1
+            return original_subworld(self, *args, **kwargs)
+
+        monkeypatch.setattr(indexed_module.MaskWorld, "to_graph", spy_to_graph)
+        monkeypatch.setattr(
+            indexed_module.IndexedGraph, "world_graph", spy_world
+        )
+        monkeypatch.setattr(
+            indexed_module.IndexedGraph, "subworld_graph", spy_subworld
+        )
+        return calls
+
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_mpds_edge_density_zero_materializations(self, spy, sampler_name):
+        graph = differential_graph()
+        sampler = make_sampler(sampler_name, graph, 3)
+        result = top_k_mpds(
+            graph, k=3, theta=30, sampler=sampler, seed=3, engine="vectorized"
+        )
+        assert result.theta == 30
+        assert spy == {"to_graph": 0, "world_graph": 0, "subworld_graph": 0}
+
+    def test_nds_edge_density_zero_materializations(self, spy):
+        graph = differential_graph()
+        result = top_k_nds(graph, k=3, theta=30, seed=3, engine="vectorized")
+        assert result.theta == 30
+        assert spy == {"to_graph": 0, "world_graph": 0, "subworld_graph": 0}
+
+    def test_clique_density_materializes_only_filtered_cores(self, spy):
+        """Clique worlds fall back only *past* the k-core pre-filter: the
+        shrunken core is materialised, never the full sampled world."""
+        graph = differential_graph()
+        top_k_mpds(
+            graph,
+            k=2,
+            theta=12,
+            measure=CliqueDensity(3),
+            seed=3,
+            engine="vectorized",
+        )
+        assert spy["to_graph"] == 0
+        assert spy["world_graph"] == 0
+        assert spy["subworld_graph"] == 12
+
+    def test_truncation_replay_is_the_only_materializer(self, spy):
+        graph = UncertainGraph.from_weighted_edges(
+            [("a", "b", 1.0), ("c", "d", 1.0), ("a", "c", 0.5)]
+        )
+        result = top_k_mpds(
+            graph, k=5, theta=10, seed=1, per_world_limit=2,
+            engine="vectorized",
+        )
+        assert result.replayed_worlds > 0
+        assert spy["to_graph"] == result.replayed_worlds
+
+
 class TestSamplerStreamDifferential:
     """Raw sampler output (graphs, weights, order) matches per seed."""
 
