@@ -1,51 +1,153 @@
-"""Scaling bench: sequential vs multiprocess MPDS sampling loops.
+"""Scaling bench: shared-memory parallel substrate vs sequential engine.
 
-The repro hint for this paper is "sampling loops slow at scale" in pure
-Python; ``repro.core.parallel`` shards the world-sampling loop across
-processes.  This bench measures the speedup of 1 / 2 / 4 workers on a
-LastFM-like workload and checks the estimates stay consistent with the
-sequential run (the merge is unbiased).
+Algorithm 1 (MC + edge density, theta = 160) on the 500-node G(n, p)
+bench graph of ``bench_engine.py`` -- the workload whose evaluation
+stage the vectorised engine already accelerated ~14x over pure Python.
+``repro.core.parallel`` fans that evaluation out over a persistent
+spawn pool whose workers attach to the graph/world arrays via shared
+memory, sharded on a worker-count-invariant chunk grid.
+
+Measured per worker count (after warming the pool, so process start-up
+is amortised as in steady-state use):
+
+* wall time of ``parallel_top_k_mpds(..., workers=w)``;
+* speedup over the sequential single-process vectorised engine;
+* whether the estimates are **byte-identical** to the sequential run
+  (the substrate's contract -- asserted, not just reported).
+
+The table is archived as ``benchmarks/results/parallel_scaling.txt`` on
+every run (pytest or ``python -m benchmarks.bench_parallel_scaling
+[--tiny]``); CI uploads it as a build artifact.  Speedups are only
+meaningful on multi-core hosts, so the host's usable core count is
+recorded alongside the numbers; the >= 2.5x @ 4-workers acceptance
+target applies on hosts with >= 4 cores.
 """
 
+from __future__ import annotations
+
+import argparse
+import os
 import time
 
+from repro.core.mpds import top_k_mpds
 from repro.core.parallel import parallel_top_k_mpds
 from repro.experiments.common import format_table
-from repro.metrics.quality import top_k_similarity
 
-from .conftest import BENCH_SMALL, emit
+from .bench_engine import _bench_graph
+from .conftest import emit
 
 WORKERS = (1, 2, 4)
-THETA = 48
+BENCH_N = 500
+BENCH_EDGE_PROB = 0.01
+BENCH_THETA = 160
+BENCH_SEED = 7
+
+#: pytest-scale (the full AC workload runs via ``python -m``)
+PYTEST_THETA = 64
+
+#: --tiny smoke scale (CI artifact; seconds, not minutes)
+TINY_N = 120
+TINY_EDGE_PROB = 0.03
+TINY_THETA = 24
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_scaling_benchmark(
+    n: int = BENCH_N,
+    edge_prob: float = BENCH_EDGE_PROB,
+    theta: int = BENCH_THETA,
+    seed: int = BENCH_SEED,
+    workers: tuple = WORKERS,
+) -> dict:
+    """Time sequential vs parallel runs; assert byte-identical estimates."""
+    graph = _bench_graph(seed=2023, n=n, edge_prob=edge_prob)
+
+    # warm the persistent pool (spawned interpreters + first attach) so
+    # the timed runs measure steady-state behaviour
+    parallel_top_k_mpds(
+        graph, k=5, theta=max(workers) * 2, seed=seed, workers=max(workers)
+    )
+
+    start = time.perf_counter()
+    sequential = top_k_mpds(graph, k=5, theta=theta, seed=seed)
+    sequential_time = time.perf_counter() - start
+
+    rows = [["sequential", f"{sequential_time:.2f}", "1.00", "baseline"]]
+    times = {}
+    for count in workers:
+        start = time.perf_counter()
+        result = parallel_top_k_mpds(
+            graph, k=5, theta=theta, seed=seed, workers=count
+        )
+        elapsed = time.perf_counter() - start
+        times[count] = elapsed
+        identical = (
+            result.candidates == sequential.candidates
+            and result.top == sequential.top
+            and result.densest_counts == sequential.densest_counts
+            and result.replayed_worlds == sequential.replayed_worlds
+        )
+        assert identical, f"workers={count} diverged from sequential"
+        rows.append([
+            f"workers={count}",
+            f"{elapsed:.2f}",
+            f"{sequential_time / elapsed:.2f}",
+            "byte-identical",
+        ])
+
+    cores = _usable_cores()
+    table = format_table(
+        ["Configuration", "Time(s)", "Speedup vs sequential", "Estimates"],
+        rows,
+    )
+    note = (
+        f"host: {cores} usable core(s); n={n} p={edge_prob} theta={theta} "
+        f"seed={seed}\n"
+        "speedup target (>= 2.5x at workers=4) applies on hosts with >= 4 "
+        "cores;\non fewer cores the byte-identity contract is still "
+        "asserted above."
+    )
+    return {
+        "table": table + "\n" + note,
+        "sequential_time": sequential_time,
+        "times": times,
+        "cores": cores,
+    }
 
 
 def test_parallel_scaling(benchmark):
-    graph = BENCH_SMALL["LastFM"]()
+    result = benchmark.pedantic(
+        lambda: run_scaling_benchmark(theta=PYTEST_THETA),
+        rounds=1,
+        iterations=1,
+    )
+    emit("parallel_scaling", result["table"])
+    # byte-identity is asserted inside the run; the speedup is recorded
+    # in the archived table rather than asserted here -- wall-clock
+    # ratios on shared CI runners are too noisy to gate a build on
 
-    def run():
-        rows = []
-        baseline_sets = None
-        for workers in WORKERS:
-            start = time.perf_counter()
-            result = parallel_top_k_mpds(
-                graph, k=5, theta=THETA, seed=2023, workers=workers,
-                per_world_limit=2000,
-            )
-            elapsed = time.perf_counter() - start
-            sets = result.top_sets()
-            if baseline_sets is None:
-                baseline_sets = sets
-                similarity = 1.0
-            else:
-                similarity = top_k_similarity(sets, baseline_sets)
-            rows.append([workers, result.theta, elapsed, similarity])
-        return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    emit("parallel_scaling", format_table(
-        ["Workers", "theta", "Time(s)", "Top-5 similarity vs 1 worker"], rows,
-    ))
-    # every configuration processes the full theta and returns similar sets
-    for row in rows:
-        assert row[1] == THETA
-        assert row[3] >= 0.2  # sampling noise differs across chunkings
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke scale (seconds); archives the same artifact",
+    )
+    args = parser.parse_args()
+    if args.tiny:
+        result = run_scaling_benchmark(
+            n=TINY_N, edge_prob=TINY_EDGE_PROB, theta=TINY_THETA
+        )
+    else:
+        result = run_scaling_benchmark()
+    emit("parallel_scaling", result["table"])
+
+
+if __name__ == "__main__":
+    main()

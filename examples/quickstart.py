@@ -90,6 +90,14 @@ def main() -> None:
     print(f"  identical estimates: "
           f"{python_run.candidates == vector_run.candidates}")
 
+    print("\n== So does the shared-memory parallel substrate ==")
+    from repro.core.parallel import parallel_top_k_mpds
+
+    parallel_run = parallel_top_k_mpds(graph, k=3, theta=theta, seed=7,
+                                       workers=2)
+    print(f"  identical estimates at workers=2: "
+          f"{parallel_run.candidates == approx.candidates}")
+
     print("\n== Accuracy guarantees at theta =", theta, "==")
     taus = [s.probability for s in exact.top]
     others = [

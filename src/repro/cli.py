@@ -15,7 +15,11 @@ comments allowed).  Density notions: ``--density edge`` (default),
 
 ``mpds`` and ``nds`` accept ``--engine {auto,python,vectorized}`` to pick
 the possible-world engine (:mod:`repro.engine`); estimates are identical
-across engines for a fixed ``--seed``.
+across engines for a fixed ``--seed``.  ``--workers N`` fans the sampled
+worlds out over the shared-memory parallel substrate
+(:mod:`repro.core.parallel`); for a fixed ``--seed`` the estimates are
+byte-identical to the sequential run for any worker count, with every
+sampler (MC, LP, RSS).
 """
 
 from __future__ import annotations
@@ -109,7 +113,9 @@ def make_parser() -> argparse.ArgumentParser:
     )
     mpds.add_argument(
         "--workers", type=int, default=1,
-        help="shard the sampling loop over this many processes (MC only)",
+        help="fan the sampled worlds out over this many processes "
+        "(shared-memory substrate; estimates are byte-identical to a "
+        "sequential run for a fixed --seed, for any worker count)",
     )
 
     nds = sub.add_parser("nds", help="top-k NDS (Algorithm 5)")
@@ -125,7 +131,9 @@ def make_parser() -> argparse.ArgumentParser:
     nds.add_argument("--heuristic", action="store_true")
     nds.add_argument(
         "--workers", type=int, default=1,
-        help="shard the sampling loop over this many processes (MC only)",
+        help="fan the sampled worlds out over this many processes "
+        "(shared-memory substrate; estimates are byte-identical to a "
+        "sequential run for a fixed --seed, for any worker count)",
     )
 
     exact = sub.add_parser(
@@ -182,12 +190,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     measure = _build_measure(args)
     if args.command == "mpds":
         if args.workers > 1:
-            if args.sampler != "MC":
-                print("--workers requires the MC sampler", file=sys.stderr)
-                return 2
+            # MC ships seed only, so unseeded runs shard sampling too;
+            # LP/RSS samplers are drained stream-identically by the parent
+            sampler = (
+                None if args.sampler == "MC"
+                else SAMPLERS[args.sampler](graph, args.seed)
+            )
             result = parallel_top_k_mpds(
                 graph, k=args.k, theta=args.theta, measure=measure,
-                seed=args.seed, workers=args.workers,
+                sampler=sampler, seed=args.seed, workers=args.workers,
                 enumerate_all=not args.one_per_world, engine=args.engine,
             )
         else:
@@ -200,13 +211,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_scored(result.top, "tau-hat")
     elif args.command == "nds":
         if args.workers > 1:
-            if args.sampler != "MC":
-                print("--workers requires the MC sampler", file=sys.stderr)
-                return 2
+            sampler = (
+                None if args.sampler == "MC"
+                else SAMPLERS[args.sampler](graph, args.seed)
+            )
             result = parallel_top_k_nds(
                 graph, k=args.k, min_size=args.min_size, theta=args.theta,
-                measure=measure, seed=args.seed, workers=args.workers,
-                engine=args.engine,
+                measure=measure, sampler=sampler, seed=args.seed,
+                workers=args.workers, engine=args.engine,
             )
         else:
             sampler = SAMPLERS[args.sampler](graph, args.seed)

@@ -13,13 +13,83 @@ shows can understate probabilities by up to 20x (Section VI-D).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..graph.uncertain import UncertainGraph
 from ..sampling.base import WorldSampler
 from ..sampling.monte_carlo import MonteCarloSampler
 from .measures import DensityMeasure, EdgeDensity
 from .results import MPDSResult, NodeSet, ScoredNodeSet
+
+#: one evaluated world: (its densest node sets, its estimator weight)
+WorldRecord = Tuple[List[NodeSet], float]
+
+
+def evaluate_worlds(
+    worlds,
+    loop_measure: DensityMeasure,
+    enumerate_all: bool = True,
+    per_world_limit: Optional[int] = 100_000,
+) -> Iterator[WorldRecord]:
+    """Evaluate a world stream into per-world densest-family records.
+
+    The evaluation half of Algorithm 1's loop, shared verbatim by the
+    sequential estimator and the per-block workers of
+    :mod:`repro.core.parallel` (a block is just a slice of the stream):
+    each world contributes ``(densest_sets, weight)``.
+    """
+    for weighted in worlds:
+        if enumerate_all:
+            densest_sets = loop_measure.all_densest(
+                weighted.graph, per_world_limit
+            )
+        else:
+            one = loop_measure.one_densest(weighted.graph)
+            densest_sets = [one] if one is not None else []
+        yield densest_sets, weighted.weight
+
+
+def finalize_mpds(records: Iterable[WorldRecord], k: int) -> MPDSResult:
+    """Accumulate per-world records into the ranked Algorithm 1 result.
+
+    The accumulation half of the loop, again shared by the sequential
+    and parallel estimators.  Records must arrive in world-stream order:
+    floating-point accumulation is then performed in exactly the same
+    sequence everywhere, which is what makes the parallel merge (blocks
+    reassembled in grid order) *byte-identical* to a sequential run, not
+    merely statistically equivalent.
+    """
+    estimates: Dict[NodeSet, float] = {}
+    total_weight = 0.0
+    worlds_with_densest = 0
+    densest_counts: List[int] = []
+    actual_theta = 0
+    for densest_sets, weight in records:
+        actual_theta += 1
+        total_weight += weight
+        densest_counts.append(len(densest_sets))
+        if densest_sets:
+            worlds_with_densest += 1
+        for nodes in densest_sets:
+            estimates[nodes] = estimates.get(nodes, 0.0) + weight
+    if total_weight > 0.0:
+        # normalise so estimates are probabilities even when the sampler
+        # (e.g. RSS with empty strata) emits weights summing below 1
+        estimates = {
+            nodes: weight / total_weight for nodes, weight in estimates.items()
+        }
+    ranked = sorted(
+        estimates.items(),
+        key=lambda item: (-item[1], len(item[0]), sorted(map(repr, item[0]))),
+    )
+    top = [ScoredNodeSet(nodes, prob) for nodes, prob in ranked[:k]]
+    return MPDSResult(
+        top=top,
+        candidates=estimates,
+        theta=actual_theta,
+        worlds_with_densest=worlds_with_densest,
+        densest_counts=densest_counts,
+    )
 
 
 def top_k_mpds(
@@ -71,47 +141,16 @@ def top_k_mpds(
     worlds, loop_measure, engine_measure = prepare_world_stream(
         graph, theta, measure, sampler, seed, engine
     )
-    estimates: Dict[NodeSet, float] = {}
-    total_weight = 0.0
-    worlds_with_densest = 0
-    densest_counts = []
-    actual_theta = 0
-    for weighted in worlds:
-        actual_theta += 1
-        total_weight += weighted.weight
-        if enumerate_all:
-            densest_sets = loop_measure.all_densest(
-                weighted.graph, per_world_limit
-            )
-        else:
-            one = loop_measure.one_densest(weighted.graph)
-            densest_sets = [one] if one is not None else []
-        densest_counts.append(len(densest_sets))
-        if densest_sets:
-            worlds_with_densest += 1
-        for nodes in densest_sets:
-            estimates[nodes] = estimates.get(nodes, 0.0) + weighted.weight
-    if total_weight > 0.0:
-        # normalise so estimates are probabilities even when the sampler
-        # (e.g. RSS with empty strata) emits weights summing below 1
-        estimates = {
-            nodes: weight / total_weight for nodes, weight in estimates.items()
-        }
-    ranked = sorted(
-        estimates.items(),
-        key=lambda item: (-item[1], len(item[0]), sorted(map(repr, item[0]))),
+    result = finalize_mpds(
+        evaluate_worlds(worlds, loop_measure, enumerate_all, per_world_limit),
+        k,
     )
-    top = [ScoredNodeSet(nodes, prob) for nodes, prob in ranked[:k]]
-    return MPDSResult(
-        top=top,
-        candidates=estimates,
-        theta=actual_theta,
-        worlds_with_densest=worlds_with_densest,
-        densest_counts=densest_counts,
-        replayed_worlds=(
-            engine_measure.replayed_worlds if engine_measure else 0
-        ),
+    # read after the stream is fully consumed: the engine counts replays
+    # as it evaluates
+    result.replayed_worlds = (
+        engine_measure.replayed_worlds if engine_measure else 0
     )
+    return result
 
 
 def estimate_tau(

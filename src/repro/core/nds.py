@@ -19,7 +19,7 @@ densest subgraph (footnote 5, via [59]).  So:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..graph.uncertain import UncertainGraph
 from ..itemsets.tfp import top_k_closed_itemsets
@@ -27,6 +27,68 @@ from ..sampling.base import WorldSampler
 from ..sampling.monte_carlo import MonteCarloSampler
 from .measures import DensityMeasure, EdgeDensity
 from .results import NDSResult, NodeSet, ScoredNodeSet
+
+#: one evaluated world: (its maximum-sized densest subgraph or None, weight)
+TransactionRecord = Tuple[Optional[NodeSet], float]
+
+
+def evaluate_transactions(
+    worlds, loop_measure: DensityMeasure
+) -> Iterator[TransactionRecord]:
+    """Evaluate a world stream into per-world transaction records.
+
+    The evaluation half of Algorithm 5's collection loop, shared by the
+    sequential estimator and the per-block workers of
+    :mod:`repro.core.parallel`.
+    """
+    for weighted in worlds:
+        maximal = loop_measure.maximum_sized_densest(weighted.graph)
+        yield maximal, weighted.weight
+
+
+def accumulate_transactions(
+    records: Iterable[TransactionRecord],
+) -> Tuple[List[NodeSet], List[float], float, int]:
+    """Fold per-world records into the transaction database.
+
+    Records must arrive in world-stream order so the ``total_weight``
+    float accumulation matches a sequential run exactly (the parallel
+    merge reassembles blocks in grid order before calling this).
+    Returns ``(transactions, weights, total_weight, actual_theta)``.
+    """
+    transactions: List[NodeSet] = []
+    weights: List[float] = []
+    total_weight = 0.0
+    actual_theta = 0
+    for maximal, weight in records:
+        actual_theta += 1
+        total_weight += weight
+        if maximal:
+            transactions.append(maximal)
+            weights.append(weight)
+    return transactions, weights, total_weight, actual_theta
+
+
+def finalize_nds(
+    transactions: List[NodeSet],
+    weights: List[float],
+    total_weight: float,
+    actual_theta: int,
+    k: int,
+    min_size: int,
+) -> NDSResult:
+    """Mine the transaction database into the ranked Algorithm 5 result."""
+    if not transactions:
+        return NDSResult(top=[], theta=actual_theta, transactions=0)
+    mined = top_k_closed_itemsets(transactions, k, min_size, weights)
+    scale = 1.0 / total_weight if total_weight else 1.0
+    top = [
+        ScoredNodeSet(frozenset(closed.items), closed.support * scale)
+        for closed in mined
+    ]
+    return NDSResult(
+        top=top, theta=actual_theta, transactions=len(transactions)
+    )
 
 
 def collect_transactions(
@@ -39,27 +101,17 @@ def collect_transactions(
 ) -> Tuple[List[NodeSet], List[float], float, int]:
     """Sample worlds and collect their maximum-sized densest subgraphs.
 
-    The transaction-collection stage of Algorithm 5 (lines 3-4), shared
-    by the sequential and multiprocess estimators.  Returns
-    ``(transactions, weights, total_weight, actual_theta)``.
+    The transaction-collection stage of Algorithm 5 (lines 3-4).
+    Returns ``(transactions, weights, total_weight, actual_theta)``.
     """
     from ..engine.estimators import prepare_world_stream
 
     worlds, loop_measure, _engine_measure = prepare_world_stream(
         graph, theta, measure, sampler, seed, engine
     )
-    transactions: List[NodeSet] = []
-    weights: List[float] = []
-    total_weight = 0.0
-    actual_theta = 0
-    for weighted in worlds:
-        actual_theta += 1
-        total_weight += weighted.weight
-        maximal = loop_measure.maximum_sized_densest(weighted.graph)
-        if maximal:
-            transactions.append(maximal)
-            weights.append(weighted.weight)
-    return transactions, weights, total_weight, actual_theta
+    return accumulate_transactions(
+        evaluate_transactions(worlds, loop_measure)
+    )
 
 
 def top_k_nds(
@@ -102,15 +154,9 @@ def top_k_nds(
     transactions, weights, total_weight, actual_theta = collect_transactions(
         graph, theta, measure, sampler=sampler, seed=seed, engine=engine
     )
-    if not transactions:
-        return NDSResult(top=[], theta=actual_theta, transactions=0)
-    mined = top_k_closed_itemsets(transactions, k, min_size, weights)
-    scale = 1.0 / total_weight if total_weight else 1.0
-    top = [
-        ScoredNodeSet(frozenset(closed.items), closed.support * scale)
-        for closed in mined
-    ]
-    return NDSResult(top=top, theta=actual_theta, transactions=len(transactions))
+    return finalize_nds(
+        transactions, weights, total_weight, actual_theta, k, min_size
+    )
 
 
 def estimate_gamma(

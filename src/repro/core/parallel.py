@@ -1,112 +1,585 @@
-"""Multiprocess fan-out for the sampling estimators (Algorithms 1 and 5).
+"""Shared-memory parallel sampling substrate (Algorithms 1 and 5).
 
-The paper's C++ implementation is fast enough single-threaded; in pure
-Python the per-world densest-subgraph computation dominates, and the worlds
-are independent, so the sampling loop parallelises embarrassingly.  These
-wrappers split ``theta`` across worker processes (each with a distinct
-derived seed), run the sequential estimator per chunk, and merge:
+The sampled worlds of Algorithm 1 / Algorithm 5 are independent, so the
+per-world densest-subgraph work parallelises embarrassingly.  Earlier
+revisions forked a fresh pool per call, pickled the whole
+:class:`UncertainGraph` into every chunk, rebuilt the CSR index in every
+worker, and let the chunking follow the worker count -- so changing
+``workers`` changed the estimates.  This module replaces that with a
+substrate built around three invariants:
 
-* MPDS: per-chunk candidate estimates are tau-hats over ``theta_i`` worlds;
-  the merged estimate is the theta-weighted average, identical in
-  distribution to a single run with ``sum(theta_i)`` worlds.
-* NDS: workers return their worlds' maximum-sized densest subgraphs
-  (transactions); the parent mines them with TFP once.
+1. **A persistent, spawn-safe worker pool.**  One pool is created
+   lazily, kept across calls (grown if a later call asks for more
+   workers) and shut down at interpreter exit.  A call requesting
+   *fewer* workers than the pool holds reuses it but keeps at most
+   ``workers`` blocks in flight, so the requested concurrency cap is
+   honoured either way.  Workers never inherit parent state; everything
+   they need arrives by shared memory or tiny picklable task tuples.
+2. **Shared-memory graph and world arrays.**  The parent publishes the
+   graph's endpoint / probability / CSR arrays (plus the sampled world
+   masks and LP/RSS insertion orders) as :mod:`multiprocessing`
+   shared-memory segments (:mod:`repro.engine.shm`); a task ships only
+   segment names and a byte layout, and workers attach zero-copy
+   (cached per segment, so a 64-block run attaches twice, not 64
+   times).
+3. **A worker-count-invariant chunk grid.**  The ``theta`` worlds are
+   sharded over fixed contiguous blocks (:func:`repro.engine.blocks.
+   plan_blocks` -- a pure function of the world count).  Workers claim
+   whole blocks dynamically; the parent reassembles per-block records
+   in grid order and feeds them through the *same* accumulation code
+   the sequential estimators use (:func:`repro.core.mpds.finalize_mpds`
+   / :func:`repro.core.nds.accumulate_transactions`).  Every float is
+   therefore added in the same sequence as a sequential run.
 
-Merging preserves unbiasedness (Lemma 1 applies per world).  Determinism:
-``seed`` fixes the per-chunk seeds, so results are reproducible for a fixed
-``workers`` count (different counts chunk the stream differently).
+Determinism contract
+--------------------
+* **Seeded runs** (``seed`` given or a seeded MC/LP/RSS ``sampler``
+  passed): the parent replays the sampler's *continuous* RNG stream via
+  its vectorised twin and pre-partitions the resulting mask / insertion
+  -order / weight arrays along the grid.  The worlds each block
+  evaluates are byte-identical to the worlds the sequential estimator
+  would evaluate, so ``parallel_top_k_mpds(..., seed=s, workers=w)``
+  returns **byte-identical** results for every ``w`` -- including
+  ``workers=1``, which short-circuits to the sequential estimator --
+  and matches ``top_k_mpds(..., seed=s)`` exactly.  This covers Monte
+  Carlo, Lazy Propagation (geometric-jump stream) and Recursive
+  Stratified Sampling (stratum trial streams).
+* **Unseeded Monte Carlo runs** (``seed=None``, no sampler): sampling
+  itself is sharded.  Each block draws its own trial matrix from a
+  per-block seed derived once per call via
+  :func:`repro.engine.blocks.derive_block_seeds`
+  (``SeedSequence.spawn``), so the parent does no sampling work and the
+  result is still invariant to ``workers`` within the call (the block
+  seeds, not the workers, determine the worlds).
 
-Only Monte Carlo sampling is supported here -- LP and RSS keep cross-world
-state that does not shard (the sequential estimators vectorise them via
-``engine="auto"`` instead; see :mod:`repro.engine`).
+Merging preserves unbiasedness (Lemma 1 applies per world) -- but the
+stronger property above makes that moot: the parallel estimate *is* the
+sequential estimate.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..graph.uncertain import UncertainGraph
-from ..itemsets.tfp import top_k_closed_itemsets
 from .measures import DensityMeasure, EdgeDensity
-from .mpds import top_k_mpds
-from .nds import collect_transactions, top_k_nds
-from .results import MPDSResult, NDSResult, NodeSet, ScoredNodeSet
+from .mpds import finalize_mpds, top_k_mpds
+from .nds import accumulate_transactions, finalize_nds, top_k_nds
+from .results import MPDSResult, NDSResult
+
+#: (start, stop) world-index ranges of the chunk grid
+BlockPlan = List[Tuple[int, int]]
+
+#: one finished block: (block index, per-world records, replayed count)
+BlockOutput = Tuple[int, list, int]
 
 
-def _chunk_thetas(theta: int, workers: int) -> List[int]:
-    """Split ``theta`` into ``workers`` near-equal positive chunks."""
-    base, extra = divmod(theta, workers)
-    chunks = [base + (1 if i < extra else 0) for i in range(workers)]
-    return [c for c in chunks if c > 0]
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+_POOL: Optional[multiprocessing.pool.Pool] = None
+_POOL_PROCS = 0
 
 
-def _derive_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
-    if seed is None:
-        return [None] * count
-    # simple splitmix-style derivation keeps chunks decorrelated
-    return [(seed * 0x9E3779B1 + i * 0x85EBCA77) % (2**63) for i in range(count)]
+def _ensure_pool(workers: int) -> multiprocessing.pool.Pool:
+    """Return the persistent spawn pool, growing it if needed.
+
+    The pool is created once and reused across calls (spawned workers
+    pay their interpreter start-up a single time); asking for more
+    workers than the current pool has replaces it with a larger one.
+    """
+    global _POOL, _POOL_PROCS
+    if _POOL is None or _POOL_PROCS < workers:
+        shutdown_pool()
+        context = multiprocessing.get_context("spawn")
+        _POOL = context.Pool(processes=workers)
+        _POOL_PROCS = workers
+    return _POOL
 
 
-def _mpds_chunk(
-    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], bool, Optional[int], str]
-) -> Tuple[int, Dict[NodeSet, float], List[int], int]:
-    graph, theta, measure, seed, enumerate_all, per_world_limit, engine = args
-    result = top_k_mpds(
-        graph,
-        k=1,
-        theta=theta,
-        measure=measure,
-        seed=seed,
-        enumerate_all=enumerate_all,
-        per_world_limit=per_world_limit,
-        engine=engine,
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (no-op when none is running).
+
+    Called automatically at interpreter exit; useful in tests or after
+    a worker crash left the pool unusable.
+    """
+    global _POOL, _POOL_PROCS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_PROCS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# ----------------------------------------------------------------------
+# worker-side segment cache
+# ----------------------------------------------------------------------
+#: segment name -> (shm, attached arrays, IndexedGraph or None); small
+#: LRU so long-lived workers do not accumulate mappings across calls
+_SEGMENTS: Dict[str, tuple] = {}
+_SEGMENT_CAP = 4
+
+
+def _attached_entry(name: str, layout, want_graph: bool):
+    """Attach (or reuse) a published segment inside a worker."""
+    from ..engine.indexed import IndexedGraph
+    from ..engine.shm import attach_arrays, close_attachment
+
+    entry = _SEGMENTS.get(name)
+    if entry is None:
+        shm, arrays = attach_arrays(name, layout)
+        graph = IndexedGraph.from_shared_payload(arrays) if want_graph else None
+        _SEGMENTS[name] = entry = (shm, arrays, graph)
+        stale = [key for key in _SEGMENTS if key != name]
+        while len(_SEGMENTS) > _SEGMENT_CAP and stale:
+            old_shm, old_arrays, old_graph = _SEGMENTS.pop(stale.pop(0))
+            del old_arrays, old_graph
+            close_attachment(old_shm)
+    elif want_graph and entry[2] is None:  # pragma: no cover - defensive
+        shm, arrays, _ = entry
+        _SEGMENTS[name] = entry = (
+            shm, arrays, IndexedGraph.from_shared_payload(arrays)
+        )
+    return entry
+
+
+# ----------------------------------------------------------------------
+# per-block evaluation (runs in workers; also used in-process by tests)
+# ----------------------------------------------------------------------
+def _block_records(
+    indexed,
+    masks: np.ndarray,
+    order_data: Optional[np.ndarray],
+    order_indptr: Optional[np.ndarray],
+    lo: int,
+    hi: int,
+    measure: DensityMeasure,
+    engine: str,
+    enumerate_all: bool,
+    per_world_limit: Optional[int],
+    mode: str,
+) -> Tuple[list, int]:
+    """Evaluate world rows ``lo:hi`` of ``masks`` into per-world records.
+
+    ``engine`` must already be resolved to ``"vectorized"`` or
+    ``"python"``.  The vectorised path evaluates :class:`MaskWorld`
+    views through an :class:`EngineMeasure`; the python path replays
+    each world's exact insertion sequence into a :class:`Graph` and
+    queries the plain measure -- both byte-identical to what the
+    sequential estimator computes for the same worlds, with one
+    exception: a world whose densest-family enumeration (possibly) hit
+    ``per_world_limit`` is recorded as the sentinel ``None``.  The
+    truncated *window* of an enumeration is order-sensitive, and
+    enumeration order over string-labelled worlds depends on the
+    process's hash seed -- so those few worlds must be re-evaluated in
+    the parent process (:func:`_replay_truncated`), where the hash seed
+    matches the sequential run by construction.  Returns ``(records,
+    replayed_worlds)``.
+    """
+    from ..engine.estimators import EngineMeasure
+    from ..engine.indexed import MaskWorld
+    from ..sampling.base import WeightedWorld
+    from .mpds import evaluate_worlds
+    from .nds import evaluate_transactions
+
+    loop_measure = (
+        EngineMeasure(measure) if engine == "vectorized" else measure
     )
-    return (
-        result.theta,
-        result.candidates,
-        result.densest_counts,
-        result.replayed_worlds,
+
+    def block_worlds() -> Iterator[WeightedWorld]:
+        for i in range(lo, hi):
+            order = (
+                order_data[order_indptr[i]:order_indptr[i + 1]]
+                if order_data is not None
+                else None
+            )
+            if engine == "vectorized":
+                world = MaskWorld(indexed, masks[i], order=order)
+            else:
+                world = indexed.world_graph(masks[i], order)
+            # weights are merged in the parent; per-block weight is unused
+            yield WeightedWorld(world, 0.0)
+
+    if mode == "nds":
+        records = [
+            maximal
+            for maximal, _ in evaluate_transactions(block_worlds(), loop_measure)
+        ]
+        return records, 0
+    records: list = []
+    for densest_sets, _ in evaluate_worlds(
+        block_worlds(), loop_measure, enumerate_all, per_world_limit
+    ):
+        if (
+            enumerate_all
+            and per_world_limit is not None
+            and len(densest_sets) >= per_world_limit
+        ):
+            # (possibly) truncated enumeration: defer the order-sensitive
+            # window to the parent.  The engine's own replay counter (if
+            # any) already ticked, exactly as in a sequential run.
+            records.append(None)
+        else:
+            records.append(densest_sets)
+    replayed = (
+        loop_measure.replayed_worlds if engine == "vectorized" else 0
+    )
+    return records, replayed
+
+
+def _evaluate_block(task) -> BlockOutput:
+    """Worker entry point: evaluate one chunk-grid block.
+
+    ``task`` is a small picklable tuple; all heavy inputs arrive by
+    shared memory.  ``block_seed`` is set only on the unseeded Monte
+    Carlo path, where the worker draws the block's trial matrix itself.
+    """
+    (
+        block_index,
+        start,
+        stop,
+        graph_name,
+        graph_layout,
+        job_name,
+        job_layout,
+        block_seed,
+        mode,
+        measure,
+        engine,
+        enumerate_all,
+        per_world_limit,
+    ) = task
+    _shm, _arrays, indexed = _attached_entry(
+        graph_name, graph_layout, want_graph=True
+    )
+    if block_seed is not None:
+        from ..engine.blocks import mc_block_masks
+
+        masks = mc_block_masks(indexed, block_seed, stop - start)
+        records, replayed = _block_records(
+            indexed, masks, None, None, 0, stop - start,
+            measure, engine, enumerate_all, per_world_limit, mode,
+        )
+    else:
+        _job_shm, job_arrays, _ = _attached_entry(
+            job_name, job_layout, want_graph=False
+        )
+        records, replayed = _block_records(
+            indexed,
+            job_arrays["masks"],
+            job_arrays.get("order_data"),
+            job_arrays.get("order_indptr"),
+            start,
+            stop,
+            measure, engine, enumerate_all, per_world_limit, mode,
+        )
+    return block_index, records, replayed
+
+
+def _replay_truncated(
+    plan: "_RunPlan",
+    outputs: List[BlockOutput],
+    measure: DensityMeasure,
+    per_world_limit: Optional[int],
+) -> None:
+    """Re-evaluate sentinel (truncation-hit) worlds in the parent.
+
+    A truncated densest-family enumeration returns an order-sensitive
+    *window*, and enumeration order over hash-containers follows the
+    per-process hash seed -- so workers flag such worlds instead of
+    answering (see :func:`_block_records`) and the parent, whose hash
+    seed is the one a sequential run would have used, replays them
+    through the same materialised-world python path the sequential
+    engines use.  Mutates ``outputs`` in place.  Worlds are rebuilt from
+    the plan's mask rows, or by re-deriving the block's trial matrix
+    from its seed on the unseeded path (cheap: only blocks that
+    actually truncated are redrawn).
+    """
+    for block_index, records, _replayed in outputs:
+        if all(record is not None for record in records):
+            continue
+        start, stop = plan.blocks[block_index]
+        if plan.masks is not None:
+            masks, base = plan.masks, start
+        else:
+            from ..engine.blocks import mc_block_masks
+
+            masks, base = (
+                mc_block_masks(
+                    plan.indexed, plan.block_seeds[block_index], stop - start
+                ),
+                0,
+            )
+        for offset, record in enumerate(records):
+            if record is not None:
+                continue
+            i = start + offset
+            order = (
+                plan.order_data[plan.order_indptr[i]:plan.order_indptr[i + 1]]
+                if plan.order_data is not None
+                else None
+            )
+            world = plan.indexed.world_graph(masks[base + offset], order)
+            records[offset] = measure.all_densest(world, per_world_limit)
+
+
+# ----------------------------------------------------------------------
+# deterministic merge (block order, sequential accumulation code)
+# ----------------------------------------------------------------------
+def _records_in_grid_order(
+    blocks: BlockPlan,
+    weights: np.ndarray,
+    outputs: Iterable[BlockOutput],
+) -> Tuple[Iterator[Tuple[object, float]], List[int]]:
+    """Reassemble per-block outputs into the sequential record stream.
+
+    ``outputs`` may arrive in *any* order (workers race) and are sorted
+    back onto the grid; each world record is re-paired with its global
+    estimator weight.  Returns the ordered record iterator plus the
+    per-block replay counts.  Raises ``ValueError`` on missing,
+    duplicated or mis-sized blocks -- the merge refuses to fabricate an
+    estimate from a partial grid.
+    """
+    by_index: Dict[int, list] = {}
+    replayed: List[int] = [0] * len(blocks)
+    for block_index, records, block_replayed in outputs:
+        if block_index in by_index:
+            raise ValueError(f"duplicate block {block_index} in merge")
+        if not 0 <= block_index < len(blocks):
+            raise ValueError(f"unknown block {block_index} in merge")
+        start, stop = blocks[block_index]
+        if len(records) != stop - start:
+            raise ValueError(
+                f"block {block_index} returned {len(records)} records, "
+                f"expected {stop - start}"
+            )
+        by_index[block_index] = records
+        replayed[block_index] = block_replayed
+    if len(by_index) != len(blocks):
+        missing = sorted(set(range(len(blocks))) - set(by_index))
+        raise ValueError(f"merge is missing blocks {missing}")
+
+    def ordered() -> Iterator[Tuple[object, float]]:
+        for block_index, (start, _stop) in enumerate(blocks):
+            for offset, record in enumerate(by_index[block_index]):
+                yield record, float(weights[start + offset])
+
+    return ordered(), replayed
+
+
+def merge_mpds_blocks(
+    blocks: BlockPlan,
+    weights: np.ndarray,
+    outputs: Iterable[BlockOutput],
+    k: int,
+) -> MPDSResult:
+    """Merge per-block MPDS records into the final Algorithm 1 result.
+
+    Invariant under any permutation of ``outputs`` and any partition of
+    the grid into blocks: records are replayed in grid order through
+    :func:`repro.core.mpds.finalize_mpds`, the exact accumulation the
+    sequential estimator runs.
+    """
+    records, replayed = _records_in_grid_order(blocks, weights, outputs)
+    result = finalize_mpds(records, k)
+    result.replayed_worlds = sum(replayed)
+    return result
+
+
+def merge_nds_blocks(
+    blocks: BlockPlan,
+    weights: np.ndarray,
+    outputs: Iterable[BlockOutput],
+    k: int,
+    min_size: int,
+) -> NDSResult:
+    """Merge per-block NDS transactions into the final Algorithm 5 result.
+
+    Same invariance as :func:`merge_mpds_blocks`: the parent re-runs the
+    sequential transaction accumulation over the grid-ordered stream and
+    mines the merged database once.
+    """
+    records, _replayed = _records_in_grid_order(blocks, weights, outputs)
+    transactions, tx_weights, total_weight, actual_theta = (
+        accumulate_transactions(records)
+    )
+    return finalize_nds(
+        transactions, tx_weights, total_weight, actual_theta, k, min_size
     )
 
 
-def _nds_chunk(
-    args: Tuple[UncertainGraph, int, "DensityMeasure", Optional[int], str]
-) -> List[NodeSet]:
-    graph, theta, measure, seed, engine = args
-    transactions, _weights, _total, _theta = collect_transactions(
-        graph, theta, measure, seed=seed, engine=engine
+# ----------------------------------------------------------------------
+# run planning + dispatch
+# ----------------------------------------------------------------------
+class _RunPlan:
+    """Everything one fan-out needs: graph, grid, and world arrays."""
+
+    __slots__ = (
+        "indexed", "blocks", "weights", "masks",
+        "order_data", "order_indptr", "block_seeds",
     )
-    return transactions
+
+    def __init__(self, indexed, blocks, weights, masks,
+                 order_data, order_indptr, block_seeds):
+        self.indexed = indexed
+        self.blocks = blocks
+        self.weights = weights
+        self.masks = masks
+        self.order_data = order_data
+        self.order_indptr = order_indptr
+        self.block_seeds = block_seeds
 
 
-def _run_pool(worker, job_args: Sequence, workers: int) -> List:
-    """Map jobs over a process pool; fall back to in-process for 1 worker."""
-    if workers <= 1 or len(job_args) <= 1:
-        return [worker(args) for args in job_args]
-    context = multiprocessing.get_context()
-    with context.Pool(processes=min(workers, len(job_args))) as pool:
-        return pool.map(worker, job_args)
+def _plan_run(graph: UncertainGraph, theta: int, sampler,
+              seed: Optional[int]) -> Optional[_RunPlan]:
+    """Sample (or schedule sampling for) one fan-out's worlds.
+
+    Returns ``None`` when the fan-out cannot help (edgeless graph or a
+    single-world grid) and the caller should fall back to the
+    sequential estimator *before* any RNG is consumed.
+    """
+    from ..engine.blocks import (
+        derive_block_seeds,
+        drain_mask_stream,
+        plan_blocks,
+    )
+    from ..engine.estimators import vectorized_sampler
+    from ..engine.indexed import IndexedGraph
+
+    if theta == 1:
+        return None
+    if sampler is None and seed is None:
+        # unseeded Monte Carlo: shard the sampling itself over the grid
+        indexed = IndexedGraph.from_uncertain(graph)
+        if indexed.m == 0:
+            return None
+        blocks = plan_blocks(theta)
+        return _RunPlan(
+            indexed,
+            blocks,
+            np.full(theta, 1.0 / theta, dtype=np.float64),
+            None, None, None,
+            derive_block_seeds(None, len(blocks)),
+        )
+    try:
+        vec = vectorized_sampler(graph, sampler, seed)
+    except ValueError as exc:
+        raise ValueError(
+            "the parallel substrate shards the MC, LP and RSS sampling "
+            f"streams only; {exc}"
+        ) from exc
+    if vec.indexed.m == 0:
+        return None
+    masks, weights, order_data, order_indptr = drain_mask_stream(vec, theta)
+    blocks = plan_blocks(len(weights))
+    return _RunPlan(
+        vec.indexed, blocks, weights, masks, order_data, order_indptr, None
+    )
 
 
+def _run_blocks(
+    plan: _RunPlan,
+    workers: int,
+    mode: str,
+    measure: DensityMeasure,
+    engine: str,
+    enumerate_all: bool,
+    per_world_limit: Optional[int],
+) -> List[BlockOutput]:
+    """Publish the plan's arrays and fan the grid out over the pool."""
+    from ..engine.shm import pack_arrays
+
+    graph_shm, graph_layout = pack_arrays(plan.indexed.shared_payload())
+    job_shm = job_layout = None
+    try:
+        if plan.masks is not None:
+            job_arrays = {"masks": plan.masks}
+            if plan.order_data is not None:
+                job_arrays["order_data"] = plan.order_data
+                job_arrays["order_indptr"] = plan.order_indptr
+            job_shm, job_layout = pack_arrays(job_arrays)
+        tasks = [
+            (
+                block_index,
+                start,
+                stop,
+                graph_shm.name,
+                graph_layout,
+                None if job_shm is None else job_shm.name,
+                job_layout,
+                None
+                if plan.block_seeds is None
+                else plan.block_seeds[block_index],
+                mode,
+                measure,
+                engine,
+                enumerate_all,
+                per_world_limit,
+            )
+            for block_index, (start, stop) in enumerate(plan.blocks)
+        ]
+        window = min(workers, len(tasks))
+        pool = _ensure_pool(window)
+        # bounded dispatch: the persistent pool may be larger than this
+        # call's `workers` (it grows but never shrinks), so cap the
+        # number of outstanding tasks at `workers` instead of flooding
+        # every pool process with work
+        outputs: List[BlockOutput] = []
+        pending: List = []
+        for task in tasks:
+            pending.append(pool.apply_async(_evaluate_block, (task,)))
+            if len(pending) >= window:
+                outputs.append(pending.pop(0).get())
+        while pending:
+            outputs.append(pending.pop(0).get())
+        return outputs
+    finally:
+        graph_shm.close()
+        graph_shm.unlink()
+        if job_shm is not None:
+            job_shm.close()
+            job_shm.unlink()
+
+
+def _resolve_eval_engine(engine: str, sampler, measure: DensityMeasure) -> str:
+    """Resolve ``auto`` exactly as the sequential estimators do."""
+    from ..engine.estimators import resolve_engine
+
+    return resolve_engine(engine, sampler, measure)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
 def parallel_top_k_mpds(
     graph: UncertainGraph,
     k: int = 1,
     theta: int = 160,
     measure: Optional[DensityMeasure] = None,
+    sampler=None,
     seed: Optional[int] = None,
     workers: int = 2,
     enumerate_all: bool = True,
     per_world_limit: Optional[int] = 100_000,
     engine: str = "auto",
 ) -> MPDSResult:
-    """Algorithm 1 with the sampling loop fanned out over processes.
+    """Algorithm 1 fanned out over the shared-memory substrate.
 
-    Semantically equivalent to :func:`repro.core.mpds.top_k_mpds` with the
-    same total ``theta`` (worlds are merely processed by different workers).
-    ``workers=1`` short-circuits to the sequential estimator with the
-    *same* seed, so it is byte-identical to calling ``top_k_mpds``
-    directly.  See the module docstring for determinism caveats.
+    For a fixed ``seed`` (or seeded MC/LP/RSS ``sampler``) the result is
+    **byte-identical** for every ``workers`` value and equal to
+    :func:`repro.core.mpds.top_k_mpds` with the same arguments -- the
+    parent pre-partitions the sampler's continuous stream over the
+    fixed chunk grid and merges per-block records through the
+    sequential accumulation code (see the module docstring for the full
+    determinism contract).  ``workers=1`` short-circuits to the
+    sequential estimator.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -115,49 +588,32 @@ def parallel_top_k_mpds(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     measure = measure or EdgeDensity()
-    if workers == 1:
+    plan = None
+    if workers > 1:
+        plan = _plan_run(graph, theta, sampler, seed)
+    if plan is None:
         return top_k_mpds(
             graph,
             k=k,
             theta=theta,
             measure=measure,
+            sampler=sampler,
             seed=seed,
             enumerate_all=enumerate_all,
             per_world_limit=per_world_limit,
             engine=engine,
         )
-    chunks = _chunk_thetas(theta, workers)
-    seeds = _derive_seeds(seed, len(chunks))
-    job_args = [
-        (graph, chunk, measure, chunk_seed, enumerate_all, per_world_limit,
-         engine)
-        for chunk, chunk_seed in zip(chunks, seeds)
-    ]
-    outputs = _run_pool(_mpds_chunk, job_args, workers)
-    merged: Dict[NodeSet, float] = {}
-    total_theta = 0
-    total_replayed = 0
-    densest_counts: List[int] = []
-    for chunk_theta, candidates, counts, replayed in outputs:
-        total_theta += chunk_theta
-        total_replayed += replayed
-        densest_counts.extend(counts)
-        for nodes, estimate in candidates.items():
-            merged[nodes] = merged.get(nodes, 0.0) + estimate * chunk_theta
-    merged = {nodes: value / total_theta for nodes, value in merged.items()}
-    ranked = sorted(
-        merged.items(),
-        key=lambda item: (-item[1], len(item[0]), sorted(map(repr, item[0]))),
+    outputs = _run_blocks(
+        plan,
+        workers,
+        "mpds",
+        measure,
+        _resolve_eval_engine(engine, sampler, measure),
+        enumerate_all,
+        per_world_limit,
     )
-    top = [ScoredNodeSet(nodes, prob) for nodes, prob in ranked[:k]]
-    return MPDSResult(
-        top=top,
-        candidates=merged,
-        theta=total_theta,
-        worlds_with_densest=sum(1 for c in densest_counts if c > 0),
-        densest_counts=densest_counts,
-        replayed_worlds=total_replayed,
-    )
+    _replay_truncated(plan, outputs, measure, per_world_limit)
+    return merge_mpds_blocks(plan.blocks, plan.weights, outputs, k)
 
 
 def parallel_top_k_nds(
@@ -166,14 +622,20 @@ def parallel_top_k_nds(
     min_size: int = 2,
     theta: int = 640,
     measure: Optional[DensityMeasure] = None,
+    sampler=None,
     seed: Optional[int] = None,
     workers: int = 2,
     engine: str = "auto",
 ) -> NDSResult:
-    """Algorithm 5 with transaction collection fanned out over processes.
+    """Algorithm 5 fanned out over the shared-memory substrate.
 
-    ``workers=1`` short-circuits to the sequential estimator with the
-    same seed (byte-identical to ``top_k_nds``).
+    Workers return their blocks' per-world maximum-sized densest
+    subgraphs; the parent reassembles the transaction stream in grid
+    order, re-runs the sequential accumulation and mines the merged
+    database once -- byte-identical to
+    :func:`repro.core.nds.top_k_nds` for a fixed seed, for every
+    ``workers`` value.  ``workers=1`` short-circuits to the sequential
+    estimator.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -184,31 +646,27 @@ def parallel_top_k_nds(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     measure = measure or EdgeDensity()
-    if workers == 1:
+    plan = None
+    if workers > 1:
+        plan = _plan_run(graph, theta, sampler, seed)
+    if plan is None:
         return top_k_nds(
             graph,
             k=k,
             min_size=min_size,
             theta=theta,
             measure=measure,
+            sampler=sampler,
             seed=seed,
             engine=engine,
         )
-    chunks = _chunk_thetas(theta, workers)
-    seeds = _derive_seeds(seed, len(chunks))
-    job_args = [
-        (graph, chunk, measure, chunk_seed, engine)
-        for chunk, chunk_seed in zip(chunks, seeds)
-    ]
-    outputs = _run_pool(_nds_chunk, job_args, workers)
-    transactions: List[NodeSet] = []
-    for chunk_transactions in outputs:
-        transactions.extend(chunk_transactions)
-    if not transactions:
-        return NDSResult(top=[], theta=theta, transactions=0)
-    mined = top_k_closed_itemsets(transactions, k, min_size)
-    top = [
-        ScoredNodeSet(frozenset(closed.items), closed.support / theta)
-        for closed in mined
-    ]
-    return NDSResult(top=top, theta=theta, transactions=len(transactions))
+    outputs = _run_blocks(
+        plan,
+        workers,
+        "nds",
+        measure,
+        _resolve_eval_engine(engine, sampler, measure),
+        True,
+        None,
+    )
+    return merge_nds_blocks(plan.blocks, plan.weights, outputs, k, min_size)

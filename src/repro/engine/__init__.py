@@ -56,7 +56,15 @@ part of the fast path's contract) and counted in the result's
 ``replayed_worlds``, so even truncated candidate subsets match exactly.
 """
 
+from .blocks import (
+    DEFAULT_BLOCKS,
+    derive_block_seeds,
+    drain_mask_stream,
+    mc_block_masks,
+    plan_blocks,
+)
 from .indexed import IndexedGraph, MaskWorld, SubWorldView
+from .shm import attach_arrays, close_attachment, pack_arrays
 from .kernels import (
     batch_k_core_alive,
     batch_world_degrees,
@@ -81,6 +89,14 @@ from .estimators import (
 )
 
 __all__ = [
+    "DEFAULT_BLOCKS",
+    "derive_block_seeds",
+    "drain_mask_stream",
+    "mc_block_masks",
+    "plan_blocks",
+    "attach_arrays",
+    "close_attachment",
+    "pack_arrays",
     "IndexedGraph",
     "MaskWorld",
     "SubWorldView",

@@ -28,6 +28,7 @@ downstream measure and solver works unchanged on either representation.
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
@@ -110,6 +111,55 @@ class IndexedGraph:
             indptr[1:] = np.cumsum(np.bincount(tails, minlength=self.n))
             self._csr = (indptr, heads[order], owners[order])
         return self._csr
+
+    # ------------------------------------------------------------------
+    # shared-memory views
+    # ------------------------------------------------------------------
+    def shared_payload(self) -> Dict[str, np.ndarray]:
+        """Return the arrays a worker process needs to rebuild this graph.
+
+        Everything heavy as flat arrays -- endpoints, probabilities and
+        the *already computed* CSR adjacency, so attaching processes
+        never redo the :meth:`csr` sort -- plus the node labels as one
+        pickled ``uint8`` blob (labels are arbitrary hashables; they are
+        the only non-array state).  Feed the dict to
+        :func:`repro.engine.shm.pack_arrays` and rebuild on the other
+        side with :meth:`from_shared_payload`.
+        """
+        indptr, adj_nodes, adj_edges = self.csr()
+        labels = np.frombuffer(
+            pickle.dumps(self.nodes, protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8,
+        )
+        return {
+            "edge_u": self.edge_u,
+            "edge_v": self.edge_v,
+            "probs": self.probs,
+            "csr_indptr": indptr,
+            "csr_nodes": adj_nodes,
+            "csr_edges": adj_edges,
+            "labels": labels,
+        }
+
+    @classmethod
+    def from_shared_payload(
+        cls, arrays: Dict[str, np.ndarray]
+    ) -> "IndexedGraph":
+        """Rebuild an :class:`IndexedGraph` over attached payload arrays.
+
+        Zero-copy: the endpoint / probability / CSR arrays of the
+        returned graph *are* the attached views (keep the segment mapped
+        while the graph is in use); only the label list and the
+        label -> index dict are reconstructed per process.
+        """
+        nodes = pickle.loads(arrays["labels"].tobytes())
+        out = cls(nodes, arrays["edge_u"], arrays["edge_v"], arrays["probs"])
+        out._csr = (
+            arrays["csr_indptr"],
+            arrays["csr_nodes"],
+            arrays["csr_edges"],
+        )
+        return out
 
     # ------------------------------------------------------------------
     # mask -> Graph adapters

@@ -1,12 +1,21 @@
 """Documentation stays honest: every import shown in docs/API.md resolves,
-and every experiment name referenced in docs exists in the registry."""
+every experiment name referenced in docs exists in the registry, the
+README's benchmark index covers exactly the benchmarks on disk, every
+dotted ``repro.*`` path in ARCHITECTURE.md imports, and every relative
+markdown link in README/docs points at a real file."""
 
 from __future__ import annotations
 
 import re
 from pathlib import Path
 
-DOCS = Path(__file__).parent.parent / "docs" / "API.md"
+ROOT = Path(__file__).parent.parent
+DOCS = ROOT / "docs" / "API.md"
+ARCHITECTURE = ROOT / "docs" / "ARCHITECTURE.md"
+README = ROOT / "README.md"
+
+#: every markdown document whose links and experiment ids are checked
+ALL_DOCS = (README, DOCS, ARCHITECTURE)
 
 IMPORT_RE = re.compile(
     r"^from (repro[\w.]*) import \(?([\w, \n]+?)\)?(?:\s*#.*)?$",
@@ -48,8 +57,81 @@ def test_every_documented_import_resolves():
 def test_documented_experiment_names_exist():
     from repro.experiments.registry import EXPERIMENTS
 
-    text = DOCS.read_text(encoding="utf-8")
-    for name in re.findall(r'EXPERIMENTS\["(\w+)"\]', text):
-        assert name in EXPERIMENTS
-    for name in re.findall(r"repro-mpds reproduce (\w+)", text):
-        assert name in EXPERIMENTS
+    for doc in ALL_DOCS:
+        text = doc.read_text(encoding="utf-8")
+        for name in re.findall(r'EXPERIMENTS\["(\w+)"\]', text):
+            assert name in EXPERIMENTS, f"{doc.name} references {name}"
+        for name in re.findall(r"repro-mpds reproduce ([\w-]+)", text):
+            if name == "list":
+                continue
+            assert name in EXPERIMENTS, f"{doc.name} references {name}"
+
+
+def test_readme_benchmark_index_matches_disk():
+    """The README's table/figure index cannot rot: every bench_* script
+    on disk must be indexed, and every indexed script must exist."""
+    text = README.read_text(encoding="utf-8")
+    referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+    on_disk = {path.name for path in (ROOT / "benchmarks").glob("bench_*.py")}
+    assert on_disk, "no benchmarks found -- wrong repo layout?"
+    missing_from_readme = sorted(on_disk - referenced)
+    assert not missing_from_readme, (
+        "benchmarks missing from the README index: "
+        f"{missing_from_readme}"
+    )
+    stale_in_readme = sorted(referenced - on_disk)
+    assert not stale_in_readme, (
+        f"README indexes deleted benchmarks: {stale_in_readme}"
+    )
+
+
+def test_architecture_exists_and_module_paths_import():
+    """Every dotted repro.* path named in ARCHITECTURE.md must import
+    (attribute tails like .top_k_mpds are resolved as attributes)."""
+    import importlib
+
+    assert ARCHITECTURE.exists()
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    paths = set(re.findall(r"`(repro(?:\.\w+)+)`", text))
+    assert len(paths) > 10, "expected a substantial architecture map"
+    for dotted in sorted(paths):
+        parts = dotted.split(".")
+        module = None
+        for i in range(len(parts), 0, -1):
+            try:
+                module = importlib.import_module(".".join(parts[:i]))
+            except ModuleNotFoundError:
+                continue
+            remainder = parts[i:]
+            break
+        assert module is not None, f"ARCHITECTURE.md names {dotted}"
+        target = module
+        for attribute in remainder:
+            assert hasattr(target, attribute), (
+                f"ARCHITECTURE.md names {dotted}, but "
+                f"{'.'.join(parts[:i])} has no attribute {attribute}"
+            )
+            target = getattr(target, attribute)
+
+
+def test_relative_markdown_links_resolve():
+    """Markdown link check: every relative link in README/docs points at
+    an existing file (external http(s) links and anchors are skipped)."""
+    link = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+    for doc in ALL_DOCS:
+        for target in link.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = (doc.parent / target.split("#")[0]).resolve()
+            assert path.exists(), f"{doc.name} links to missing {target}"
+
+
+def test_referenced_test_and_bench_files_exist():
+    """Paths like tests/test_x.py / benchmarks/bench_y.py quoted in the
+    docs must exist on disk."""
+    pattern = re.compile(r"`?((?:tests|benchmarks|examples)/[\w/]+\.py)`?")
+    for doc in ALL_DOCS:
+        for relative in set(pattern.findall(doc.read_text(encoding="utf-8"))):
+            assert (ROOT / relative).exists(), (
+                f"{doc.name} references missing {relative}"
+            )

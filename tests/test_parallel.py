@@ -1,4 +1,12 @@
-"""Tests for the multiprocess estimator fan-out (repro.core.parallel)."""
+"""Tests for the shared-memory parallel substrate (repro.core.parallel).
+
+The substrate's contract (see the module docstring) is stronger than the
+old fan-out's: for a fixed seed the estimates are *byte-identical* to the
+sequential estimators for every worker count, because the parent
+pre-partitions the sampler's continuous stream over a worker-count
+-invariant chunk grid and merges per-block records through the
+sequential accumulation code.
+"""
 
 from __future__ import annotations
 
@@ -6,43 +14,99 @@ import pytest
 
 from repro.core.measures import CliqueDensity
 from repro.core.mpds import top_k_mpds
+from repro.core.nds import top_k_nds
 from repro.core.parallel import (
-    _chunk_thetas,
-    _derive_seeds,
     parallel_top_k_mpds,
     parallel_top_k_nds,
 )
+from repro.engine.blocks import derive_block_seeds, plan_blocks
 from repro.graph.uncertain import UncertainGraph
+from repro.sampling import LazyPropagationSampler, RecursiveStratifiedSampler
 
 from .conftest import random_uncertain_graph
 
 
-class TestChunking:
-    def test_even_split(self):
-        assert _chunk_thetas(100, 4) == [25, 25, 25, 25]
+class TestChunkGrid:
+    def test_grid_covers_range_contiguously(self):
+        for total in (1, 2, 63, 64, 65, 101, 640):
+            blocks = plan_blocks(total)
+            assert blocks[0][0] == 0
+            assert blocks[-1][1] == total
+            for (_, stop), (start, _) in zip(blocks, blocks[1:]):
+                assert stop == start
 
-    def test_uneven_split(self):
-        assert _chunk_thetas(10, 3) == [4, 3, 3]
+    def test_grid_is_a_function_of_total_only(self):
+        # the invariance anchor: the same world count always shards the
+        # same way, no matter how many workers later claim the blocks
+        assert plan_blocks(640) == plan_blocks(640)
+        assert len(plan_blocks(640)) == 64
+        assert len(plan_blocks(10)) == 10
 
-    def test_more_workers_than_theta(self):
-        chunks = _chunk_thetas(2, 5)
-        assert chunks == [1, 1]
-        assert sum(chunks) == 2
+    def test_block_sizes_are_fixed(self):
+        blocks = plan_blocks(130)
+        sizes = [stop - start for start, stop in blocks]
+        assert all(size == sizes[0] for size in sizes[:-1])
+        assert sizes[-1] <= sizes[0]
 
-    def test_chunks_always_sum_to_theta(self):
-        for theta in (1, 7, 64, 101):
-            for workers in (1, 2, 3, 8):
-                assert sum(_chunk_thetas(theta, workers)) == theta
+    def test_invalid_totals(self):
+        with pytest.raises(ValueError):
+            plan_blocks(0)
+        with pytest.raises(ValueError):
+            plan_blocks(10, max_blocks=0)
 
-    def test_seed_derivation_distinct(self):
-        seeds = _derive_seeds(42, 8)
-        assert len(set(seeds)) == 8
 
-    def test_seed_none_propagates(self):
-        assert _derive_seeds(None, 3) == [None, None, None]
+class TestSeedDerivation:
+    def test_seeds_are_distinct(self):
+        seeds = derive_block_seeds(42, 64)
+        assert len(set(seeds)) == 64
+
+    def test_deterministic_for_fixed_root(self):
+        assert derive_block_seeds(7, 16) == derive_block_seeds(7, 16)
+
+    def test_adjacent_roots_never_collide(self):
+        """Regression: the old splitmix-style affine derivation could map
+        one root's lane onto another nearby root's lane; SeedSequence
+        spawn keys keep adjacent roots' block seeds fully disjoint."""
+        for root in (0, 1, 41, 42, 2023, 2**31):
+            ours = set(derive_block_seeds(root, 64))
+            for neighbour in (root - 1, root + 1, root + 2):
+                if neighbour < 0:
+                    continue
+                assert ours.isdisjoint(derive_block_seeds(neighbour, 64))
+
+    def test_none_root_draws_entropy(self):
+        a = derive_block_seeds(None, 8)
+        b = derive_block_seeds(None, 8)
+        assert len(set(a)) == 8
+        assert a != b  # two entropy roots virtually never coincide
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_block_seeds(1, -1)
 
 
 class TestParallelMPDS:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_byte_identical_to_sequential(self, figure1, workers):
+        sequential = top_k_mpds(figure1, k=3, theta=90, seed=7)
+        parallel = parallel_top_k_mpds(
+            figure1, k=3, theta=90, seed=7, workers=workers
+        )
+        assert parallel.candidates == sequential.candidates
+        assert parallel.top == sequential.top
+        assert parallel.densest_counts == sequential.densest_counts
+        assert parallel.worlds_with_densest == sequential.worlds_with_densest
+        assert parallel.replayed_worlds == sequential.replayed_worlds
+
+    def test_worker_count_does_not_change_estimates(self, figure1):
+        results = [
+            parallel_top_k_mpds(figure1, k=2, theta=80, seed=9, workers=w)
+            for w in (2, 3, 4)
+        ]
+        for other in results[1:]:
+            assert other.candidates == results[0].candidates
+            assert other.top == results[0].top
+
     def test_figure1_recovers_bd(self, figure1):
         result = parallel_top_k_mpds(figure1, k=1, theta=600, seed=3, workers=2)
         assert result.best().nodes == frozenset({"B", "D"})
@@ -53,10 +117,16 @@ class TestParallelMPDS:
         assert result.theta == 50
         assert len(result.densest_counts) == 50
 
-    def test_single_worker_matches_sequential(self, figure1):
-        """workers=1 short-circuits to the sequential path: byte-identical."""
-        sequential = top_k_mpds(figure1, k=2, theta=80, seed=9)
-        parallel = parallel_top_k_mpds(figure1, k=2, theta=80, seed=9, workers=1)
+    @pytest.mark.parametrize("sampler_cls", [
+        LazyPropagationSampler, RecursiveStratifiedSampler,
+    ])
+    def test_lp_rss_streams_shard_identically(self, figure1, sampler_cls):
+        sequential = top_k_mpds(
+            figure1, k=3, theta=70, sampler=sampler_cls(figure1, 11)
+        )
+        parallel = parallel_top_k_mpds(
+            figure1, k=3, theta=70, sampler=sampler_cls(figure1, 11), workers=3
+        )
         assert parallel.candidates == sequential.candidates
         assert parallel.top == sequential.top
         assert parallel.densest_counts == sequential.densest_counts
@@ -70,10 +140,43 @@ class TestParallelMPDS:
             assert 0.0 <= estimate <= 1.0
 
     def test_clique_measure(self, figure1):
+        sequential = top_k_mpds(
+            figure1, k=1, theta=60, seed=2, measure=CliqueDensity(3)
+        )
         result = parallel_top_k_mpds(
             figure1, k=1, theta=60, seed=2, workers=2, measure=CliqueDensity(3)
         )
+        assert result.candidates == sequential.candidates
         assert result.theta == 60
+
+    def test_one_per_world_ablation(self, figure1):
+        sequential = top_k_mpds(
+            figure1, k=2, theta=40, seed=6, enumerate_all=False
+        )
+        parallel = parallel_top_k_mpds(
+            figure1, k=2, theta=40, seed=6, workers=2, enumerate_all=False
+        )
+        assert parallel.candidates == sequential.candidates
+        assert parallel.densest_counts == sequential.densest_counts
+
+    def test_unseeded_runs_are_worker_invariant_per_call(self, figure1):
+        # no byte-identity to any sequential run is promised without a
+        # seed, but the call's own estimates must still be well-formed
+        result = parallel_top_k_mpds(figure1, k=2, theta=64, workers=2)
+        assert result.theta == 64
+        for estimate in result.candidates.values():
+            assert 0.0 <= estimate <= 1.0
+
+    def test_custom_sampler_type_is_rejected(self, figure1):
+        class Odd:
+            def worlds(self, theta):  # pragma: no cover - never drawn
+                return iter(())
+
+            def memory_units(self):  # pragma: no cover
+                return 0
+
+        with pytest.raises(ValueError, match="MC, LP and RSS"):
+            parallel_top_k_mpds(figure1, theta=10, sampler=Odd(), workers=2)
 
     def test_invalid_arguments(self, figure1):
         with pytest.raises(ValueError):
@@ -85,6 +188,16 @@ class TestParallelMPDS:
 
 
 class TestParallelNDS:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_byte_identical_to_sequential(self, figure1, workers):
+        sequential = top_k_nds(figure1, k=2, min_size=2, theta=60, seed=5)
+        parallel = parallel_top_k_nds(
+            figure1, k=2, min_size=2, theta=60, seed=5, workers=workers
+        )
+        assert parallel.top == sequential.top
+        assert parallel.transactions == sequential.transactions
+        assert parallel.theta == sequential.theta
+
     def test_figure1_containment(self, figure1):
         result = parallel_top_k_nds(
             figure1, k=1, min_size=2, theta=600, seed=3, workers=2
@@ -115,3 +228,26 @@ class TestParallelNDS:
             parallel_top_k_nds(figure1, theta=-1)
         with pytest.raises(ValueError):
             parallel_top_k_nds(figure1, workers=0)
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_calls(self, figure1):
+        import repro.core.parallel as par
+
+        parallel_top_k_mpds(figure1, k=1, theta=30, seed=1, workers=2)
+        pool_after_first = par._POOL
+        assert pool_after_first is not None
+        parallel_top_k_mpds(figure1, k=1, theta=30, seed=2, workers=2)
+        assert par._POOL is pool_after_first
+
+    def test_pool_grows_when_more_workers_requested(self, figure1):
+        import repro.core.parallel as par
+
+        parallel_top_k_mpds(figure1, k=1, theta=30, seed=1, workers=2)
+        assert par._POOL_PROCS >= 2
+        parallel_top_k_mpds(figure1, k=1, theta=40, seed=1, workers=3)
+        assert par._POOL_PROCS >= 3
+        # a smaller request reuses the larger pool
+        pool = par._POOL
+        parallel_top_k_mpds(figure1, k=1, theta=30, seed=1, workers=2)
+        assert par._POOL is pool
