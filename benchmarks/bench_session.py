@@ -1,0 +1,188 @@
+"""Session bench: cold one-shot queries vs warm Session queries.
+
+The serving workload the Session/Query API exists for: many top-k
+queries (different ``k``, ``min_size``, measure, MPDS vs NDS) against
+one uncertain graph.  A cold ``top_k_mpds`` call rebuilds the CSR index
+and samples + evaluates all ``theta`` worlds; a warm
+:class:`repro.session.Session` query reuses the seed-keyed world store
+and the per-(measure, engine) evaluation records, leaving only the
+finalize/ranking stage.
+
+Measured on the 500-node G(n, p) bench graph of ``bench_engine.py``:
+
+* **cold** -- one-shot ``top_k_mpds`` (the legacy free function);
+* **warm k-variant** -- same worlds, same measure, different ``k``
+  (evaluation-cache hit: finalize only);
+* **warm new algorithm** -- ``nds()`` on the same store (re-evaluates
+  transactions but samples nothing);
+* **warm new measure** -- clique density on the same store
+  (re-evaluates, samples nothing).
+
+Byte-identity of every warm result against its one-shot twin is
+**asserted**, and the acceptance target -- warm k-variant queries >= 5x
+faster than cold -- is asserted too (warm hits skip sampling *and*
+evaluation, so the observed ratio is typically orders of magnitude).
+The table is archived as ``benchmarks/results/bench_session.txt`` on
+every run (pytest or ``python -m benchmarks.bench_session [--tiny]``);
+CI uploads it as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.mpds import top_k_mpds
+from repro.core.nds import top_k_nds
+from repro.session import Session
+from repro.experiments.common import format_table
+
+from .bench_engine import _bench_graph
+from .conftest import emit
+
+BENCH_N = 500
+BENCH_EDGE_PROB = 0.01
+BENCH_THETA = 160
+BENCH_SEED = 7
+
+#: pytest-scale (the full AC workload runs via ``python -m``)
+PYTEST_THETA = 48
+
+#: --tiny smoke scale (CI-friendly; seconds, not minutes)
+TINY_N = 120
+TINY_EDGE_PROB = 0.03
+TINY_THETA = 24
+
+#: warm k-variants timed per run (their mean is the warm latency)
+WARM_KS = (1, 2, 3, 5, 10)
+
+
+def run_session_benchmark(
+    n: int = BENCH_N,
+    edge_prob: float = BENCH_EDGE_PROB,
+    theta: int = BENCH_THETA,
+    seed: int = BENCH_SEED,
+) -> dict:
+    """Time cold vs warm queries; assert identity and the >=5x target."""
+    graph = _bench_graph(seed=2023, n=n, edge_prob=edge_prob)
+
+    start = time.perf_counter()
+    cold = top_k_mpds(graph, k=5, theta=theta, seed=seed)
+    cold_time = time.perf_counter() - start
+
+    rows = [["cold top_k_mpds(k=5)", f"{cold_time:.3f}", "1.0", "baseline"]]
+    with Session(graph) as session:
+        # first session query pays sampling + evaluation once
+        start = time.perf_counter()
+        first = (
+            session.query().sampler("mc", theta=theta, seed=seed)
+            .top_k(5).mpds()
+        )
+        first_time = time.perf_counter() - start
+        assert first == cold, "session first query diverged from one-shot"
+        rows.append([
+            "session first query (samples once)",
+            f"{first_time:.3f}",
+            f"{cold_time / first_time:.1f}",
+            "byte-identical",
+        ])
+
+        warm_times = []
+        for k in WARM_KS:
+            start = time.perf_counter()
+            warm = (
+                session.query().sampler("mc", theta=theta, seed=seed)
+                .top_k(k).mpds()
+            )
+            warm_times.append(time.perf_counter() - start)
+            reference = top_k_mpds(graph, k=k, theta=theta, seed=seed)
+            assert warm == reference, f"warm k={k} diverged from one-shot"
+        warm_time = sum(warm_times) / len(warm_times)
+        warm_speedup = cold_time / warm_time
+        rows.append([
+            f"warm k-variants (mean of {len(WARM_KS)})",
+            f"{warm_time:.4f}",
+            f"{warm_speedup:.1f}",
+            "byte-identical",
+        ])
+
+        start = time.perf_counter()
+        warm_nds = (
+            session.query().sampler("mc", theta=theta, seed=seed)
+            .top_k(3).nds()
+        )
+        nds_time = time.perf_counter() - start
+        assert warm_nds == top_k_nds(
+            graph, k=3, theta=theta, seed=seed
+        ), "warm nds diverged from one-shot"
+        rows.append([
+            "warm nds(k=3) (same worlds)",
+            f"{nds_time:.3f}",
+            f"{cold_time / nds_time:.1f}",
+            "byte-identical",
+        ])
+
+        start = time.perf_counter()
+        session.query().sampler("mc", theta=theta, seed=seed) \
+            .measure("clique:h=3").top_k(5).mpds()
+        clique_time = time.perf_counter() - start
+        rows.append([
+            "warm clique:h=3 (same worlds)",
+            f"{clique_time:.3f}",
+            f"{cold_time / clique_time:.1f}",
+            "re-evaluates only",
+        ])
+        stats = dict(session.stats)
+
+    assert warm_speedup >= 5.0, (
+        f"warm speedup {warm_speedup:.1f}x below the 5x target"
+    )
+    table = format_table(
+        ["Query", "Time(s)", "Speedup vs cold", "Estimates"], rows
+    )
+    note = (
+        f"n={n} p={edge_prob} theta={theta} seed={seed}; "
+        f"session stats: {stats['stores_built']} draw(s), "
+        f"{stats['store_hits']} store hit(s), {stats['eval_hits']} "
+        f"evaluation-cache hit(s) over {stats['queries']} queries\n"
+        "warm k-variants replay cached per-world records through "
+        "finalize only;\nacceptance target: warm >= 5x cold (asserted)."
+    )
+    return {
+        "table": table + "\n" + note,
+        "cold_time": cold_time,
+        "warm_time": warm_time,
+        "warm_speedup": warm_speedup,
+    }
+
+
+def test_session_warm_queries(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_session_benchmark(theta=PYTEST_THETA),
+        rounds=1,
+        iterations=1,
+    )
+    emit("bench_session", result["table"])
+    assert result["warm_speedup"] >= 5.0
+
+
+def main(argv=None) -> int:
+    """Standalone entry: ``python -m benchmarks.bench_session [--tiny]``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-scale run (CI-friendly; seconds, not minutes)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        result = run_session_benchmark(
+            n=TINY_N, edge_prob=TINY_EDGE_PROB, theta=TINY_THETA
+        )
+    else:
+        result = run_session_benchmark()
+    emit("bench_session", result["table"])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

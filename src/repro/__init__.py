@@ -25,6 +25,12 @@ Package layout (see DESIGN.md for the full inventory):
 * ``repro.sampling`` -- Monte Carlo / Lazy Propagation / RSS;
 * ``repro.engine`` -- vectorised possible-world engine (numpy batch
   sampling, array kernels; identical estimates, several times faster);
+* ``repro.session`` -- Session/Query API: amortizes sampling and
+  substrate prep across repeated top-k queries (warm queries reuse the
+  seed-keyed world store, byte-identical to one-shot calls);
+* ``repro.specs`` -- string-spec registry for samplers and measures
+  (``"mc:theta=160"``, ``"clique:h=3"``), shared by sessions, the CLI
+  and the experiments tier;
 * ``repro.itemsets`` -- TFP-style closed frequent itemset mining;
 * ``repro.baselines`` -- EDS, (k,eta)-core, (k,gamma)-truss, DDS;
 * ``repro.metrics`` -- PD, PCC, purity, F1, similarity;
@@ -63,7 +69,9 @@ from .sampling import (
     MonteCarloSampler,
     RecursiveStratifiedSampler,
 )
-from .engine import IndexedGraph, VectorizedMonteCarloSampler
+from .engine import IndexedGraph, VectorizedMonteCarloSampler, WorldStore
+from .session import Query, Session
+from .specs import build_measure, build_sampler, parse_spec
 
 __version__ = "1.0.0"
 
@@ -97,5 +105,11 @@ __all__ = [
     "RecursiveStratifiedSampler",
     "IndexedGraph",
     "VectorizedMonteCarloSampler",
+    "WorldStore",
+    "Query",
+    "Session",
+    "build_measure",
+    "build_sampler",
+    "parse_spec",
     "__version__",
 ]

@@ -2,9 +2,16 @@
 
 from .measures import CliqueDensity, DensityMeasure, EdgeDensity, PatternDensity
 from .extensions import EdgeSurplus
-from .results import MPDSResult, NDSResult, ScoredNodeSet
-from .mpds import estimate_tau, top_k_mpds
-from .nds import estimate_gamma, top_k_nds
+from .results import (
+    MPDSResult,
+    NDSResult,
+    ScoredNodeSet,
+    SerializableResult,
+    result_from_dict,
+    result_from_json,
+)
+from .mpds import estimate_tau, mpds_from_store, top_k_mpds
+from .nds import estimate_gamma, nds_from_store, top_k_nds
 from .exact_bitmask import (
     bitmask_candidate_probabilities,
     bitmask_gamma,
@@ -21,7 +28,7 @@ from .exact import (
     exact_top_k_nds,
 )
 from .heuristics import HeuristicMeasure, heuristic_dense_sets
-from .parallel import parallel_top_k_mpds, parallel_top_k_nds
+from .parallel import parallel_top_k_mpds, parallel_top_k_nds, resolve_workers
 from .adaptive import AdaptiveResult, adaptive_top_k_mpds, adaptive_top_k_nds
 from .whatif import EdgeInfluence, exact_edge_influence, sampled_edge_influence
 from .guarantees import (
@@ -44,10 +51,16 @@ __all__ = [
     "MPDSResult",
     "NDSResult",
     "ScoredNodeSet",
+    "SerializableResult",
+    "result_from_dict",
+    "result_from_json",
     "estimate_tau",
+    "mpds_from_store",
     "top_k_mpds",
     "estimate_gamma",
+    "nds_from_store",
     "top_k_nds",
+    "resolve_workers",
     "bitmask_candidate_probabilities",
     "bitmask_gamma",
     "bitmask_top_k_mpds",

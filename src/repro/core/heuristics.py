@@ -100,4 +100,6 @@ class HeuristicMeasure(DensityMeasure):
         return self.base.density(world, nodes)
 
     def __repr__(self) -> str:
-        return f"HeuristicMeasure({self.base!r})"
+        # a value repr: the session evaluation cache keys measures on
+        # repr, so every knob that changes results must appear here
+        return f"HeuristicMeasure({self.base!r}, max_sets={self.max_sets})"

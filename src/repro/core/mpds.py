@@ -92,6 +92,54 @@ def finalize_mpds(records: Iterable[WorldRecord], k: int) -> MPDSResult:
     )
 
 
+def evaluate_store_mpds(
+    store,
+    measure: DensityMeasure,
+    engine: str = "auto",
+    enumerate_all: bool = True,
+    per_world_limit: Optional[int] = 100_000,
+) -> Tuple[List[WorldRecord], int]:
+    """Replay a world store into Algorithm 1's per-world records.
+
+    Returns ``(records, replayed_worlds)`` -- the evaluation half of
+    the loop over stored worlds, shared by :func:`mpds_from_store` and
+    the session evaluation cache (which keeps the records to serve
+    later ``k`` variants through :func:`finalize_mpds` alone).
+    """
+    worlds, loop_measure, engine_measure = store.world_stream(measure, engine)
+    records = list(
+        evaluate_worlds(worlds, loop_measure, enumerate_all, per_world_limit)
+    )
+    return records, (engine_measure.replayed_worlds if engine_measure else 0)
+
+
+def mpds_from_store(
+    store,
+    k: int = 1,
+    measure: Optional[DensityMeasure] = None,
+    engine: str = "auto",
+    enumerate_all: bool = True,
+    per_world_limit: Optional[int] = 100_000,
+) -> MPDSResult:
+    """Algorithm 1 over a pre-sampled world store -- zero sampling work.
+
+    ``store`` is a :class:`repro.engine.worldstore.WorldStore`; its
+    worlds are replayed through the same evaluate/finalize seams the
+    streaming estimator uses, so the result is byte-identical to
+    :func:`top_k_mpds` with the seed/theta the store was drawn from.
+    This is the seam :class:`repro.session.Session` queries consume.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    measure = measure or EdgeDensity()
+    records, replayed = evaluate_store_mpds(
+        store, measure, engine, enumerate_all, per_world_limit
+    )
+    result = finalize_mpds(records, k)
+    result.replayed_worlds = replayed
+    return result
+
+
 def top_k_mpds(
     graph: UncertainGraph,
     k: int = 1,
@@ -104,6 +152,11 @@ def top_k_mpds(
     engine: str = "auto",
 ) -> MPDSResult:
     """Estimate the top-k Most Probable Densest Subgraphs (Algorithm 1).
+
+    Thin shim over a one-shot :class:`repro.session.Session` query; use
+    a session directly to reuse the sampled worlds across several
+    queries (different ``k``, measures, MPDS vs NDS) without
+    resampling.
 
     Parameters
     ----------
@@ -133,24 +186,18 @@ def top_k_mpds(
         combination; custom sampler/measure types run pure-Python.
         Estimates are identical across engines for the same seed.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    measure = measure or EdgeDensity()
-    from ..engine.estimators import prepare_world_stream
+    from ..session import Session
 
-    worlds, loop_measure, engine_measure = prepare_world_stream(
-        graph, theta, measure, sampler, seed, engine
+    return (
+        Session(graph, engine=engine, cache_worlds=False)
+        .query()
+        .sampler(sampler, theta=theta, seed=seed)
+        .measure(measure)
+        .top_k(k)
+        .enumerate_all(enumerate_all)
+        .per_world_limit(per_world_limit)
+        .mpds()
     )
-    result = finalize_mpds(
-        evaluate_worlds(worlds, loop_measure, enumerate_all, per_world_limit),
-        k,
-    )
-    # read after the stream is fully consumed: the engine counts replays
-    # as it evaluates
-    result.replayed_worlds = (
-        engine_measure.replayed_worlds if engine_measure else 0
-    )
-    return result
 
 
 def estimate_tau(

@@ -91,6 +91,52 @@ def finalize_nds(
     )
 
 
+def evaluate_store_transactions(
+    store,
+    measure: DensityMeasure,
+    engine: str = "auto",
+) -> List[TransactionRecord]:
+    """Replay a world store into Algorithm 5's transaction records.
+
+    The evaluation half of the loop over stored worlds, shared by
+    :func:`nds_from_store` and the session evaluation cache (which
+    keeps the records to serve later ``k``/``min_size`` variants
+    through the accumulate/finalize stages alone).
+    """
+    worlds, loop_measure, _engine_measure = store.world_stream(measure, engine)
+    return list(evaluate_transactions(worlds, loop_measure))
+
+
+def nds_from_store(
+    store,
+    k: int = 1,
+    min_size: int = 2,
+    measure: Optional[DensityMeasure] = None,
+    engine: str = "auto",
+) -> NDSResult:
+    """Algorithm 5 over a pre-sampled world store -- zero sampling work.
+
+    ``store`` is a :class:`repro.engine.worldstore.WorldStore`; its
+    worlds are replayed through the same evaluate/accumulate/finalize
+    seams the streaming estimator uses, so the result is byte-identical
+    to :func:`top_k_nds` with the seed/theta the store was drawn from.
+    This is the seam :class:`repro.session.Session` queries consume.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if min_size < 1:
+        raise ValueError(f"min_size (l_m) must be >= 1, got {min_size}")
+    measure = measure or EdgeDensity()
+    transactions, weights, total_weight, actual_theta = (
+        accumulate_transactions(
+            evaluate_store_transactions(store, measure, engine)
+        )
+    )
+    return finalize_nds(
+        transactions, weights, total_weight, actual_theta, k, min_size
+    )
+
+
 def collect_transactions(
     graph: UncertainGraph,
     theta: int,
@@ -126,6 +172,11 @@ def top_k_nds(
 ) -> NDSResult:
     """Estimate the top-k Nucleus Densest Subgraphs (Algorithm 5).
 
+    Thin shim over a one-shot :class:`repro.session.Session` query; use
+    a session directly to reuse the sampled worlds across several
+    queries (different ``k`` / ``min_size``, measures, NDS vs MPDS)
+    without resampling.
+
     Parameters
     ----------
     graph:
@@ -146,16 +197,16 @@ def top_k_nds(
         density} combination; identical estimates across engines for the
         same seed.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if min_size < 1:
-        raise ValueError(f"min_size (l_m) must be >= 1, got {min_size}")
-    measure = measure or EdgeDensity()
-    transactions, weights, total_weight, actual_theta = collect_transactions(
-        graph, theta, measure, sampler=sampler, seed=seed, engine=engine
-    )
-    return finalize_nds(
-        transactions, weights, total_weight, actual_theta, k, min_size
+    from ..session import Session
+
+    return (
+        Session(graph, engine=engine, cache_worlds=False)
+        .query()
+        .sampler(sampler, theta=theta, seed=seed)
+        .measure(measure)
+        .top_k(k)
+        .min_size(min_size)
+        .nds()
     )
 
 

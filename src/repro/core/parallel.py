@@ -61,7 +61,8 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -76,6 +77,29 @@ BlockPlan = List[Tuple[int, int]]
 
 #: one finished block: (block index, per-world records, replayed count)
 BlockOutput = Tuple[int, list, int]
+
+
+def resolve_workers(workers: Union[int, str]) -> int:
+    """Resolve a ``workers`` request to a concrete process count.
+
+    ``"auto"`` asks the host: the scheduler affinity mask when the
+    platform exposes one (containers and taskset-restricted jobs report
+    their real allowance, not the machine's), else ``os.cpu_count()``,
+    never below 1 -- so a 1-core host gets a sequential run instead of
+    two processes thrashing one core.  Integers pass through unchanged
+    (including invalid ones: the caller owns the ``>= 1`` validation and
+    its error message).
+    """
+    if workers == "auto":
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux hosts
+            return max(1, os.cpu_count() or 1)
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(
+            f"workers must be an integer or 'auto', got {workers!r}"
+        )
+    return workers
 
 
 # ----------------------------------------------------------------------
@@ -437,6 +461,28 @@ class _RunPlan:
         self.block_seeds = block_seeds
 
 
+def plan_from_store(store) -> _RunPlan:
+    """Build a fan-out plan over a pre-sampled world store.
+
+    The session layer's entry point: a
+    :class:`repro.engine.worldstore.WorldStore` already holds exactly
+    the arrays a seeded plan needs (masks, weights, insertion orders in
+    stream order), so fanning a warm query out is just laying the fixed
+    chunk grid over the stored world count -- zero sampling work.
+    """
+    from ..engine.blocks import plan_blocks
+
+    return _RunPlan(
+        store.indexed,
+        plan_blocks(store.count),
+        store.weights,
+        store.masks,
+        store.order_data,
+        store.order_indptr,
+        None,
+    )
+
+
 def _plan_run(graph: UncertainGraph, theta: int, sampler,
               seed: Optional[int]) -> Optional[_RunPlan]:
     """Sample (or schedule sampling for) one fan-out's worlds.
@@ -484,6 +530,164 @@ def _plan_run(graph: UncertainGraph, theta: int, sampler,
     )
 
 
+def _close_segments(segments: List) -> None:
+    """Close and unlink raw shared-memory segments, ignoring races."""
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+class PublishedGraph:
+    """One graph payload published to shared memory.
+
+    The graph segment is store-independent: a
+    :class:`repro.session.Session` publishes it **once** and shares it
+    across every world store's fan-outs (workers cache attachments per
+    segment name, so warm queries re-attach nothing); the one-shot
+    wrappers own a private one per call.
+    """
+
+    __slots__ = ("name", "layout", "_segments")
+
+    def __init__(self, shm, layout) -> None:
+        self.name = shm.name
+        self.layout = layout
+        self._segments = [shm]
+
+    @classmethod
+    def publish(cls, indexed) -> "PublishedGraph":
+        """Pack an :class:`IndexedGraph`'s payload into shared memory."""
+        from ..engine.shm import pack_arrays
+
+        return cls(*pack_arrays(indexed.shared_payload()))
+
+    def close(self) -> None:
+        """Close and unlink the graph segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        _close_segments(segments)
+
+
+class PublishedPlan:
+    """A plan's shared-memory segments, reusable across dispatches.
+
+    Publishing (packing the graph payload and the sampled world arrays
+    into :mod:`multiprocessing` shared memory) is the per-call setup
+    cost of a fan-out.  The one-shot wrappers publish and unlink around
+    a single dispatch; a :class:`repro.session.Session` keeps the
+    published segments alive so every warm query reuses them.  Passing
+    an externally owned ``graph`` shares its segment (only the
+    per-store job arrays are packed); :meth:`close` then unlinks only
+    what this plan owns.
+    """
+
+    __slots__ = ("graph_name", "graph_layout", "job_name", "job_layout",
+                 "_segments")
+
+    def __init__(self, graph: PublishedGraph, job_shm, job_layout,
+                 owns_graph: bool) -> None:
+        self.graph_name = graph.name
+        self.graph_layout = graph.layout
+        self.job_name = None if job_shm is None else job_shm.name
+        self.job_layout = job_layout
+        self._segments = [shm for shm in (job_shm,) if shm is not None]
+        if owns_graph:
+            self._segments.append(graph)
+
+    @classmethod
+    def publish(
+        cls, plan: _RunPlan, graph: Optional[PublishedGraph] = None
+    ) -> "PublishedPlan":
+        """Pack the plan's world arrays (and, unless ``graph`` is given,
+        its graph payload) into shared memory."""
+        from ..engine.shm import pack_arrays
+
+        owns_graph = graph is None
+        if owns_graph:
+            graph = PublishedGraph.publish(plan.indexed)
+        job_shm = job_layout = None
+        if plan.masks is not None:
+            job_arrays = {"masks": plan.masks}
+            if plan.order_data is not None:
+                job_arrays["order_data"] = plan.order_data
+                job_arrays["order_indptr"] = plan.order_indptr
+            try:
+                job_shm, job_layout = pack_arrays(job_arrays)
+            except BaseException:
+                if owns_graph:
+                    graph.close()
+                raise
+        return cls(graph, job_shm, job_layout, owns_graph)
+
+    def close(self) -> None:
+        """Close and unlink the owned segments (idempotent).
+
+        A shared (session-owned) graph segment is left alone -- its
+        owner closes it.
+        """
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            if isinstance(shm, PublishedGraph):
+                shm.close()
+            else:
+                _close_segments([shm])
+
+
+def dispatch_blocks(
+    plan: _RunPlan,
+    published: PublishedPlan,
+    workers: int,
+    mode: str,
+    measure: DensityMeasure,
+    engine: str,
+    enumerate_all: bool,
+    per_world_limit: Optional[int],
+) -> List[BlockOutput]:
+    """Fan the plan's chunk grid out over the persistent pool.
+
+    ``published`` must hold the plan's segments (see
+    :class:`PublishedPlan`); ``engine`` must already be resolved.  At
+    most ``workers`` blocks are kept in flight.
+    """
+    tasks = [
+        (
+            block_index,
+            start,
+            stop,
+            published.graph_name,
+            published.graph_layout,
+            published.job_name,
+            published.job_layout,
+            None
+            if plan.block_seeds is None
+            else plan.block_seeds[block_index],
+            mode,
+            measure,
+            engine,
+            enumerate_all,
+            per_world_limit,
+        )
+        for block_index, (start, stop) in enumerate(plan.blocks)
+    ]
+    window = min(workers, len(tasks))
+    pool = _ensure_pool(window)
+    # bounded dispatch: the persistent pool may be larger than this
+    # call's `workers` (it grows but never shrinks), so cap the
+    # number of outstanding tasks at `workers` instead of flooding
+    # every pool process with work
+    outputs: List[BlockOutput] = []
+    pending: List = []
+    for task in tasks:
+        pending.append(pool.apply_async(_evaluate_block, (task,)))
+        if len(pending) >= window:
+            outputs.append(pending.pop(0).get())
+    while pending:
+        outputs.append(pending.pop(0).get())
+    return outputs
+
+
 def _run_blocks(
     plan: _RunPlan,
     workers: int,
@@ -493,59 +697,15 @@ def _run_blocks(
     enumerate_all: bool,
     per_world_limit: Optional[int],
 ) -> List[BlockOutput]:
-    """Publish the plan's arrays and fan the grid out over the pool."""
-    from ..engine.shm import pack_arrays
-
-    graph_shm, graph_layout = pack_arrays(plan.indexed.shared_payload())
-    job_shm = job_layout = None
+    """Publish, dispatch once, and unlink (the one-shot fan-out)."""
+    published = PublishedPlan.publish(plan)
     try:
-        if plan.masks is not None:
-            job_arrays = {"masks": plan.masks}
-            if plan.order_data is not None:
-                job_arrays["order_data"] = plan.order_data
-                job_arrays["order_indptr"] = plan.order_indptr
-            job_shm, job_layout = pack_arrays(job_arrays)
-        tasks = [
-            (
-                block_index,
-                start,
-                stop,
-                graph_shm.name,
-                graph_layout,
-                None if job_shm is None else job_shm.name,
-                job_layout,
-                None
-                if plan.block_seeds is None
-                else plan.block_seeds[block_index],
-                mode,
-                measure,
-                engine,
-                enumerate_all,
-                per_world_limit,
-            )
-            for block_index, (start, stop) in enumerate(plan.blocks)
-        ]
-        window = min(workers, len(tasks))
-        pool = _ensure_pool(window)
-        # bounded dispatch: the persistent pool may be larger than this
-        # call's `workers` (it grows but never shrinks), so cap the
-        # number of outstanding tasks at `workers` instead of flooding
-        # every pool process with work
-        outputs: List[BlockOutput] = []
-        pending: List = []
-        for task in tasks:
-            pending.append(pool.apply_async(_evaluate_block, (task,)))
-            if len(pending) >= window:
-                outputs.append(pending.pop(0).get())
-        while pending:
-            outputs.append(pending.pop(0).get())
-        return outputs
+        return dispatch_blocks(
+            plan, published, workers, mode, measure, engine,
+            enumerate_all, per_world_limit,
+        )
     finally:
-        graph_shm.close()
-        graph_shm.unlink()
-        if job_shm is not None:
-            job_shm.close()
-            job_shm.unlink()
+        published.close()
 
 
 def _resolve_eval_engine(engine: str, sampler, measure: DensityMeasure) -> str:
@@ -565,22 +725,54 @@ def parallel_top_k_mpds(
     measure: Optional[DensityMeasure] = None,
     sampler=None,
     seed: Optional[int] = None,
-    workers: int = 2,
+    workers: Union[int, str] = "auto",
     enumerate_all: bool = True,
     per_world_limit: Optional[int] = 100_000,
     engine: str = "auto",
 ) -> MPDSResult:
     """Algorithm 1 fanned out over the shared-memory substrate.
 
-    For a fixed ``seed`` (or seeded MC/LP/RSS ``sampler``) the result is
-    **byte-identical** for every ``workers`` value and equal to
-    :func:`repro.core.mpds.top_k_mpds` with the same arguments -- the
-    parent pre-partitions the sampler's continuous stream over the
-    fixed chunk grid and merges per-block records through the
-    sequential accumulation code (see the module docstring for the full
-    determinism contract).  ``workers=1`` short-circuits to the
-    sequential estimator.
+    Thin shim over a one-shot :class:`repro.session.Session` query (use
+    a session directly to reuse sampled worlds and published substrates
+    across queries).  For a fixed ``seed`` (or seeded MC/LP/RSS
+    ``sampler``) the result is **byte-identical** for every ``workers``
+    value and equal to :func:`repro.core.mpds.top_k_mpds` with the same
+    arguments -- the parent pre-partitions the sampler's continuous
+    stream over the fixed chunk grid and merges per-block records
+    through the sequential accumulation code (see the module docstring
+    for the full determinism contract).  ``workers="auto"`` (default)
+    sizes the fan-out to the host's usable cores
+    (:func:`resolve_workers`) -- a 1-core host runs sequentially;
+    ``workers=1`` short-circuits to the sequential estimator.
     """
+    from ..session import Session
+
+    return (
+        Session(graph, engine=engine, cache_worlds=False)
+        .query()
+        .sampler(sampler, theta=theta, seed=seed)
+        .measure(measure)
+        .top_k(k)
+        .workers(workers)
+        .enumerate_all(enumerate_all)
+        .per_world_limit(per_world_limit)
+        .mpds()
+    )
+
+
+def _parallel_mpds_impl(
+    graph: UncertainGraph,
+    k: int,
+    theta: int,
+    measure: Optional[DensityMeasure],
+    sampler,
+    seed: Optional[int],
+    workers: int,
+    enumerate_all: bool,
+    per_world_limit: Optional[int],
+    engine: str,
+) -> MPDSResult:
+    """One-shot fan-out: plan, publish, dispatch, merge, unlink."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if theta <= 0:
@@ -624,19 +816,47 @@ def parallel_top_k_nds(
     measure: Optional[DensityMeasure] = None,
     sampler=None,
     seed: Optional[int] = None,
-    workers: int = 2,
+    workers: Union[int, str] = "auto",
     engine: str = "auto",
 ) -> NDSResult:
     """Algorithm 5 fanned out over the shared-memory substrate.
 
+    Thin shim over a one-shot :class:`repro.session.Session` query.
     Workers return their blocks' per-world maximum-sized densest
     subgraphs; the parent reassembles the transaction stream in grid
     order, re-runs the sequential accumulation and mines the merged
     database once -- byte-identical to
     :func:`repro.core.nds.top_k_nds` for a fixed seed, for every
-    ``workers`` value.  ``workers=1`` short-circuits to the sequential
-    estimator.
+    ``workers`` value.  ``workers="auto"`` (default) sizes the fan-out
+    to the host's usable cores (:func:`resolve_workers`);
+    ``workers=1`` short-circuits to the sequential estimator.
     """
+    from ..session import Session
+
+    return (
+        Session(graph, engine=engine, cache_worlds=False)
+        .query()
+        .sampler(sampler, theta=theta, seed=seed)
+        .measure(measure)
+        .top_k(k)
+        .min_size(min_size)
+        .workers(workers)
+        .nds()
+    )
+
+
+def _parallel_nds_impl(
+    graph: UncertainGraph,
+    k: int,
+    min_size: int,
+    theta: int,
+    measure: Optional[DensityMeasure],
+    sampler,
+    seed: Optional[int],
+    workers: int,
+    engine: str,
+) -> NDSResult:
+    """One-shot fan-out: plan, publish, dispatch, merge, unlink."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if min_size < 1:

@@ -79,6 +79,7 @@ from .sampler import (
     write_back_state,
 )
 from .stratified import VectorizedStratifiedSampler
+from .worldstore import WorldStore
 from .estimators import (
     ENGINES,
     EngineMeasure,
@@ -103,6 +104,7 @@ __all__ = [
     "VectorizedMonteCarloSampler",
     "VectorizedLazyPropagationSampler",
     "VectorizedStratifiedSampler",
+    "WorldStore",
     "randomstate_like",
     "write_back_state",
     "world_degrees",

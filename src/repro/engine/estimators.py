@@ -74,6 +74,17 @@ _VECTORIZABLE_SAMPLERS = (
 #: subclass may change semantics the fast paths do not know about)
 _FAST_MEASURES = (EdgeDensity, CliqueDensity, PatternDensity)
 
+#: vectorised twin constructors by registry kind -- the engine-side
+#: column of :data:`repro.specs.SAMPLER_KINDS`.  Each accepts
+#: ``(graph_or_indexed, seed, **params)``; a new sampler kind must be
+#: registered here as well as there (the session's cached-store path
+#: resolves twins through this table)
+VECTOR_SAMPLER_KINDS = {
+    "mc": VectorizedMonteCarloSampler,
+    "lp": VectorizedLazyPropagationSampler,
+    "rss": VectorizedStratifiedSampler,
+}
+
 
 def resolve_engine(engine: str, sampler, measure: DensityMeasure) -> str:
     """Decide which engine a ``top_k_mpds`` / ``top_k_nds`` call uses.

@@ -1,0 +1,169 @@
+"""Seed-keyed store of sampled possible worlds, replayable across queries.
+
+The sampling estimators (Algorithms 1 and 5) share one expensive phase:
+drawing ``theta`` possible worlds.  A :class:`WorldStore` captures one
+such draw as flat arrays -- the ``(T, m)`` boolean mask matrix, the
+``(T,)`` estimator weights, and the LP/RSS per-world edge insertion
+orders -- exactly the representation the parallel substrate already
+ships to workers (:func:`repro.engine.blocks.drain_mask_stream`).  The
+store can then be *replayed* any number of times, by any query (MPDS or
+NDS, any ``k`` / ``min_size`` / measure / engine / worker count),
+without touching a sampler again.
+
+Byte-identity contract
+----------------------
+:meth:`world_stream` rebuilds, world by world, the very objects the
+one-shot estimators would have evaluated for the same seed:
+
+* vectorised engines get fresh :class:`MaskWorld` views over the stored
+  mask rows (with the original insertion orders attached);
+* the pure-Python engine gets :meth:`IndexedGraph.world_graph`
+  materialisations replaying the exact insertion sequence of the
+  originating sampler.
+
+Since the stored arrays are drained from the sampler's *continuous* RNG
+stream (the same drain the parallel substrate uses, whose
+worker-count-invariance tests pin this replay), estimates computed from
+a store are **byte-identical** to the equivalent one-shot
+``top_k_mpds`` / ``top_k_nds`` call -- the property
+``tests/test_session_differential.py`` asserts cell by cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..sampling.base import WeightedWorld
+from .indexed import IndexedGraph, MaskWorld
+
+
+class WorldStore:
+    """One draw of sampled worlds, held as replayable flat arrays."""
+
+    __slots__ = (
+        "indexed", "masks", "weights", "order_data", "order_indptr",
+        "kind", "theta", "seed",
+    )
+
+    def __init__(
+        self,
+        indexed: IndexedGraph,
+        masks: np.ndarray,
+        weights: np.ndarray,
+        order_data: Optional[np.ndarray],
+        order_indptr: Optional[np.ndarray],
+        kind: str = "mc",
+        theta: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.indexed = indexed
+        self.masks = masks
+        self.weights = weights
+        self.order_data = order_data
+        self.order_indptr = order_indptr
+        self.kind = kind
+        self.theta = len(weights) if theta is None else theta
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vectorized(
+        cls,
+        sampler,
+        theta: int,
+        kind: str = "mc",
+        seed: Optional[int] = None,
+    ) -> "WorldStore":
+        """Drain a vectorised sampler's continuous stream into a store."""
+        from .blocks import drain_mask_stream
+
+        masks, weights, order_data, order_indptr = drain_mask_stream(
+            sampler, theta
+        )
+        return cls(
+            sampler.indexed, masks, weights, order_data, order_indptr,
+            kind=kind, theta=theta, seed=seed,
+        )
+
+    @classmethod
+    def from_sampler(
+        cls, graph, sampler, theta: int, seed: Optional[int] = None
+    ) -> "WorldStore":
+        """Drain a pure-Python (or vectorised) sampler via its twin.
+
+        ``sampler=None`` replicates ``MonteCarloSampler(graph, seed)``,
+        exactly as the one-shot estimators do.
+        """
+        from .estimators import vectorized_sampler
+
+        vec = vectorized_sampler(graph, sampler, seed)
+        kind = getattr(sampler, "name", None) or "mc"
+        return cls.from_vectorized(vec, theta, kind=str(kind).lower(), seed=seed)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Actual number of stored worlds (RSS may differ from theta)."""
+        return len(self.weights)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the stored world arrays."""
+        total = self.masks.nbytes + self.weights.nbytes
+        if self.order_data is not None:
+            total += self.order_data.nbytes + self.order_indptr.nbytes
+        return total
+
+    def order(self, i: int) -> Optional[np.ndarray]:
+        """Edge insertion order of world ``i`` (None = edge-index order)."""
+        if self.order_data is None:
+            return None
+        return self.order_data[self.order_indptr[i]:self.order_indptr[i + 1]]
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def mask_worlds(self) -> Iterator[WeightedWorld]:
+        """Yield the stored worlds as fresh :class:`MaskWorld` views."""
+        for i in range(self.count):
+            yield WeightedWorld(
+                MaskWorld(self.indexed, self.masks[i], self.order(i)),
+                float(self.weights[i]),
+            )
+
+    def graph_worlds(self) -> Iterator[WeightedWorld]:
+        """Yield the stored worlds materialised as :class:`Graph` objects,
+        replaying each world's exact insertion sequence."""
+        for i in range(self.count):
+            yield WeightedWorld(
+                self.indexed.world_graph(self.masks[i], self.order(i)),
+                float(self.weights[i]),
+            )
+
+    def world_stream(self, measure, engine: str = "auto") -> Tuple:
+        """Build one query's ``(worlds, loop_measure, engine_measure)``.
+
+        The store-backed twin of
+        :func:`repro.engine.estimators.prepare_world_stream`: resolves
+        the engine for ``measure`` (stored streams are always
+        replayable, so only the measure matters) and returns the world
+        iterator plus the measure the estimator loop should query.
+        """
+        from .estimators import EngineMeasure, resolve_engine
+
+        if resolve_engine(engine, None, measure) == "vectorized":
+            engine_measure = EngineMeasure(measure)
+            return self.mask_worlds(), engine_measure, engine_measure
+        return self.graph_worlds(), measure, None
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldStore(kind={self.kind!r}, worlds={self.count}, "
+            f"m={self.indexed.m}, seed={self.seed!r})"
+        )

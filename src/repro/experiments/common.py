@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.measures import DensityMeasure, EdgeDensity
+from ..core.measures import DensityMeasure
 from ..datasets import (
     karate_club_uncertain,
     make_biomine_like,
@@ -23,7 +23,7 @@ from ..datasets import (
     make_twitter_like,
 )
 from ..graph.uncertain import UncertainGraph
-from ..sampling.monte_carlo import MonteCarloSampler
+from ..specs import build_measure, build_sampler, parse_sampler_spec
 
 NodeSet = FrozenSet[Hashable]
 
@@ -64,18 +64,24 @@ def timed(fn: Callable[[], object]) -> Tuple[object, float]:
 def collect_max_densest_transactions(
     graph: UncertainGraph,
     theta: int,
-    measure: Optional[DensityMeasure] = None,
+    measure: Optional[Union[str, DensityMeasure]] = None,
     seed: Optional[int] = 7,
+    sampler: Union[str, object] = "mc",
 ) -> List[Tuple[NodeSet, float]]:
     """Sample worlds once; return (maximum-sized densest subgraph, weight).
 
     Several Table III-VI comparisons need containment probabilities of
     *different* node sets under the *same* samples -- collecting the
     transactions once and probing them repeatedly keeps drivers cheap and
-    the comparisons paired.
+    the comparisons paired.  ``measure`` and ``sampler`` accept
+    :mod:`repro.specs` registry strings (``"clique:h=3"``, ``"lp"``) as
+    well as instances, so experiment configurations can name them in
+    data rather than code.
     """
-    measure = measure or EdgeDensity()
-    sampler = MonteCarloSampler(graph, seed)
+    measure = build_measure(measure)
+    if isinstance(sampler, str):
+        kind, params = parse_sampler_spec(sampler)
+        sampler = build_sampler(kind, graph, seed, **params)
     transactions: List[Tuple[NodeSet, float]] = []
     for weighted in sampler.worlds(theta):
         maximal = measure.maximum_sized_densest(weighted.graph)

@@ -1,0 +1,709 @@
+"""Session/Query API: amortize sampling and substrate prep across queries.
+
+The estimators' dominant serving workload is many queries -- different
+``k``, ``min_size``, measure, MPDS vs NDS, worker counts -- against the
+*same* uncertain graph.  The free functions (``top_k_mpds`` and
+friends) rebuild everything per call: the :class:`IndexedGraph`/CSR
+index, the shared-memory segments, the worker pool hand-off, and --
+dominating all of it -- the ``theta`` sampled possible worlds.  A
+:class:`Session` owns those substrates once:
+
+* the **indexed graph** (endpoint/probability arrays + cached CSR),
+  built on first use and shared by every query and every world store;
+* a seed-keyed **world store cache**: each distinct
+  ``(sampler, theta, seed)`` draw is sampled exactly once
+  (:class:`repro.engine.worldstore.WorldStore`) and replayed by every
+  later query that names it -- zero resampling;
+* a per-(store, measure, engine) **evaluation cache**: the per-world
+  densest-family / transaction records are computed once, so a warm
+  query that only varies ``k``, ``min_size``, ``enumerate_all`` -> same
+  records, or MPDS vs NDS ranking knobs replays records through the
+  cheap finalize stage instead of re-solving every world (a different
+  *measure* re-evaluates, but still reuses the sampled worlds);
+* the **published shared-memory segments** for parallel queries: the
+  graph payload and each store's world arrays are packed once and kept
+  alive for the session, so warm fan-outs ship only tiny task tuples
+  (and the persistent worker pool re-attaches nothing).
+
+Queries are built with a chainable :class:`Query`::
+
+    with Session(graph) as session:
+        q = session.query().sampler("mc", theta=160, seed=7)
+        best = q.measure("edge").top_k(5).mpds()
+        cliquey = session.query().sampler("mc", theta=160, seed=7) \\
+            .measure("clique:h=3").top_k(5).mpds()       # same worlds
+        nuclei = session.query().sampler("mc", theta=160, seed=7) \\
+            .min_size(3).top_k(5).nds()                  # same worlds
+
+Sampler and measure arguments accept registry spec strings
+(:mod:`repro.specs`: ``"mc:theta=160"``, ``"lp"``, ``"clique:h=3"``),
+plain instances, or ``None`` for the defaults.
+
+Byte-identity contract
+----------------------
+A warm query's estimates are **byte-identical** to the equivalent
+one-shot ``top_k_mpds`` / ``top_k_nds`` / ``parallel_top_k_*`` call
+with the same seed: the store is drained from the sampler's continuous
+RNG stream exactly as the parallel substrate pre-partitions it, and
+replayed worlds rebuild the very objects the one-shot loop would have
+evaluated (``tests/test_session_differential.py`` pins every
+sampler x measure x engine x workers cell).  The free functions are
+themselves thin shims over a one-shot session (``cache_worlds=False``),
+so there is exactly one implementation to trust.
+
+Unseeded queries (``seed=None``) resample on every execution -- the
+store cache is *seed-keyed* by design; give the sampler a seed to share
+worlds across queries.  User-constructed sampler *instances* carry
+mutable RNG state, so they stream exactly as the legacy functions did
+instead of populating the cache.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple, Union
+
+from .core.measures import DensityMeasure, EdgeDensity
+from .core.mpds import evaluate_store_mpds, evaluate_worlds, finalize_mpds
+from .core.nds import (
+    accumulate_transactions,
+    evaluate_store_transactions,
+    evaluate_transactions,
+    finalize_nds,
+)
+from .core.results import MPDSResult, NDSResult
+from .graph.uncertain import UncertainGraph
+from .specs import (
+    build_measure,
+    build_sampler,
+    check_int_knob,
+    parse_sampler_spec,
+    sampler_store_key,
+)
+
+def _vector_sampler(kind: str, indexed, seed: Optional[int], params: dict):
+    """Build a registry kind's vectorised twin over the session's shared
+    :class:`IndexedGraph` (so nothing is re-indexed per draw)."""
+    from .engine.estimators import VECTOR_SAMPLER_KINDS
+
+    twin = VECTOR_SAMPLER_KINDS.get(kind)
+    if twin is None:  # pragma: no cover - parse_sampler_spec gates kinds
+        raise ValueError(f"unknown sampler kind {kind!r}")
+    return twin(indexed, seed, **params)
+
+
+def _close_published(published: List) -> None:
+    """Finalizer target: unlink a session's published segments."""
+    while published:
+        published.pop().close()
+
+
+def _measure_key(measure: DensityMeasure) -> Optional[Tuple]:
+    """Evaluation-cache key component identifying a measure, or ``None``.
+
+    The bundled measures all have value-style reprs
+    (``CliqueDensity(h=3)``), so equal configurations hit the same
+    cache line.  Two traps are handled explicitly:
+
+    * a measure type that inherits ``object.__repr__`` has only an
+      *address* identity -- an address can be reused by a different
+      measure after garbage collection, so such measures opt out of
+      evaluation caching entirely (``None``: every query re-evaluates;
+      the world store is still reused);
+    * ``PatternDensity``'s repr names only ``pattern.name``, and two
+      structurally different patterns may share a name -- the pattern's
+      canonical edge list joins the key so they cannot collide.
+
+    Wrapping measures (``HeuristicMeasure``) key on their wrapped
+    measure recursively, inheriting both rules.
+    """
+    cls = type(measure)
+    if cls.__repr__ is object.__repr__:
+        return None
+    key: Tuple = (cls.__module__, cls.__qualname__, repr(measure))
+    pattern = getattr(measure, "pattern", None)
+    if pattern is not None:
+        edges = getattr(pattern, "edges", None)
+        if not callable(edges):  # pragma: no cover - defensive
+            return None
+        key += (tuple(edges()),)
+    base = getattr(measure, "base", None)
+    if isinstance(base, DensityMeasure):
+        base_key = _measure_key(base)
+        if base_key is None:
+            return None
+        key += (base_key,)
+    return key
+
+
+class Session:
+    """Prepared substrates + world store cache for repeated queries.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph every query runs against.
+    engine:
+        Default engine for queries (``"auto" | "python" | "vectorized"``);
+        individual queries may override it.
+    workers:
+        Default worker count for queries (``1`` = sequential,
+        ``"auto"`` = host-sized fan-out, or an explicit count).
+    cache_worlds:
+        When ``False`` the session is *one-shot*: no world store or
+        published segment survives the query.  This is the mode the
+        legacy free functions run in -- it keeps their memory profile
+        (streaming, never holding all worlds) and their exact behavior.
+
+    Memory model: the caches grow with query *diversity* and are never
+    evicted -- every distinct seeded ``(sampler, theta, seed)`` draw
+    pins its ``(T, m)`` mask matrix (see ``WorldStore.nbytes``), and
+    every distinct (draw, measure, engine, knobs) combination pins its
+    per-world records, until :meth:`close`.  Size sessions to a working
+    set (typically one or a few draws queried many ways -- where the
+    amortization lives); for unbounded-diversity traffic, close and
+    recreate sessions at natural boundaries rather than holding one
+    forever.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        engine: str = "auto",
+        workers: Union[int, str] = 1,
+        cache_worlds: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.engine = engine
+        self.workers = workers
+        self.cache_worlds = cache_worlds
+        self._indexed = None
+        self._stores: Dict[Tuple, object] = {}
+        #: (store key, measure key, engine, ...) -> (records, replayed)
+        self._eval_cache: Dict[Tuple, Tuple[list, int]] = {}
+        self._graph_segment = None
+        self._published: Dict[Tuple, object] = {}
+        #: shared container so the finalizer never references ``self``
+        self._published_segments: List = []
+        self._finalizer = weakref.finalize(
+            self, _close_published, self._published_segments
+        )
+        self.stats = {
+            "queries": 0,
+            "stores_built": 0,
+            "store_hits": 0,
+            "worlds_sampled": 0,
+            "worlds_evaluated": 0,
+            "eval_hits": 0,
+            "plans_published": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # substrates
+    # ------------------------------------------------------------------
+    @property
+    def indexed(self):
+        """The session's shared :class:`IndexedGraph` (built once)."""
+        if self._indexed is None:
+            from .engine.indexed import IndexedGraph
+
+            self._indexed = IndexedGraph.from_uncertain(self.graph)
+        return self._indexed
+
+    def world_store(
+        self,
+        sampler: str = "mc",
+        theta: int = 160,
+        seed: Optional[int] = None,
+        **params,
+    ):
+        """Return the cached world store for a draw, sampling on miss.
+
+        ``sampler`` is a registry spec (``"mc"``, ``"lp"``,
+        ``"rss:r=4"``; a ``theta=``/``seed=`` carried in the spec
+        overrides the keyword).  Seeded draws are cached under
+        ``(kind, params, theta, seed)``; unseeded draws are sampled
+        fresh each call (the cache is seed-keyed by design).
+        """
+        kind, spec_params = parse_sampler_spec(sampler)
+        spec_params.update(params)
+        context = f"sampler spec {sampler!r}"
+        if "theta" in spec_params:
+            theta = check_int_knob(context, "theta", spec_params.pop("theta"))
+        if "seed" in spec_params:
+            seed = check_int_knob(context, "seed", spec_params.pop("seed"))
+        return self._store_for(kind, spec_params, theta, seed)
+
+    def _store_for(
+        self, kind: str, params: dict, theta: int, seed: Optional[int]
+    ):
+        from .engine.worldstore import WorldStore
+
+        key = sampler_store_key(kind, params, theta, seed)
+        cacheable = self.cache_worlds and seed is not None
+        if cacheable:
+            store = self._stores.get(key)
+            if store is not None:
+                self.stats["store_hits"] += 1
+                return store
+        vec = _vector_sampler(kind, self.indexed, seed, params)
+        store = WorldStore.from_vectorized(vec, theta, kind=kind, seed=seed)
+        self.stats["stores_built"] += 1
+        self.stats["worlds_sampled"] += store.count
+        if cacheable:
+            self._stores[key] = store
+        return store
+
+    def _published_graph(self):
+        """Publish the graph payload once; every store's fan-out shares it."""
+        from .core.parallel import PublishedGraph
+
+        if self._graph_segment is None:
+            self._graph_segment = PublishedGraph.publish(self.indexed)
+            self._published_segments.append(self._graph_segment)
+        return self._graph_segment
+
+    def _published_plan(self, key: Tuple, plan):
+        """Publish a store's fan-out arrays once; reuse across queries."""
+        from .core.parallel import PublishedPlan
+
+        published = self._published.get(key)
+        if published is None:
+            published = PublishedPlan.publish(
+                plan, graph=self._published_graph()
+            )
+            self.stats["plans_published"] += 1
+            if self.cache_worlds:
+                self._published[key] = published
+                self._published_segments.append(published)
+        return published
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self) -> "Query":
+        """Start a chainable query against this session's graph."""
+        return Query(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release cached stores and unlink published shared memory.
+
+        Idempotent -- and not terminal: a session stays usable after
+        ``close()`` (later queries simply refill the caches and publish
+        fresh segments, which a further ``close()`` -- or the GC /
+        interpreter-exit finalizer, which drains the same shared list --
+        releases again).
+        """
+        self._stores.clear()
+        self._eval_cache.clear()
+        self._graph_segment = None
+        self._published.clear()
+        _close_published(self._published_segments)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, "
+            f"stores={len(self._stores)}, engine={self.engine!r})"
+        )
+
+
+class Query:
+    """Chainable query builder; terminal calls are :meth:`mpds` / :meth:`nds`.
+
+    Every setter returns ``self``.  Unset knobs fall back to the
+    session's defaults (engine, workers) or the estimators' historical
+    defaults (``theta=160`` for MPDS, ``640`` for NDS, ``k=1``,
+    ``min_size=2``).
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._sampler_kind = "mc"
+        self._sampler_params: dict = {}
+        self._sampler_instance = None
+        self._theta: Optional[int] = None
+        self._seed: Optional[int] = None
+        self._measure: Optional[DensityMeasure] = None
+        self._k = 1
+        self._min_size = 2
+        self._engine: Optional[str] = None
+        self._workers: Optional[Union[int, str]] = None
+        self._enumerate_all = True
+        self._per_world_limit: Optional[int] = 100_000
+
+    # ------------------------------------------------------------------
+    # chainable setters
+    # ------------------------------------------------------------------
+    def sampler(
+        self,
+        sampler=None,
+        *,
+        theta: Optional[int] = None,
+        seed: Optional[int] = None,
+        **params,
+    ) -> "Query":
+        """Choose the sampler: a spec string, an instance, or ``None``.
+
+        Spec strings come from the :mod:`repro.specs` registry
+        (``"mc"``, ``"lp"``, ``"rss:r=4"``); ``theta=``/``seed=`` may
+        ride in the spec or as keywords (the spec wins on conflict,
+        matching :meth:`Session.world_store` and the CLI flags).
+        ``None`` keeps the default Monte Carlo.  A :class:`WorldSampler` *instance*
+        streams exactly as the legacy functions did (its mutable RNG
+        state cannot be cached).
+        """
+        if sampler is None:
+            self._sampler_instance = None
+            self._sampler_kind = "mc"
+            self._sampler_params = dict(params)
+        elif isinstance(sampler, str):
+            kind, spec_params = parse_sampler_spec(sampler)
+            spec_params.update(params)
+            # spec-carried knobs win over the keywords, the same
+            # precedence Session.world_store and the CLI flags use
+            context = f"sampler spec {sampler!r}"
+            spec_theta = check_int_knob(
+                context, "theta", spec_params.pop("theta", None)
+            )
+            spec_seed = check_int_knob(
+                context, "seed", spec_params.pop("seed", None)
+            )
+            if spec_theta is not None:
+                theta = spec_theta
+            if spec_seed is not None:
+                seed = spec_seed
+            self._sampler_instance = None
+            self._sampler_kind = kind
+            self._sampler_params = spec_params
+        else:
+            if params:
+                raise ValueError(
+                    "cannot pass constructor parameters with a sampler "
+                    "instance"
+                )
+            self._sampler_instance = sampler
+        if theta is not None:
+            self._theta = theta
+        if seed is not None:
+            self._seed = seed
+        return self
+
+    def measure(self, measure=None, **params) -> "Query":
+        """Choose the density measure: spec string, instance, or ``None``
+        (edge density).  Spec strings come from :mod:`repro.specs`
+        (``"edge"``, ``"clique:h=3"``, ``"pattern:psi=diamond"``,
+        ``"surplus:alpha=0.33"``)."""
+        if measure is None and not params:
+            self._measure = None
+        else:
+            self._measure = build_measure(measure, **params)
+        return self
+
+    def theta(self, theta: int) -> "Query":
+        """Set the sampled world count."""
+        self._theta = theta
+        return self
+
+    def seed(self, seed: Optional[int]) -> "Query":
+        """Set the sampling seed (seeded draws are cached per session)."""
+        self._seed = seed
+        return self
+
+    def top_k(self, k: int) -> "Query":
+        """Set how many node sets to return."""
+        self._k = k
+        return self
+
+    def min_size(self, min_size: int) -> "Query":
+        """Set ``l_m``, the minimum returned node-set size (NDS only)."""
+        self._min_size = min_size
+        return self
+
+    def engine(self, engine: str) -> "Query":
+        """Override the session's engine for this query."""
+        self._engine = engine
+        return self
+
+    def workers(self, workers: Union[int, str]) -> "Query":
+        """Override the session's worker count (``1``, N, or ``"auto"``)."""
+        self._workers = workers
+        return self
+
+    def enumerate_all(self, enumerate_all: bool) -> "Query":
+        """Record all densest subgraphs per world (Table IX ablation)."""
+        self._enumerate_all = enumerate_all
+        return self
+
+    def per_world_limit(self, limit: Optional[int]) -> "Query":
+        """Cap the densest subgraphs enumerated per world."""
+        self._per_world_limit = limit
+        return self
+
+    # ------------------------------------------------------------------
+    # terminals
+    # ------------------------------------------------------------------
+    def mpds(self) -> MPDSResult:
+        """Run Algorithm 1 (top-k MPDS) with the configured knobs."""
+        return self._execute("mpds")
+
+    def nds(self) -> NDSResult:
+        """Run Algorithm 5 (top-k NDS) with the configured knobs."""
+        return self._execute("nds")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, mode: str):
+        session = self._session
+        if self._k < 1:
+            raise ValueError(f"k must be >= 1, got {self._k}")
+        if mode == "nds" and self._min_size < 1:
+            raise ValueError(
+                f"min_size (l_m) must be >= 1, got {self._min_size}"
+            )
+        theta = self._theta
+        if theta is None:
+            theta = 160 if mode == "mpds" else 640
+        engine = self._engine if self._engine is not None else session.engine
+        measure = self._measure or EdgeDensity()
+
+        workers_requested = self._workers
+        if workers_requested is None and session.workers != 1:
+            workers_requested = session.workers
+        if workers_requested is not None:
+            # parallel-path validations, matching the legacy wrappers
+            from .core.parallel import resolve_workers
+
+            if theta <= 0:
+                raise ValueError(f"theta must be positive, got {theta}")
+            workers = resolve_workers(workers_requested)
+            if workers < 1:
+                raise ValueError(
+                    f"workers must be >= 1, got {workers_requested}"
+                )
+        else:
+            workers = 1
+
+        session.stats["queries"] += 1
+        storeable = (
+            self._sampler_instance is None
+            and self._seed is not None
+            and session.cache_worlds
+            and theta > 0
+            and session.indexed.m > 0
+        )
+
+        if workers > 1 and not storeable:
+            return self._legacy_parallel(mode, measure, engine, theta,
+                                         workers)
+        if storeable:
+            # theta == 1 parallel requests fall through to the in-process
+            # evaluation inside _store_execute (the grid cannot help), the
+            # same fallback the one-shot wrappers take before any RNG use
+            return self._store_execute(
+                mode, measure, engine, theta,
+                workers if theta != 1 else 1,
+            )
+        return self._stream_sequential(mode, measure, engine, theta)
+
+    # -- store-backed path ---------------------------------------------
+    def _store_execute(self, mode, measure, engine, theta, workers):
+        """Serve a query from the session caches, filling them on miss.
+
+        Layered reuse: an evaluation-cache hit replays the per-world
+        records straight through finalize (no sampling, no world
+        evaluation); a miss falls back to the world store (no sampling)
+        and evaluates in-process or over the published fan-out.
+        """
+        from .engine.estimators import resolve_engine
+
+        session = self._session
+        skey = sampler_store_key(
+            self._sampler_kind, self._sampler_params, theta, self._seed
+        )
+        resolved = resolve_engine(engine, None, measure)
+        enumerate_all = self._enumerate_all if mode == "mpds" else True
+        per_world_limit = self._per_world_limit if mode == "mpds" else None
+        mkey = _measure_key(measure)
+        ekey = (
+            None
+            if mkey is None
+            else (mode, skey, mkey, resolved, enumerate_all, per_world_limit)
+        )
+        cached = None if ekey is None else session._eval_cache.get(ekey)
+        if cached is not None:
+            session.stats["eval_hits"] += 1
+            records, replayed = cached
+        else:
+            store = session._store_for(
+                self._sampler_kind, self._sampler_params, theta, self._seed
+            )
+            if workers > 1:
+                records, replayed = self._dispatch_records(
+                    mode, store, skey, measure, resolved,
+                    enumerate_all, per_world_limit, workers,
+                )
+            else:
+                records, replayed = self._evaluate_records(
+                    mode, store, measure, resolved,
+                    enumerate_all, per_world_limit,
+                )
+            session.stats["worlds_evaluated"] += len(records)
+            if ekey is not None:
+                session._eval_cache[ekey] = (records, replayed)
+        return self._finalize(mode, records, replayed)
+
+    def _evaluate_records(
+        self, mode, store, measure, resolved, enumerate_all, per_world_limit
+    ):
+        """Evaluate the store's worlds in-process into per-world records,
+        through the same :mod:`repro.core` seams ``mpds_from_store`` /
+        ``nds_from_store`` run on."""
+        if mode == "mpds":
+            return evaluate_store_mpds(
+                store, measure, resolved, enumerate_all, per_world_limit
+            )
+        return evaluate_store_transactions(store, measure, resolved), 0
+
+    def _dispatch_records(
+        self, mode, store, skey, measure, resolved, enumerate_all,
+        per_world_limit, workers,
+    ):
+        """Evaluate the store's worlds over the published fan-out.
+
+        Returns the grid-ordered per-world records -- exactly the
+        stream the sequential evaluation produces, so both fill the
+        same evaluation cache and finalize identically.
+        """
+        from .core.parallel import (
+            _records_in_grid_order,
+            _replay_truncated,
+            dispatch_blocks,
+            plan_from_store,
+        )
+
+        session = self._session
+        plan = plan_from_store(store)
+        published = session._published_plan(skey, plan)
+        try:
+            outputs = dispatch_blocks(
+                plan, published, workers, mode, measure, resolved,
+                enumerate_all, per_world_limit,
+            )
+        finally:
+            if not session.cache_worlds:  # pragma: no cover - defensive
+                published.close()
+        if mode == "mpds":
+            _replay_truncated(plan, outputs, measure, per_world_limit)
+        ordered, replayed = _records_in_grid_order(
+            plan.blocks, plan.weights, outputs
+        )
+        return list(ordered), (sum(replayed) if mode == "mpds" else 0)
+
+    def _finalize(self, mode, records, replayed):
+        """Rank cached records -- the only per-query work on a warm hit."""
+        if mode == "mpds":
+            result = finalize_mpds(iter(records), self._k)
+            result.replayed_worlds = replayed
+            return result
+        transactions, weights, total_weight, actual_theta = (
+            accumulate_transactions(iter(records))
+        )
+        return finalize_nds(
+            transactions, weights, total_weight, actual_theta,
+            self._k, self._min_size,
+        )
+
+    # -- streaming paths (the legacy one-shot code) --------------------
+    def _build_sampler_instance(self):
+        """The sampler the legacy streaming paths should see.
+
+        ``None`` for plain Monte Carlo (the estimators build their own
+        from the seed, preserving the unseeded block-seeded parallel
+        path); a fresh registry instance for LP/RSS kinds, exactly as
+        the CLI always constructed them.
+        """
+        if self._sampler_instance is not None:
+            return self._sampler_instance
+        if self._sampler_kind == "mc" and not self._sampler_params:
+            return None
+        return build_sampler(
+            self._sampler_kind,
+            self._session.graph,
+            self._seed,
+            **self._sampler_params,
+        )
+
+    def _legacy_parallel(self, mode, measure, engine, theta, workers):
+        from .core.parallel import _parallel_mpds_impl, _parallel_nds_impl
+
+        sampler = self._build_sampler_instance()
+        if mode == "mpds":
+            result = _parallel_mpds_impl(
+                self._session.graph, self._k, theta, measure, sampler,
+                self._seed, workers, self._enumerate_all,
+                self._per_world_limit, engine,
+            )
+        else:
+            result = _parallel_nds_impl(
+                self._session.graph, self._k, self._min_size, theta, measure,
+                sampler, self._seed, workers, engine,
+            )
+        # uncached draw: count it so session stats stay truthful
+        self._session.stats["worlds_sampled"] += result.theta
+        return result
+
+    def _stream_sequential(self, mode, measure, engine, theta):
+        from .engine.estimators import prepare_world_stream
+
+        sampler = self._build_sampler_instance()
+        worlds, loop_measure, engine_measure = prepare_world_stream(
+            self._session.graph, theta, measure, sampler, self._seed, engine
+        )
+        if mode == "mpds":
+            result = finalize_mpds(
+                evaluate_worlds(
+                    worlds, loop_measure, self._enumerate_all,
+                    self._per_world_limit,
+                ),
+                self._k,
+            )
+            # read after the stream is fully consumed: the engine counts
+            # replays as it evaluates
+            result.replayed_worlds = (
+                engine_measure.replayed_worlds if engine_measure else 0
+            )
+        else:
+            transactions, weights, total_weight, actual_theta = (
+                accumulate_transactions(
+                    evaluate_transactions(worlds, loop_measure)
+                )
+            )
+            result = finalize_nds(
+                transactions, weights, total_weight, actual_theta,
+                self._k, self._min_size,
+            )
+        # uncached draw: count it so session stats stay truthful
+        self._session.stats["worlds_sampled"] += result.theta
+        return result
+
+    def __repr__(self) -> str:
+        sampler = (
+            type(self._sampler_instance).__name__
+            if self._sampler_instance is not None
+            else self._sampler_kind
+        )
+        return (
+            f"Query(sampler={sampler!r}, theta={self._theta}, "
+            f"seed={self._seed}, k={self._k})"
+        )

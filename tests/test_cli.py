@@ -115,3 +115,173 @@ class TestCLI:
     def test_engine_option_rejects_unknown(self, graph_file, capsys):
         with pytest.raises(SystemExit):
             main(["mpds", graph_file, "--engine", "warp-drive"])
+
+
+class TestCLISpecs:
+    """Registry spec strings on --sampler/--measure, and --workers auto."""
+
+    def test_measure_spec_flag(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--measure", "clique:h=2",
+            "--theta", "200", "--seed", "5",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_measure_spec_overrides_density(self, graph_file, capsys):
+        """--measure wins over the legacy --density flags; equal specs
+        print identical output."""
+        assert main([
+            "mpds", graph_file, "--density", "edge",
+            "--measure", "clique:h=2", "--theta", "150", "--seed", "2",
+        ]) == 0
+        via_spec = capsys.readouterr().out
+        assert main([
+            "mpds", graph_file, "--density", "clique", "--h", "2",
+            "--theta", "150", "--seed", "2",
+        ]) == 0
+        assert via_spec == capsys.readouterr().out
+
+    def test_sampler_spec_lowercase_and_params(self, graph_file, capsys):
+        assert main([
+            "mpds", graph_file, "--sampler", "rss:r=3",
+            "--theta", "100", "--seed", "1",
+        ]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_sampler_spec_carries_theta_and_seed(self, graph_file, capsys):
+        """theta=/seed= in the spec override the flags: both spellings
+        must print identical results."""
+        assert main([
+            "mpds", graph_file, "--sampler", "mc:theta=200,seed=9", "--k", "2",
+        ]) == 0
+        via_spec = capsys.readouterr().out
+        assert main([
+            "mpds", graph_file, "--theta", "200", "--seed", "9", "--k", "2",
+        ]) == 0
+        assert via_spec == capsys.readouterr().out
+
+    def test_unknown_sampler_spec_exits_2(self, graph_file, capsys):
+        assert main(["mpds", graph_file, "--sampler", "metropolis"]) == 2
+        assert "unknown sampler" in capsys.readouterr().err
+
+    def test_bad_sampler_constructor_params_exit_2(self, graph_file, capsys):
+        """Spec parameters the sampler rejects (bad values or unknown
+        keywords) exit 2 cleanly, like every other spec error."""
+        assert main([
+            "mpds", graph_file, "--sampler", "rss:r=0", "--seed", "1",
+        ]) == 2
+        assert "r must be >= 1" in capsys.readouterr().err
+        assert main([
+            "mpds", graph_file, "--sampler", "lp:r=4", "--seed", "1",
+        ]) == 2
+        assert "keyword" in capsys.readouterr().err
+
+    def test_unknown_measure_spec_exits_2(self, graph_file, capsys):
+        assert main(["mpds", graph_file, "--measure", "volume"]) == 2
+        assert "unknown measure" in capsys.readouterr().err
+
+    def test_workers_auto_accepted(self, graph_file, capsys):
+        assert main([
+            "mpds", graph_file, "--theta", "150", "--seed", "3",
+            "--workers", "auto", "--k", "2",
+        ]) == 0
+        auto_out = capsys.readouterr().out
+        assert main([
+            "mpds", graph_file, "--theta", "150", "--seed", "3", "--k", "2",
+        ]) == 0
+        assert auto_out == capsys.readouterr().out
+
+    def test_workers_rejects_garbage(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["mpds", graph_file, "--workers", "many"])
+
+    def test_workers_rejects_nonpositive(self, graph_file):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                main(["mpds", graph_file, "--workers", bad])
+
+
+class TestCLIQuery:
+    """The `query` subcommand: several runs on one Session."""
+
+    def test_query_runs_share_one_draw(self, graph_file, capsys):
+        code = main([
+            "query", graph_file, "--sampler", "mc:theta=300,seed=7",
+            "--run", "mpds:k=2",
+            "--run", "mpds:k=2,measure=clique:h=2",
+            "--run", "nds:k=1,min_size=2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("# run ") == 3
+        assert "tau-hat" in out and "gamma-hat" in out
+        assert "300 worlds sampled in 1 draw(s)" in out
+        assert "2 warm hit(s)" in out
+
+    def test_query_matches_one_shot_commands(self, graph_file, capsys):
+        assert main([
+            "query", graph_file, "--theta", "200", "--seed", "3",
+            "--run", "mpds:k=2", "--run", "nds:k=1",
+        ]) == 0
+        query_out = capsys.readouterr().out
+        assert main([
+            "mpds", graph_file, "--k", "2", "--theta", "200", "--seed", "3",
+        ]) == 0
+        mpds_out = capsys.readouterr().out
+        assert main([
+            "nds", graph_file, "--k", "1", "--theta", "200", "--seed", "3",
+        ]) == 0
+        nds_out = capsys.readouterr().out
+        for line in mpds_out.strip().splitlines():
+            assert line in query_out
+        for line in nds_out.strip().splitlines():
+            assert line in query_out
+
+    def test_query_default_run_is_mpds(self, graph_file, capsys):
+        assert main([
+            "query", graph_file, "--theta", "100", "--seed", "1",
+        ]) == 0
+        assert "tau-hat" in capsys.readouterr().out
+
+    def test_query_unseeded_summary_reports_sampling(self, graph_file,
+                                                     capsys):
+        """Without --seed nothing is cacheable; the summary must report
+        the worlds actually drawn, not '0 draw(s)'."""
+        assert main([
+            "query", graph_file, "--theta", "50",
+            "--run", "mpds:k=1", "--run", "nds:k=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# session: unseeded -- 100 worlds sampled" in out
+        assert "pass --seed" in out
+
+    def test_query_rejects_unknown_algorithm(self, graph_file, capsys):
+        assert main([
+            "query", graph_file, "--run", "pagerank:k=2",
+        ]) == 2
+        assert "unknown run algorithm" in capsys.readouterr().err
+
+    def test_query_rejects_unknown_run_parameter(self, graph_file, capsys):
+        assert main([
+            "query", graph_file, "--run", "mpds:depth=3",
+        ]) == 2
+        assert "unknown run parameter" in capsys.readouterr().err
+
+    def test_query_rejects_bad_measure(self, graph_file, capsys):
+        assert main([
+            "query", graph_file, "--run", "mpds:measure=volume",
+        ]) == 2
+        assert "unknown measure" in capsys.readouterr().err
+
+    def test_query_rejects_bad_run_values_cleanly(self, graph_file, capsys):
+        """Typos in run parameter *values* exit 2 with the offending
+        run named -- no tracebacks."""
+        for run in ("mpds:k=zero", "mpds:k=0", "nds:min_size=0",
+                    "mpds:workers=oops"):
+            assert main([
+                "query", graph_file, "--theta", "20", "--seed", "1",
+                "--run", run,
+            ]) == 2, run
+            err = capsys.readouterr().err
+            assert f"run '{run}'" in err

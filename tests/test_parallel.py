@@ -251,3 +251,95 @@ class TestPersistentPool:
         pool = par._POOL
         parallel_top_k_mpds(figure1, k=1, theta=30, seed=1, workers=2)
         assert par._POOL is pool
+
+
+class TestResolveWorkers:
+    """Regression: the old default hardcoded workers=2 even on 1-core
+    hosts; ``workers="auto"`` must size the fan-out to the host."""
+
+    def test_auto_respects_single_core_host(self, monkeypatch):
+        import os
+
+        from repro.core.parallel import resolve_workers
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers("auto") == 1
+
+    def test_auto_matches_host_allowance(self):
+        import os
+
+        from repro.core.parallel import resolve_workers
+
+        resolved = resolve_workers("auto")
+        try:
+            expected = max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            expected = max(1, os.cpu_count() or 1)
+        assert resolved == expected
+
+    def test_auto_never_below_one(self, monkeypatch):
+        import os
+
+        from repro.core.parallel import resolve_workers
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_workers("auto") == 1
+
+    def test_integers_pass_through(self):
+        from repro.core.parallel import resolve_workers
+
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0  # caller owns the >= 1 validation
+
+    def test_rejects_garbage(self):
+        from repro.core.parallel import resolve_workers
+
+        with pytest.raises(ValueError, match="integer or 'auto'"):
+            resolve_workers("many")
+        with pytest.raises(ValueError, match="integer or 'auto'"):
+            resolve_workers(2.5)
+        with pytest.raises(ValueError, match="integer or 'auto'"):
+            resolve_workers(True)
+
+    def test_parallel_functions_default_to_auto(self):
+        import inspect
+
+        assert (
+            inspect.signature(parallel_top_k_mpds)
+            .parameters["workers"].default == "auto"
+        )
+        assert (
+            inspect.signature(parallel_top_k_nds)
+            .parameters["workers"].default == "auto"
+        )
+
+    def test_workers_auto_matches_sequential(self, figure1):
+        from repro.core.mpds import top_k_mpds
+
+        auto = parallel_top_k_mpds(
+            figure1, k=2, theta=60, seed=3, workers="auto"
+        )
+        assert auto == top_k_mpds(figure1, k=2, theta=60, seed=3)
+
+    def test_workers_auto_on_forced_single_core(self, figure1, monkeypatch):
+        """On a (simulated) 1-core host the auto default must run the
+        sequential estimator, not a 2-process fan-out."""
+        import os
+
+        import repro.core.parallel as par
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        def no_fanout(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("1-core auto run must not plan a fan-out")
+
+        monkeypatch.setattr(par, "_plan_run", no_fanout)
+        result = parallel_top_k_mpds(
+            figure1, k=1, theta=40, seed=5, workers="auto"
+        )
+        from repro.core.mpds import top_k_mpds
+
+        assert result == top_k_mpds(figure1, k=1, theta=40, seed=5)
