@@ -292,12 +292,14 @@ def _evaluate_block(task) -> BlockOutput:
             measure, engine, enumerate_all, per_world_limit, mode,
         )
     else:
+        from ..engine.shm import masks_from_payload
+
         _job_shm, job_arrays, _ = _attached_entry(
             job_name, job_layout, want_graph=False
         )
         records, replayed = _block_records(
             indexed,
-            job_arrays["masks"],
+            masks_from_payload(job_arrays),
             job_arrays.get("order_data"),
             job_arrays.get("order_indptr"),
             start,
@@ -469,6 +471,9 @@ def plan_from_store(store) -> _RunPlan:
     the arrays a seeded plan needs (masks, weights, insertion orders in
     stream order), so fanning a warm query out is just laying the fixed
     chunk grid over the stored world count -- zero sampling work.
+    Packed stores hand over their word matrix as-is
+    (:class:`repro.engine.bitset.PackedMasks`), so the published
+    segments stay 8x smaller than the boolean equivalent.
     """
     from ..engine.blocks import plan_blocks
 
@@ -476,7 +481,7 @@ def plan_from_store(store) -> _RunPlan:
         store.indexed,
         plan_blocks(store.count),
         store.weights,
-        store.masks,
+        store.mask_matrix(),
         store.order_data,
         store.order_indptr,
         None,
@@ -525,8 +530,14 @@ def _plan_run(graph: UncertainGraph, theta: int, sampler,
         return None
     masks, weights, order_data, order_indptr = drain_mask_stream(vec, theta)
     blocks = plan_blocks(len(weights))
+    # pack the drained matrix: the fan-out then publishes uint64 words
+    # (8x less shared memory) and workers unpack rows lazily -- replay
+    # is byte-identical either way (pack/unpack is lossless)
+    from ..engine.bitset import PackedMasks
+
     return _RunPlan(
-        vec.indexed, blocks, weights, masks, order_data, order_indptr, None
+        vec.indexed, blocks, weights, PackedMasks.from_bool(masks),
+        order_data, order_indptr, None,
     )
 
 
@@ -609,7 +620,12 @@ class PublishedPlan:
             graph = PublishedGraph.publish(plan.indexed)
         job_shm = job_layout = None
         if plan.masks is not None:
-            job_arrays = {"masks": plan.masks}
+            from ..engine.shm import mask_payload
+
+            # packed plans ship uint64 words -- 8x less shared memory
+            # than the boolean byte matrix, unpacked lazily per world
+            # inside the workers (same bytes either way)
+            job_arrays = mask_payload(plan.masks)
             if plan.order_data is not None:
                 job_arrays["order_data"] = plan.order_data
                 job_arrays["order_indptr"] = plan.order_indptr

@@ -1,4 +1,6 @@
-"""Datasets: Karate Club (real), paper examples, brain networks, stand-ins."""
+"""Datasets: Karate Club (real), paper examples, brain networks, stand-ins,
+and SNAP-style real-graph loaders (download-and-cache + committed
+fixtures)."""
 
 from .karate import (
     KARATE_EDGES,
@@ -29,8 +31,26 @@ from .synthetic import (
     make_lastfm_like,
     make_twitter_like,
 )
+from .real import (
+    REAL_DATASETS,
+    attach_probabilities,
+    available_real_datasets,
+    fetch_real_dataset,
+    fixture_path,
+    load_real_dataset,
+    load_uncertain_graph,
+    make_scale_benchmark_graph,
+)
 
 __all__ = [
+    "REAL_DATASETS",
+    "attach_probabilities",
+    "available_real_datasets",
+    "fetch_real_dataset",
+    "fixture_path",
+    "load_real_dataset",
+    "load_uncertain_graph",
+    "make_scale_benchmark_graph",
     "KARATE_EDGES",
     "KARATE_FACTIONS",
     "karate_club_topology",

@@ -30,9 +30,12 @@ Lifecycle contract
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .bitset import PackedMasks
 
 #: name -> (dtype string, shape tuple, byte offset into the segment)
 Layout = Dict[str, Tuple[str, Tuple[int, ...], int]]
@@ -90,6 +93,45 @@ def attach_arrays(
         array.flags.writeable = False
         out[key] = array
     return shm, out
+
+
+def mask_payload(masks) -> Dict[str, np.ndarray]:
+    """Describe a world-mask matrix as a publishable array bundle.
+
+    Packed matrices (:class:`repro.engine.bitset.PackedMasks`) publish
+    their uint64 words plus the logical bit width -- 8x less shared
+    memory than the historical boolean byte matrix, which still
+    publishes as a plain ``"masks"`` array.  The inverse is
+    :func:`masks_from_payload`; round-tripping either representation is
+    lossless, so workers replay byte-identical worlds.
+    """
+    from .bitset import PackedMasks
+
+    if isinstance(masks, PackedMasks):
+        return {
+            "packed_masks": masks.words,
+            "mask_bits": np.array([masks.m], dtype=np.int64),
+        }
+    return {"masks": np.asarray(masks)}
+
+
+def masks_from_payload(
+    arrays: Mapping[str, np.ndarray]
+) -> Union[np.ndarray, "PackedMasks"]:
+    """Rebuild the mask matrix a :func:`mask_payload` bundle describes.
+
+    Attached packed words are wrapped zero-copy (the
+    :class:`~repro.engine.bitset.PackedMasks` view reads the shared
+    segment in place and unpacks rows lazily at the replay boundary);
+    boolean bundles return the attached ``"masks"`` view directly.
+    """
+    if "packed_masks" in arrays:
+        from .bitset import PackedMasks
+
+        return PackedMasks(
+            arrays["packed_masks"], int(arrays["mask_bits"][0])
+        )
+    return arrays["masks"]
 
 
 def close_attachment(shm: shared_memory.SharedMemory, *views) -> None:

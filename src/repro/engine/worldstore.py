@@ -2,13 +2,34 @@
 
 The sampling estimators (Algorithms 1 and 5) share one expensive phase:
 drawing ``theta`` possible worlds.  A :class:`WorldStore` captures one
-such draw as flat arrays -- the ``(T, m)`` boolean mask matrix, the
-``(T,)`` estimator weights, and the LP/RSS per-world edge insertion
-orders -- exactly the representation the parallel substrate already
-ships to workers (:func:`repro.engine.blocks.drain_mask_stream`).  The
-store can then be *replayed* any number of times, by any query (MPDS or
-NDS, any ``k`` / ``min_size`` / measure / engine / worker count),
-without touching a sampler again.
+such draw as flat arrays -- the world-mask matrix, the ``(T,)``
+estimator weights, and the LP/RSS per-world edge insertion orders --
+exactly the representation the parallel substrate already ships to
+workers (:func:`repro.engine.blocks.drain_mask_stream`).  The store can
+then be *replayed* any number of times, by any query (MPDS or NDS, any
+``k`` / ``min_size`` / measure / engine / worker count), without
+touching a sampler again.
+
+Packed substrate
+----------------
+By default the mask matrix is held **bit-packed**
+(:class:`repro.engine.bitset.PackedMasks`: uint64 words, 8x less memory
+than the boolean ``(T, m)`` byte matrix) and unpacked lazily, one world
+row at a time, only at the python-replay boundary --
+:class:`MaskWorld` construction and ``world_graph`` materialisation.
+``packed=False`` keeps the historical byte matrix (the differential
+harness ``tests/test_bitset_differential.py`` pins both
+representations byte-identical cell by cell).
+
+An explicit ``memory_budget`` (bytes) additionally caps the *resident*
+packed mask blocks: the rows are sharded over the same fixed <=64-block
+chunk grid the parallel substrate uses
+(:func:`repro.engine.blocks.plan_blocks`), spilled to a private
+temporary file, and streamed back in block by block as replay touches
+them, with least-recently-used blocks evicted whenever residency would
+exceed the budget.  Spilled blocks are immutable, so eviction never
+writes back.  :attr:`WorldStore.peak_mask_bytes` tracks the high-water
+mark the budget is asserted against.
 
 Byte-identity contract
 ----------------------
@@ -26,46 +47,184 @@ stream (the same drain the parallel substrate uses, whose
 worker-count-invariance tests pin this replay), estimates computed from
 a store are **byte-identical** to the equivalent one-shot
 ``top_k_mpds`` / ``top_k_nds`` call -- the property
-``tests/test_session_differential.py`` asserts cell by cell.
+``tests/test_session_differential.py`` asserts cell by cell -- and
+packing / budgeting never enters the contract: a packed or budgeted
+store replays the same bytes an unpacked resident store replays.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+import os
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..sampling.base import WeightedWorld
+from .bitset import PackedMasks
 from .indexed import IndexedGraph, MaskWorld
+
+#: world-mask storage: the packed words or the historical byte matrix
+MaskMatrix = Union[PackedMasks, np.ndarray]
+
+
+class _MaskPager:
+    """Spill/stream packed mask blocks under an explicit byte budget.
+
+    Blocks follow the parallel substrate's fixed chunk grid
+    (:func:`repro.engine.blocks.plan_blocks` over the world count), so
+    the streaming unit is the same unit workers claim.  All blocks are
+    written once to an anonymous temporary file at construction; reads
+    load a block's words back and evict least-recently-used blocks
+    until residency fits the budget again.  The budget must fit the
+    largest single block -- streaming is per-block, not per-row.
+    """
+
+    __slots__ = (
+        "m", "blocks", "budget", "_file", "_offsets", "_nbytes",
+        "_shape", "_resident", "resident_bytes", "peak_resident_bytes",
+        "block_loads", "block_evictions",
+    )
+
+    def __init__(
+        self, packed: PackedMasks, blocks: List[Tuple[int, int]], budget: int
+    ) -> None:
+        words = packed.words
+        self.m = packed.m
+        self.blocks = blocks
+        largest = max(
+            (stop - start) * words.shape[1] * 8 for start, stop in blocks
+        )
+        if budget < largest:
+            raise ValueError(
+                f"memory_budget={budget} bytes cannot hold the largest "
+                f"mask block ({largest} bytes); raise the budget or "
+                "shrink theta"
+            )
+        self.budget = budget
+        self._file = tempfile.TemporaryFile(prefix="repro-worldstore-")
+        self._offsets: List[int] = []
+        self._nbytes: List[int] = []
+        self._shape: List[Tuple[int, int]] = []
+        offset = 0
+        for start, stop in blocks:
+            chunk = np.ascontiguousarray(words[start:stop])
+            self._file.write(chunk.tobytes())
+            self._offsets.append(offset)
+            self._nbytes.append(chunk.nbytes)
+            self._shape.append(chunk.shape)
+            offset += chunk.nbytes
+        #: block index -> resident words, in least-recently-used order
+        self._resident: Dict[int, np.ndarray] = {}
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self.block_loads = 0
+        self.block_evictions = 0
+
+    def block_words(self, index: int) -> np.ndarray:
+        """Return block ``index``'s words, streaming them in on a miss."""
+        resident = self._resident
+        words = resident.pop(index, None)
+        if words is not None:
+            resident[index] = words  # refresh recency
+            return words
+        nbytes = self._nbytes[index]
+        # evict before loading so the budget bounds true co-residency
+        while resident and self.resident_bytes + nbytes > self.budget:
+            oldest = next(iter(resident))
+            self.resident_bytes -= resident.pop(oldest).nbytes
+            self.block_evictions += 1
+        self._file.seek(self._offsets[index])
+        words = np.frombuffer(
+            self._file.read(nbytes), dtype=np.uint64
+        ).reshape(self._shape[index])
+        resident[index] = words
+        self.resident_bytes += nbytes
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, self.resident_bytes
+        )
+        self.block_loads += 1
+        return words
+
+    def block_of(self, i: int) -> int:
+        """Grid block index containing world row ``i`` (equal-size grid)."""
+        start, stop = self.blocks[0]
+        return min(i // (stop - start), len(self.blocks) - 1)
+
+    def row(self, i: int) -> np.ndarray:
+        """World row ``i``'s packed words, streamed via its block."""
+        index = self.block_of(i)
+        start, _stop = self.blocks[index]
+        return self.block_words(index)[i - start]
+
+    def close(self) -> None:
+        """Drop resident blocks and delete the spill file (idempotent)."""
+        self._resident.clear()
+        self.resident_bytes = 0
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class WorldStore:
     """One draw of sampled worlds, held as replayable flat arrays."""
 
     __slots__ = (
-        "indexed", "masks", "weights", "order_data", "order_indptr",
-        "kind", "theta", "seed",
+        "indexed", "weights", "order_data", "order_indptr",
+        "kind", "theta", "seed", "memory_budget",
+        "_masks", "_pager",
     )
 
     def __init__(
         self,
         indexed: IndexedGraph,
-        masks: np.ndarray,
+        masks: MaskMatrix,
         weights: np.ndarray,
         order_data: Optional[np.ndarray],
         order_indptr: Optional[np.ndarray],
         kind: str = "mc",
         theta: Optional[int] = None,
         seed: Optional[int] = None,
+        packed: Optional[bool] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         self.indexed = indexed
-        self.masks = masks
         self.weights = weights
         self.order_data = order_data
         self.order_indptr = order_indptr
         self.kind = kind
         self.theta = len(weights) if theta is None else theta
         self.seed = seed
+        self.memory_budget = memory_budget
+        if packed is None:
+            packed = not isinstance(masks, np.ndarray)
+        if packed and isinstance(masks, np.ndarray):
+            masks = PackedMasks.from_bool(masks)
+        elif not packed and isinstance(masks, PackedMasks):
+            masks = masks.to_bool()
+        self._masks: MaskMatrix = masks
+        self._pager: Optional[_MaskPager] = None
+        if memory_budget is not None:
+            if not isinstance(masks, PackedMasks):
+                raise ValueError(
+                    "memory_budget requires a packed store "
+                    "(packed=False holds the full byte matrix resident)"
+                )
+            if len(weights) > 0 and self.indexed.m > 0:
+                from .blocks import plan_blocks
+
+                self._pager = _MaskPager(
+                    masks, plan_blocks(len(weights)), memory_budget
+                )
+                # the full word matrix is dropped: from here on at most
+                # `memory_budget` bytes of mask blocks are resident
+                self._masks = None
 
     # ------------------------------------------------------------------
     # construction
@@ -77,6 +236,8 @@ class WorldStore:
         theta: int,
         kind: str = "mc",
         seed: Optional[int] = None,
+        packed: bool = True,
+        memory_budget: Optional[int] = None,
     ) -> "WorldStore":
         """Drain a vectorised sampler's continuous stream into a store."""
         from .blocks import drain_mask_stream
@@ -86,12 +247,19 @@ class WorldStore:
         )
         return cls(
             sampler.indexed, masks, weights, order_data, order_indptr,
-            kind=kind, theta=theta, seed=seed,
+            kind=kind, theta=theta, seed=seed, packed=packed,
+            memory_budget=memory_budget,
         )
 
     @classmethod
     def from_sampler(
-        cls, graph, sampler, theta: int, seed: Optional[int] = None
+        cls,
+        graph,
+        sampler,
+        theta: int,
+        seed: Optional[int] = None,
+        packed: bool = True,
+        memory_budget: Optional[int] = None,
     ) -> "WorldStore":
         """Drain a pure-Python (or vectorised) sampler via its twin.
 
@@ -102,7 +270,10 @@ class WorldStore:
 
         vec = vectorized_sampler(graph, sampler, seed)
         kind = getattr(sampler, "name", None) or "mc"
-        return cls.from_vectorized(vec, theta, kind=str(kind).lower(), seed=seed)
+        return cls.from_vectorized(
+            vec, theta, kind=str(kind).lower(), seed=seed, packed=packed,
+            memory_budget=memory_budget,
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -113,12 +284,84 @@ class WorldStore:
         return len(self.weights)
 
     @property
+    def packed(self) -> bool:
+        """Whether the mask matrix is held as uint64 words."""
+        return self._pager is not None or isinstance(
+            self._masks, PackedMasks
+        )
+
+    @property
+    def masks(self) -> np.ndarray:
+        """The boolean ``(T, m)`` mask matrix (compat / oracle boundary).
+
+        For a packed store this *materialises* a fresh byte matrix --
+        use :meth:`mask_row` / the replay iterators on hot paths.
+        """
+        matrix = self.mask_matrix()
+        if isinstance(matrix, PackedMasks):
+            return matrix.to_bool()
+        return matrix
+
+    def mask_matrix(self) -> MaskMatrix:
+        """The stored mask matrix: :class:`PackedMasks` or a byte matrix.
+
+        Both support ``matrix[i]`` -> boolean row, which is all the
+        replay and fan-out paths need.  A budgeted store re-assembles
+        one full (packed) matrix here -- the entry point shared-memory
+        publication uses, documented as outside the residency budget
+        (the segment is shared across processes, not store-resident).
+        """
+        if self._pager is not None:
+            pager = self._pager
+            words = np.concatenate(
+                [
+                    np.asarray(pager.block_words(index))
+                    for index in range(len(pager.blocks))
+                ]
+            ) if pager.blocks else np.zeros((0, 0), dtype=np.uint64)
+            return PackedMasks(words, pager.m)
+        return self._masks
+
+    @property
+    def mask_nbytes(self) -> int:
+        """Resident bytes of the mask representation (packed counts words,
+        a budgeted store counts its currently resident blocks)."""
+        if self._pager is not None:
+            return self._pager.resident_bytes
+        return self._masks.nbytes
+
+    @property
+    def peak_mask_bytes(self) -> int:
+        """High-water mark of resident mask bytes (what a
+        ``memory_budget`` bounds; equals :attr:`mask_nbytes` for
+        unbudgeted stores)."""
+        if self._pager is not None:
+            return self._pager.peak_resident_bytes
+        return self._masks.nbytes
+
+    @property
     def nbytes(self) -> int:
         """Approximate resident size of the stored world arrays."""
-        total = self.masks.nbytes + self.weights.nbytes
+        total = self.mask_nbytes + self.weights.nbytes
         if self.order_data is not None:
             total += self.order_data.nbytes + self.order_indptr.nbytes
         return total
+
+    def memory_units(self) -> int:
+        """Resident mask storage in sampler-style abstract units (bytes).
+
+        Extends the samplers' ``memory_units`` bookkeeping to the store
+        tier: the figure a ``memory_budget`` bounds at every step.
+        """
+        return self.mask_nbytes
+
+    def mask_row(self, i: int) -> np.ndarray:
+        """World ``i``'s boolean edge mask (unpacked lazily)."""
+        if self._pager is not None:
+            from .bitset import unpack_row
+
+            return unpack_row(self._pager.row(i), self._pager.m)
+        return self._masks[i]
 
     def order(self, i: int) -> Optional[np.ndarray]:
         """Edge insertion order of world ``i`` (None = edge-index order)."""
@@ -129,20 +372,39 @@ class WorldStore:
     # ------------------------------------------------------------------
     # replay
     # ------------------------------------------------------------------
+    def _iter_mask_rows(self) -> Iterator[np.ndarray]:
+        """Yield every world's boolean mask row, in stream order.
+
+        Budgeted stores stream block by block through the pager (at
+        most ``memory_budget`` bytes of packed blocks resident);
+        resident stores unpack row by row.
+        """
+        if self._pager is not None:
+            from .bitset import unpack_rows
+
+            pager = self._pager
+            for index, (start, stop) in enumerate(pager.blocks):
+                rows = unpack_rows(pager.block_words(index), pager.m)
+                for offset in range(stop - start):
+                    yield rows[offset]
+        else:
+            for i in range(self.count):
+                yield self._masks[i]
+
     def mask_worlds(self) -> Iterator[WeightedWorld]:
         """Yield the stored worlds as fresh :class:`MaskWorld` views."""
-        for i in range(self.count):
+        for i, mask in enumerate(self._iter_mask_rows()):
             yield WeightedWorld(
-                MaskWorld(self.indexed, self.masks[i], self.order(i)),
+                MaskWorld(self.indexed, mask, self.order(i)),
                 float(self.weights[i]),
             )
 
     def graph_worlds(self) -> Iterator[WeightedWorld]:
         """Yield the stored worlds materialised as :class:`Graph` objects,
         replaying each world's exact insertion sequence."""
-        for i in range(self.count):
+        for i, mask in enumerate(self._iter_mask_rows()):
             yield WeightedWorld(
-                self.indexed.world_graph(self.masks[i], self.order(i)),
+                self.indexed.world_graph(mask, self.order(i)),
                 float(self.weights[i]),
             )
 
@@ -162,8 +424,22 @@ class WorldStore:
             return self.mask_worlds(), engine_measure, engine_measure
         return self.graph_worlds(), measure, None
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the spill file of a budgeted store (idempotent)."""
+        if self._pager is not None:
+            self._pager.close()
+
     def __repr__(self) -> str:
+        budget = (
+            f", memory_budget={self.memory_budget}"
+            if self.memory_budget is not None
+            else ""
+        )
         return (
             f"WorldStore(kind={self.kind!r}, worlds={self.count}, "
-            f"m={self.indexed.m}, seed={self.seed!r})"
+            f"m={self.indexed.m}, seed={self.seed!r}, "
+            f"packed={self.packed}{budget})"
         )

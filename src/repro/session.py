@@ -154,6 +154,16 @@ class Session:
         published segment survives the query.  This is the mode the
         legacy free functions run in -- it keeps their memory profile
         (streaming, never holding all worlds) and their exact behavior.
+    packed:
+        Default mask representation for this session's world stores:
+        ``True`` (default) holds bit-packed uint64 words (8x less
+        memory, published as 8x smaller segments), ``False`` the
+        historical boolean byte matrix.  Both replay byte-identical
+        estimates; per-store overrides go through
+        :meth:`world_store`/:meth:`Query.packed`.  Packed and unpacked
+        draws are cached (and counted in :attr:`stats`) separately, so
+        a mixed session never replays one representation through the
+        other's code path.
 
     Memory model: the caches grow with query *diversity* and are never
     evicted -- every distinct seeded ``(sampler, theta, seed)`` draw
@@ -172,11 +182,13 @@ class Session:
         engine: str = "auto",
         workers: Union[int, str] = 1,
         cache_worlds: bool = True,
+        packed: bool = True,
     ) -> None:
         self.graph = graph
         self.engine = engine
         self.workers = workers
         self.cache_worlds = cache_worlds
+        self.packed = packed
         self._indexed = None
         self._stores: Dict[Tuple, object] = {}
         #: (store key, measure key, engine, ...) -> (records, replayed)
@@ -196,6 +208,13 @@ class Session:
             "worlds_evaluated": 0,
             "eval_hits": 0,
             "plans_published": 0,
+            # per-representation splits of stores_built / store_hits:
+            # packed and unpacked draws are cached separately, and these
+            # counters keep the ledger honest about which is which
+            "packed_stores_built": 0,
+            "unpacked_stores_built": 0,
+            "packed_store_hits": 0,
+            "unpacked_store_hits": 0,
         }
 
     # ------------------------------------------------------------------
@@ -215,6 +234,7 @@ class Session:
         sampler: str = "mc",
         theta: int = 160,
         seed: Optional[int] = None,
+        packed: Optional[bool] = None,
         **params,
     ):
         """Return the cached world store for a draw, sampling on miss.
@@ -222,8 +242,11 @@ class Session:
         ``sampler`` is a registry spec (``"mc"``, ``"lp"``,
         ``"rss:r=4"``; a ``theta=``/``seed=`` carried in the spec
         overrides the keyword).  Seeded draws are cached under
-        ``(kind, params, theta, seed)``; unseeded draws are sampled
-        fresh each call (the cache is seed-keyed by design).
+        ``(kind, params, theta, seed, packed)``; unseeded draws are
+        sampled fresh each call (the cache is seed-keyed by design).
+        ``packed`` overrides the session's default mask representation
+        for this draw; packed and unpacked draws never share a cache
+        line.
         """
         kind, spec_params = parse_sampler_spec(sampler)
         spec_params.update(params)
@@ -232,23 +255,34 @@ class Session:
             theta = check_int_knob(context, "theta", spec_params.pop("theta"))
         if "seed" in spec_params:
             seed = check_int_knob(context, "seed", spec_params.pop("seed"))
-        return self._store_for(kind, spec_params, theta, seed)
+        return self._store_for(kind, spec_params, theta, seed, packed)
 
     def _store_for(
-        self, kind: str, params: dict, theta: int, seed: Optional[int]
+        self,
+        kind: str,
+        params: dict,
+        theta: int,
+        seed: Optional[int],
+        packed: Optional[bool] = None,
     ):
         from .engine.worldstore import WorldStore
 
-        key = sampler_store_key(kind, params, theta, seed)
+        packed = self.packed if packed is None else bool(packed)
+        rep = "packed" if packed else "unpacked"
+        key = sampler_store_key(kind, params, theta, seed, packed)
         cacheable = self.cache_worlds and seed is not None
         if cacheable:
             store = self._stores.get(key)
             if store is not None:
                 self.stats["store_hits"] += 1
+                self.stats[f"{rep}_store_hits"] += 1
                 return store
         vec = _vector_sampler(kind, self.indexed, seed, params)
-        store = WorldStore.from_vectorized(vec, theta, kind=kind, seed=seed)
+        store = WorldStore.from_vectorized(
+            vec, theta, kind=kind, seed=seed, packed=packed
+        )
         self.stats["stores_built"] += 1
+        self.stats[f"{rep}_stores_built"] += 1
         self.stats["worlds_sampled"] += store.count
         if cacheable:
             self._stores[key] = store
@@ -340,6 +374,7 @@ class Query:
         self._workers: Optional[Union[int, str]] = None
         self._enumerate_all = True
         self._per_world_limit: Optional[int] = 100_000
+        self._packed: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # chainable setters
@@ -449,6 +484,14 @@ class Query:
         self._per_world_limit = limit
         return self
 
+    def packed(self, packed: bool) -> "Query":
+        """Override the session's mask representation for this query's
+        draw (``True`` = bit-packed words, ``False`` = boolean bytes).
+        Estimates are byte-identical either way; only memory and the
+        store-cache line change."""
+        self._packed = packed
+        return self
+
     # ------------------------------------------------------------------
     # terminals
     # ------------------------------------------------------------------
@@ -528,8 +571,12 @@ class Query:
         from .engine.estimators import resolve_engine
 
         session = self._session
+        packed = (
+            session.packed if self._packed is None else bool(self._packed)
+        )
         skey = sampler_store_key(
-            self._sampler_kind, self._sampler_params, theta, self._seed
+            self._sampler_kind, self._sampler_params, theta, self._seed,
+            packed,
         )
         resolved = resolve_engine(engine, None, measure)
         enumerate_all = self._enumerate_all if mode == "mpds" else True
@@ -546,7 +593,8 @@ class Query:
             records, replayed = cached
         else:
             store = session._store_for(
-                self._sampler_kind, self._sampler_params, theta, self._seed
+                self._sampler_kind, self._sampler_params, theta, self._seed,
+                packed,
             )
             if workers > 1:
                 records, replayed = self._dispatch_records(

@@ -163,10 +163,22 @@ def build_sampler(kind: str, graph, seed: Optional[int] = None, **params):
 
 
 def sampler_store_key(
-    kind: str, params: SpecParams, theta: int, seed: Optional[int]
+    kind: str,
+    params: SpecParams,
+    theta: int,
+    seed: Optional[int],
+    packed: bool = True,
 ) -> Tuple:
-    """Canonical world-store cache key for a (sampler, theta, seed) draw."""
-    return (kind, tuple(sorted(params.items())), int(theta), seed)
+    """Canonical world-store cache key for a (sampler, theta, seed) draw.
+
+    ``packed`` names the store's mask representation (bit-packed uint64
+    words vs the boolean byte matrix).  Both replay byte-identical
+    worlds, but they are distinct objects with distinct memory
+    profiles, so a mixed session must never hand a query built for one
+    representation the other -- the key keeps them apart.
+    """
+    return (kind, tuple(sorted(params.items())), int(theta), seed,
+            bool(packed))
 
 
 # ----------------------------------------------------------------------

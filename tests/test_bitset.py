@@ -1,0 +1,202 @@
+"""Property tests for the bit-packed world-mask substrate.
+
+The packing layer is load-bearing for the whole determinism contract
+(a packed :class:`WorldStore` must replay byte-identical worlds), so its
+algebra is pinned directly: pack -> unpack round-trips on randomized
+matrices whose widths hit every word-boundary regime
+(``m mod 64 in {0, 1, 63}``), popcounts against the ``np.sum`` oracle
+(on both the ``np.bitwise_count`` fast path and the 16-bit LUT
+fallback), the AND/OR column kernels, and the degenerate shapes
+(zero-theta, zero-width, empty and full worlds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.engine.bitset as bitset
+from repro.engine.bitset import (
+    PackedMasks,
+    WORD_BITS,
+    alive_edges,
+    and_reduce,
+    column_counts,
+    or_reduce,
+    pack_row,
+    pack_rows,
+    popcount,
+    row_popcounts,
+    unpack_row,
+    unpack_rows,
+    words_for,
+)
+
+#: widths covering every ``m mod 64`` regime the packer must survive:
+#: exact multiples, one bit into a fresh word, one bit short of full
+BOUNDARY_WIDTHS = [
+    0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 320, 447, 448, 449,
+]
+
+
+def random_masks(seed: int, t: int, m: int, density: float = 0.5):
+    rng = np.random.default_rng(seed)
+    return rng.random((t, m)) < density
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("m", BOUNDARY_WIDTHS)
+    def test_randomized_round_trip_at_word_boundaries(self, m):
+        masks = random_masks(m + 1, 17, m)
+        words = pack_rows(masks)
+        assert words.shape == (17, words_for(m))
+        assert words.dtype == np.uint64
+        restored = unpack_rows(words, m)
+        assert restored.dtype == np.bool_
+        np.testing.assert_array_equal(restored, masks)
+
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.5, 0.95, 1.0])
+    def test_round_trip_across_densities(self, density):
+        masks = random_masks(3, 9, 130, density)
+        np.testing.assert_array_equal(
+            unpack_rows(pack_rows(masks), 130), masks
+        )
+
+    def test_zero_theta_round_trips(self):
+        masks = np.zeros((0, 70), dtype=bool)
+        words = pack_rows(masks)
+        assert words.shape == (0, 2)
+        assert unpack_rows(words, 70).shape == (0, 70)
+
+    def test_zero_width_round_trips(self):
+        masks = np.zeros((5, 0), dtype=bool)
+        words = pack_rows(masks)
+        assert words.shape == (5, 0)
+        assert unpack_rows(words, 0).shape == (5, 0)
+
+    def test_empty_and_full_worlds(self):
+        empty = np.zeros((4, 100), dtype=bool)
+        full = np.ones((4, 100), dtype=bool)
+        assert not pack_rows(empty).any()
+        np.testing.assert_array_equal(unpack_rows(pack_rows(full), 100), full)
+
+    def test_single_row_helpers_match_matrix_forms(self):
+        mask = random_masks(3, 1, 77)[0]
+        row = pack_row(mask)
+        np.testing.assert_array_equal(row, pack_rows(mask[None, :])[0])
+        np.testing.assert_array_equal(unpack_row(row, 77), mask)
+
+    def test_padding_bits_are_zero(self):
+        # all-ones masks must not set bits past m in the last word,
+        # or popcounts over raw words would overcount
+        for m in (1, 63, 65, 100):
+            words = pack_rows(np.ones((2, m), dtype=bool))
+            assert row_popcounts(words).tolist() == [m, m]
+
+    def test_bit_position_layout_is_lsb_first(self):
+        mask = np.zeros(70, dtype=bool)
+        mask[0] = mask[64] = True
+        words = pack_row(mask)
+        assert words[0] == 1 and words[1] == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="mask matrix"):
+            pack_rows(np.zeros(8, dtype=bool))
+        with pytest.raises(ValueError, match="word matrix"):
+            unpack_rows(np.zeros(2, dtype=np.uint64), 64)
+        with pytest.raises(ValueError, match="columns"):
+            unpack_rows(np.zeros((2, 2), dtype=np.uint64), 64)
+        with pytest.raises(ValueError, match=">= 0"):
+            words_for(-1)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("m", [1, 63, 64, 65, 200])
+    def test_row_popcounts_match_np_sum_oracle(self, m):
+        masks = random_masks(m, 23, m, 0.37)
+        np.testing.assert_array_equal(
+            row_popcounts(pack_rows(masks)),
+            masks.sum(axis=1, dtype=np.int64),
+        )
+
+    def test_popcount_extremes(self):
+        words = np.array([0, 1, np.iinfo(np.uint64).max], dtype=np.uint64)
+        assert popcount(words).tolist() == [0, 1, 64]
+
+    def test_lut_fallback_matches_fast_path(self, monkeypatch):
+        # force the 16-bit LUT path (pre-numpy-2 hosts) and pin it
+        # against the same oracle
+        masks = random_masks(99, 11, 150, 0.6)
+        words = pack_rows(masks)
+        fast = popcount(words)
+        monkeypatch.setattr(bitset, "_HAS_BITWISE_COUNT", False)
+        monkeypatch.setattr(bitset, "_POP16", None)
+        slow = popcount(words)
+        np.testing.assert_array_equal(fast, slow)
+        np.testing.assert_array_equal(
+            row_popcounts(words), masks.sum(axis=1, dtype=np.int64)
+        )
+
+    def test_column_counts_match_np_sum_oracle(self):
+        masks = random_masks(5, 200, 77, 0.3)
+        np.testing.assert_array_equal(
+            column_counts(pack_rows(masks), 77, block=64),
+            masks.sum(axis=0, dtype=np.int64),
+        )
+
+
+class TestReductions:
+    def test_and_or_match_boolean_oracle(self):
+        masks = random_masks(8, 9, 130, 0.8)
+        words = pack_rows(masks)
+        np.testing.assert_array_equal(
+            unpack_row(and_reduce(words), 130), masks.all(axis=0)
+        )
+        np.testing.assert_array_equal(
+            unpack_row(or_reduce(words), 130), masks.any(axis=0)
+        )
+
+    def test_empty_reductions(self):
+        empty = np.zeros((0, 2), dtype=np.uint64)
+        with pytest.raises(ValueError, match="at least one row"):
+            and_reduce(empty)
+        assert not or_reduce(empty).any()
+
+    def test_alive_edges_matches_flatnonzero(self):
+        mask = random_masks(7, 1, 140, 0.2)[0]
+        np.testing.assert_array_equal(
+            alive_edges(pack_row(mask), 140), np.flatnonzero(mask)
+        )
+
+
+class TestPackedMasks:
+    def test_matrix_protocol(self):
+        masks = random_masks(42, 12, 100)
+        packed = PackedMasks.from_bool(masks)
+        assert packed.shape == (12, 100)
+        assert len(packed) == 12
+        assert packed.nbytes == 12 * 2 * 8
+        np.testing.assert_array_equal(packed[3], masks[3])
+        np.testing.assert_array_equal(packed.rows(2, 7), masks[2:7])
+        np.testing.assert_array_equal(packed.to_bool(), masks)
+        for i, row in enumerate(packed.iter_bool_rows()):
+            np.testing.assert_array_equal(row, masks[i])
+        np.testing.assert_array_equal(
+            packed.row_popcounts(), masks.sum(axis=1)
+        )
+        assert "worlds=12" in repr(packed)
+
+    def test_rejects_mismatched_words(self):
+        with pytest.raises(ValueError, match="columns"):
+            PackedMasks(np.zeros((3, 2), dtype=np.uint64), 200)
+        with pytest.raises(ValueError, match="words"):
+            PackedMasks(np.zeros(4, dtype=np.uint64), 64)
+
+    def test_zero_copy_over_readonly_words(self):
+        # the shared-memory attach path wraps read-only views in place
+        masks = random_masks(1, 5, 80)
+        words = pack_rows(masks)
+        words.flags.writeable = False
+        packed = PackedMasks(words, 80)
+        assert packed.words is words
+        np.testing.assert_array_equal(packed.to_bool(), masks)

@@ -1,0 +1,313 @@
+"""Packed-vs-unpacked differential gate for the world substrate.
+
+The bit-packed :class:`WorldStore` (uint64 words, lazy per-row
+unpacking) and the historical boolean byte store must be
+**byte-identical** at every observable seam: the mask rows themselves,
+the LP/RSS insertion-order replays, full estimates across every
+(sampler x measure x engine x workers) cell, truncated
+``per_world_limit`` runs, and the memory-budgeted spill/stream path --
+whose peak resident bytes must also stay inside the stated budget at
+every step.  A final spy-based regression pins the Session fix: packed
+and unpacked draws occupy distinct cache lines and counters, so a mixed
+session never replays one representation through the other's code path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.mpds import mpds_from_store, top_k_mpds
+from repro.core.nds import nds_from_store, top_k_nds
+from repro.core.parallel import shutdown_pool
+from repro.engine.bitset import PackedMasks
+from repro.engine.worldstore import WorldStore
+from repro.sampling import SAMPLERS
+from repro.session import Session
+from repro.specs import build_measure
+
+from .conftest import random_uncertain_graph
+
+THETA = 20
+SEED = 13
+
+SAMPLER_KINDS = ("mc", "lp", "rss")
+MEASURE_SPECS = ("edge", "clique:h=3", "pattern:psi=2-star")
+ENGINES = ("auto", "python")
+WORKER_COUNTS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_uncertain_graph(random.Random(71), 16, 0.3)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+def _stores(graph, kind, **kwargs):
+    """The same draw held packed and unpacked (twin stores)."""
+    sampler = None if kind == "mc" else SAMPLERS[kind.upper()](graph, SEED)
+    unpacked = WorldStore.from_sampler(
+        graph, sampler, THETA, seed=SEED, packed=False
+    )
+    sampler = None if kind == "mc" else SAMPLERS[kind.upper()](graph, SEED)
+    packed = WorldStore.from_sampler(
+        graph, sampler, THETA, seed=SEED, packed=True, **kwargs
+    )
+    return unpacked, packed
+
+
+class TestStoreByteIdentity:
+    @pytest.mark.parametrize("kind", SAMPLER_KINDS)
+    def test_mask_rows_byte_identical(self, graph, kind):
+        unpacked, packed = _stores(graph, kind)
+        assert not unpacked.packed and packed.packed
+        assert isinstance(packed.mask_matrix(), PackedMasks)
+        np.testing.assert_array_equal(packed.masks, unpacked.masks)
+        for i in range(unpacked.count):
+            np.testing.assert_array_equal(
+                packed.mask_row(i), unpacked.mask_row(i)
+            )
+        np.testing.assert_array_equal(packed.weights, unpacked.weights)
+
+    @pytest.mark.parametrize("kind", ("lp", "rss"))
+    def test_insertion_order_replay_byte_identical(self, graph, kind):
+        """LP/RSS worlds replay their exact edge insertion sequences
+        from the packed rows -- Graph equality includes the insertion
+        order the python engine depends on."""
+        unpacked, packed = _stores(graph, kind)
+        np.testing.assert_array_equal(
+            packed.order_data, unpacked.order_data
+        )
+        for ours, theirs in zip(
+            packed.graph_worlds(), unpacked.graph_worlds()
+        ):
+            assert ours.graph == theirs.graph
+            assert ours.weight == theirs.weight
+
+    @pytest.mark.parametrize("kind", SAMPLER_KINDS)
+    def test_estimates_byte_identical_across_cells(self, graph, kind):
+        unpacked, packed = _stores(graph, kind)
+        for spec in MEASURE_SPECS:
+            for engine in ENGINES:
+                reference = mpds_from_store(
+                    unpacked, k=3, measure=build_measure(spec),
+                    engine=engine,
+                )
+                result = mpds_from_store(
+                    packed, k=3, measure=build_measure(spec), engine=engine,
+                )
+                assert result == reference, (
+                    f"cell ({kind}, {spec}, {engine}) diverged"
+                )
+        assert nds_from_store(packed, k=2, min_size=2) == nds_from_store(
+            unpacked, k=2, min_size=2
+        )
+
+    @pytest.mark.parametrize("kind", SAMPLER_KINDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_session_cells_match_one_shot(self, graph, kind, workers):
+        """A packed-store session query equals the one-shot estimator
+        (which never builds a store at all) on every cell."""
+        sampler = (
+            None if kind == "mc" else SAMPLERS[kind.upper()](graph, SEED)
+        )
+        reference = top_k_mpds(
+            graph, k=3, theta=THETA, sampler=sampler, seed=SEED
+        )
+        for packed in (True, False):
+            with Session(graph, packed=packed) as session:
+                result = (
+                    session.query().sampler(kind, theta=THETA, seed=SEED)
+                    .top_k(3).workers(workers).mpds()
+                )
+            assert result == reference, (
+                f"cell ({kind}, packed={packed}, workers={workers}) "
+                "diverged"
+            )
+
+    def test_truncated_per_world_limit_replays_identically(self, graph):
+        unpacked, packed = _stores(graph, "mc")
+        for limit in (1, 2):
+            reference = mpds_from_store(
+                unpacked, k=3, per_world_limit=limit
+            )
+            result = mpds_from_store(packed, k=3, per_world_limit=limit)
+            assert result == reference
+            assert result.replayed_worlds == reference.replayed_worlds
+        one_shot = top_k_mpds(
+            graph, k=3, theta=THETA, seed=SEED, per_world_limit=1
+        )
+        assert mpds_from_store(packed, k=3, per_world_limit=1) == one_shot
+
+
+class TestMemoryBudget:
+    def _tiny_budget(self, packed):
+        """A budget that fits only a few grid blocks -- forces spill."""
+        words = packed.mask_matrix().words
+        block_bytes = words.shape[1] * 8  # theta=20 -> 20 one-row blocks
+        return 3 * block_bytes
+
+    @pytest.mark.parametrize("kind", SAMPLER_KINDS)
+    def test_spill_streams_identical_worlds(self, graph, kind):
+        unpacked, packed = _stores(graph, kind)
+        budget = self._tiny_budget(packed)
+        _, budgeted = _stores(graph, kind, memory_budget=budget)
+        pager = budgeted._pager
+        assert pager is not None, "tiny budget did not engage the pager"
+        # results equal the unbudgeted store at every step...
+        for i, (ours, theirs) in enumerate(
+            zip(budgeted.mask_worlds(), unpacked.mask_worlds())
+        ):
+            np.testing.assert_array_equal(
+                ours.graph.mask, theirs.graph.mask
+            )
+            assert ours.weight == theirs.weight
+            # ...and the tracked bytes never exceed the budget mid-stream
+            assert budgeted.memory_units() <= budget
+        assert pager.block_evictions > 0, "budget never forced an eviction"
+        assert budgeted.peak_mask_bytes <= budget
+        # random access streams blocks back in, still byte-identical
+        for i in (budgeted.count - 1, 0, budgeted.count // 2):
+            np.testing.assert_array_equal(
+                budgeted.mask_row(i), unpacked.mask_row(i)
+            )
+        assert budgeted.peak_mask_bytes <= budget
+        budgeted.close()
+
+    def test_budgeted_estimates_equal_unbudgeted(self, graph):
+        unpacked, packed = _stores(graph, "mc")
+        _, budgeted = _stores(
+            graph, "mc", memory_budget=self._tiny_budget(packed)
+        )
+        for spec in ("edge", "clique:h=3"):
+            assert mpds_from_store(
+                budgeted, k=3, measure=build_measure(spec)
+            ) == mpds_from_store(
+                unpacked, k=3, measure=build_measure(spec)
+            )
+        assert nds_from_store(budgeted, k=2, min_size=2) == nds_from_store(
+            unpacked, k=2, min_size=2
+        )
+        assert budgeted.peak_mask_bytes <= self._tiny_budget(packed)
+        budgeted.close()
+
+    def test_memory_units_tracks_representation(self, graph):
+        unpacked, packed = _stores(graph, "mc")
+        assert unpacked.memory_units() == unpacked.masks.nbytes
+        assert packed.memory_units() == packed.mask_matrix().nbytes
+        assert packed.memory_units() < unpacked.memory_units() or (
+            graph.number_of_edges() < 64
+        )
+        _, budgeted = _stores(
+            graph, "mc", memory_budget=self._tiny_budget(packed)
+        )
+        list(budgeted.mask_worlds())
+        assert budgeted.memory_units() <= self._tiny_budget(packed)
+        budgeted.close()
+
+    def test_budget_must_fit_one_block(self, graph):
+        with pytest.raises(ValueError, match="largest"):
+            WorldStore.from_sampler(
+                graph, None, THETA, seed=SEED, memory_budget=1
+            )
+
+    def test_budget_requires_packed_store(self, graph):
+        with pytest.raises(ValueError, match="packed"):
+            WorldStore.from_sampler(
+                graph, None, THETA, seed=SEED, packed=False,
+                memory_budget=1 << 20,
+            )
+
+    def test_repr_names_budget(self, graph):
+        _, budgeted = _stores(graph, "mc", memory_budget=1 << 20)
+        assert "memory_budget=1048576" in repr(budgeted)
+        budgeted.close()
+
+
+class TestSessionRepresentationKeys:
+    """The fix: packed and unpacked draws must never share a cache line,
+    a published plan, or a counter -- pinned with a construction spy."""
+
+    def test_mixed_session_builds_distinct_stores(self, graph, monkeypatch):
+        built = []
+        original = WorldStore.from_vectorized.__func__
+
+        def spy(cls, sampler, theta, kind="mc", seed=None, packed=True,
+                memory_budget=None):
+            store = original(
+                cls, sampler, theta, kind=kind, seed=seed, packed=packed,
+                memory_budget=memory_budget,
+            )
+            built.append((packed, store))
+            return store
+
+        monkeypatch.setattr(
+            WorldStore, "from_vectorized", classmethod(spy)
+        )
+        with Session(graph) as session:
+            packed_result = (
+                session.query().sampler("mc", theta=THETA, seed=SEED)
+                .top_k(3).mpds()
+            )
+            mixed_result = (
+                session.query().sampler("mc", theta=THETA, seed=SEED)
+                .packed(False).top_k(3).mpds()
+            )
+            # identical estimates, but from two *separate* draws: the
+            # unpacked query must not have replayed the packed store
+            assert packed_result == mixed_result
+            assert [flag for flag, _ in built] == [True, False]
+            assert built[0][1].packed and not built[1][1].packed
+            assert built[0][1] is not built[1][1]
+            assert session.stats["stores_built"] == 2
+            assert session.stats["packed_stores_built"] == 1
+            assert session.stats["unpacked_stores_built"] == 1
+            # warm repeats hit their own representation's store (a new
+            # measure forces a store replay past the evaluation cache)
+            session.query().sampler("mc", theta=THETA, seed=SEED) \
+                .measure("clique:h=3").top_k(2).mpds()
+            session.query().sampler("mc", theta=THETA, seed=SEED) \
+                .measure("clique:h=3").packed(False).top_k(2).mpds()
+            assert session.stats["stores_built"] == 2
+            assert session.stats["packed_store_hits"] == 1
+            assert session.stats["unpacked_store_hits"] == 1
+
+    def test_world_store_override_per_draw(self, graph):
+        with Session(graph, packed=False) as session:
+            default = session.world_store("mc", theta=THETA, seed=SEED)
+            assert not default.packed
+            override = session.world_store(
+                "mc", theta=THETA, seed=SEED, packed=True
+            )
+            assert override.packed
+            assert override is not default
+            assert session.world_store(
+                "mc", theta=THETA, seed=SEED, packed=True
+            ) is override
+            assert session.stats["unpacked_stores_built"] == 1
+            assert session.stats["packed_stores_built"] == 1
+            assert session.stats["packed_store_hits"] == 1
+
+    def test_published_plans_keyed_per_representation(self, graph):
+        """Fan-outs publish per-representation segments: a packed plan
+        ships words, an unpacked plan ships bytes -- sharing one segment
+        would replay the wrong payload."""
+        with Session(graph) as session:
+            a = (
+                session.query().sampler("mc", theta=THETA, seed=SEED)
+                .workers(2).top_k(3).mpds()
+            )
+            b = (
+                session.query().sampler("mc", theta=THETA, seed=SEED)
+                .packed(False).workers(2).top_k(3).mpds()
+            )
+            assert a == b
+            assert session.stats["plans_published"] == 2
+            assert len(session._published) == 2

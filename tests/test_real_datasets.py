@@ -1,0 +1,210 @@
+"""Real-graph loader tests: fixtures, caching, probability strategies.
+
+The loaders must exercise their full path -- SNAP-style parse,
+probability assignment, registry resolution -- **without network
+access**: the committed fixture excerpts stand in for cold caches, and
+the download path is tested against a stubbed ``urlopen``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import urllib.request
+
+import pytest
+
+from repro.datasets import (
+    REAL_DATASETS,
+    attach_probabilities,
+    available_real_datasets,
+    fetch_real_dataset,
+    fixture_path,
+    load_real_dataset,
+    load_uncertain_graph,
+    make_scale_benchmark_graph,
+)
+from repro.datasets.real import cached_path, data_dir
+from repro.graph.graph import Graph
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", sorted(REAL_DATASETS))
+    def test_every_registered_dataset_ships_a_fixture(self, name):
+        path = fixture_path(name)
+        assert path.exists(), f"missing committed fixture for {name}"
+
+    @pytest.mark.parametrize("name", sorted(REAL_DATASETS))
+    def test_offline_load_uses_fixture(self, name, tmp_path):
+        # a cold cache directory + download=False must never touch the
+        # network: the committed fixture serves the load
+        graph = load_real_dataset(name, directory=tmp_path, seed=5)
+        assert graph.number_of_edges() > 0
+        for _, _, p in graph.weighted_edges():
+            assert 0.0 < p <= 1.0
+
+    def test_loads_are_deterministic(self, tmp_path):
+        a = load_real_dataset("ca-grqc", directory=tmp_path, seed=9)
+        b = load_real_dataset("ca-grqc", directory=tmp_path, seed=9)
+        assert sorted(a.weighted_edges(), key=repr) == sorted(
+            b.weighted_edges(), key=repr
+        )
+        c = load_real_dataset("ca-grqc", directory=tmp_path, seed=10)
+        assert sorted(a.weighted_edges(), key=repr) != sorted(
+            c.weighted_edges(), key=repr
+        )
+
+    def test_unknown_dataset_fails_loudly(self):
+        with pytest.raises(ValueError, match="registered datasets"):
+            load_real_dataset("no-such-graph")
+        with pytest.raises(ValueError, match="registered datasets"):
+            fixture_path("no-such-graph")
+
+    def test_registry_listing(self):
+        assert available_real_datasets() == tuple(sorted(REAL_DATASETS))
+        assert "ego-facebook" in available_real_datasets()
+
+
+class TestProbabilityStrategies:
+    @pytest.fixture
+    def topology(self):
+        return Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+
+    def test_constant(self, topology):
+        graph = attach_probabilities(topology, 0.25)
+        assert {p for _, _, p in graph.weighted_edges()} == {0.25}
+
+    def test_constant_validated(self, topology):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            attach_probabilities(topology, 1.5)
+
+    def test_uniform_is_order_independent(self, topology):
+        # the same edge set inserted in a different order gets the same
+        # probabilities (edges are sorted before the RNG runs)
+        reordered = Graph.from_edges([(3, 4), (1, 3), (2, 3), (1, 2)])
+        a = attach_probabilities(topology, "uniform", seed=3)
+        b = attach_probabilities(reordered, "uniform", seed=3)
+        assert sorted(a.weighted_edges(), key=repr) == sorted(
+            b.weighted_edges(), key=repr
+        )
+
+    def test_uniform_bounds_validated(self, topology):
+        with pytest.raises(ValueError, match="low"):
+            attach_probabilities(topology, "uniform", low=0.9, high=0.2)
+
+    def test_degree_strategy_matches_formula(self, topology):
+        graph = attach_probabilities(topology, "degree")
+        for u, v, p in graph.weighted_edges():
+            assert p == 1.0 / max(topology.degree(u), topology.degree(v))
+
+    def test_callable_strategy(self, topology):
+        graph = attach_probabilities(topology, lambda u, v: 1.0 / (u + v))
+        for u, v, p in graph.weighted_edges():
+            assert p == 1.0 / (u + v)
+
+    def test_unknown_strategy_fails_loudly(self, topology):
+        with pytest.raises(ValueError, match="strategy"):
+            attach_probabilities(topology, "banana")
+
+    def test_isolated_nodes_survive(self):
+        topology = Graph(nodes=range(5))
+        topology.add_edge(0, 1)
+        graph = attach_probabilities(topology, 0.5)
+        assert graph.number_of_nodes() == 5
+
+
+class TestLoadUncertainGraph:
+    def test_probabilistic_file_wins(self, tmp_path):
+        path = tmp_path / "probs.txt"
+        path.write_text("# header\n1 2 0.5\n2 3 0.75\n")
+        graph = load_uncertain_graph(path)
+        assert {p for _, _, p in graph.weighted_edges()} == {0.5, 0.75}
+
+    def test_probabilistic_file_rejects_strategy(self, tmp_path):
+        path = tmp_path / "probs.txt"
+        path.write_text("1 2 0.5\n")
+        with pytest.raises(ValueError, match="already carries"):
+            load_uncertain_graph(path, probabilities="uniform")
+
+    def test_deterministic_file_gets_strategy(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("% comment\n1 2\n2 3\n")
+        graph = load_uncertain_graph(path, probabilities=0.4)
+        assert {p for _, _, p in graph.weighted_edges()} == {0.4}
+
+
+class TestDownloadAndCache:
+    def _stub_urlopen(self, monkeypatch, payload: bytes):
+        calls = []
+
+        class _Response(io.BytesIO):
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.close()
+
+        def fake_urlopen(url, timeout=None):
+            calls.append(url)
+            return _Response(payload)
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        return calls
+
+    def test_fetch_decompresses_and_caches(self, tmp_path, monkeypatch):
+        payload = gzip.compress(b"# stub\n1 2\n2 3\n")
+        calls = self._stub_urlopen(monkeypatch, payload)
+        path = fetch_real_dataset("ca-grqc", directory=tmp_path)
+        assert path == cached_path("ca-grqc", tmp_path)
+        assert path.read_text() == "# stub\n1 2\n2 3\n"
+        assert calls == [REAL_DATASETS["ca-grqc"].url]
+        # warm cache: no second request
+        fetch_real_dataset("ca-grqc", directory=tmp_path)
+        assert len(calls) == 1
+        # and load_real_dataset now prefers the cache over the fixture
+        graph = load_real_dataset("ca-grqc", directory=tmp_path)
+        assert graph.number_of_edges() == 2
+
+    def test_download_failure_points_at_fixture(self, tmp_path, monkeypatch):
+        def broken_urlopen(url, timeout=None):
+            raise OSError("no network in CI")
+
+        monkeypatch.setattr(urllib.request, "urlopen", broken_urlopen)
+        with pytest.raises(RuntimeError, match="fixture"):
+            fetch_real_dataset("ca-grqc", directory=tmp_path)
+        assert not cached_path("ca-grqc", tmp_path).exists()
+
+    def test_data_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path / "cache"))
+        assert data_dir() == tmp_path / "cache"
+
+
+class TestScaleBenchmarkGraph:
+    def test_exact_edge_count_no_self_loops(self):
+        graph = make_scale_benchmark_graph(n=200, m=900, seed=4)
+        assert graph.number_of_nodes() == 200
+        assert graph.number_of_edges() == 900
+        for u, v, p in graph.weighted_edges():
+            assert u != v
+            assert 0.05 <= p < 0.95
+
+    def test_deterministic_in_parameters(self):
+        a = make_scale_benchmark_graph(n=150, m=400, seed=8)
+        b = make_scale_benchmark_graph(n=150, m=400, seed=8)
+        assert sorted(a.weighted_edges(), key=repr) == sorted(
+            b.weighted_edges(), key=repr
+        )
+        c = make_scale_benchmark_graph(n=150, m=400, seed=9)
+        assert sorted(a.weighted_edges(), key=repr) != sorted(
+            c.weighted_edges(), key=repr
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            make_scale_benchmark_graph(n=1, m=1)
+        with pytest.raises(ValueError, match="n\\*\\(n-1\\)/2"):
+            make_scale_benchmark_graph(n=4, m=100)
+
+    def test_dense_request_saturates(self):
+        graph = make_scale_benchmark_graph(n=6, m=15, seed=1)
+        assert graph.number_of_edges() == 15
