@@ -28,6 +28,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-mpds = repro.cli:main",
+            "repro-serve = repro.serve:main",
         ],
     },
 )

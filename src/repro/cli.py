@@ -53,6 +53,7 @@ from .specs import (
     PATTERNS,
     build_measure,
     build_sampler,
+    check_int_knob,
     parse_spec,
     split_sampler_spec,
 )
@@ -194,6 +195,15 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_engine_and_workers(query)
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the repro-serve query daemon (long-lived sessions, "
+        "admission batching; see repro.serve)",
+    )
+    from .serve import add_serve_arguments
+
+    add_serve_arguments(serve)
+
     exact = sub.add_parser(
         "exact", help="exact top-k MPDS by 2^m world enumeration (tiny graphs)"
     )
@@ -232,6 +242,11 @@ def _run_query_command(args: argparse.Namespace) -> int:
         return 2
     theta = spec_theta if spec_theta is not None else args.theta
     seed = spec_seed if spec_seed is not None else args.seed
+    try:
+        check_int_knob("option --theta", "theta", theta, positive=True)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     runs = args.run or ["mpds"]
     with Session(graph, engine=args.engine, workers=args.workers) as session:
         for run_spec in runs:
@@ -316,6 +331,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return 0
 
+    if args.command == "serve":
+        from .serve import run_serve_command
+
+        return run_serve_command(args)
+
     if args.command == "query":
         return _run_query_command(args)
 
@@ -341,6 +361,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             theta = spec_theta if spec_theta is not None else args.theta
             seed = spec_seed if spec_seed is not None else args.seed
+            check_int_knob("option --theta", "theta", theta, positive=True)
             workers = args.workers
             if workers == 1:
                 sampler = build_sampler(kind, graph, seed, **sampler_params)

@@ -81,7 +81,7 @@ class _MaskPager:
     """
 
     __slots__ = (
-        "m", "blocks", "budget", "_file", "_offsets", "_nbytes",
+        "m", "blocks", "budget", "path", "_file", "_offsets", "_nbytes",
         "_shape", "_resident", "resident_bytes", "peak_resident_bytes",
         "block_loads", "block_evictions",
     )
@@ -102,7 +102,11 @@ class _MaskPager:
                 "shrink theta"
             )
         self.budget = budget
-        self._file = tempfile.TemporaryFile(prefix="repro-worldstore-")
+        # named (not anonymous) so an I/O failure can point at the file
+        self._file = tempfile.NamedTemporaryFile(
+            prefix="repro-worldstore-", suffix=".spill"
+        )
+        self.path = self._file.name
         self._offsets: List[int] = []
         self._nbytes: List[int] = []
         self._shape: List[Tuple[int, int]] = []
@@ -135,9 +139,18 @@ class _MaskPager:
             self.resident_bytes -= resident.pop(oldest).nbytes
             self.block_evictions += 1
         self._file.seek(self._offsets[index])
-        words = np.frombuffer(
-            self._file.read(nbytes), dtype=np.uint64
-        ).reshape(self._shape[index])
+        data = self._file.read(nbytes)
+        if len(data) != nbytes:
+            # a short read used to flow straight into reshape and fail
+            # far from the cause; name the file and block instead
+            raise IOError(
+                f"short read from world-store spill file {self.path}: "
+                f"block {index} expected {nbytes} bytes, "
+                f"got {len(data)}"
+            )
+        words = np.frombuffer(data, dtype=np.uint64).reshape(
+            self._shape[index]
+        )
         resident[index] = words
         self.resident_bytes += nbytes
         self.peak_resident_bytes = max(

@@ -60,6 +60,7 @@ instead of populating the cache.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -190,6 +191,15 @@ class Session:
         self.cache_worlds = cache_worlds
         self.packed = packed
         self._indexed = None
+        #: guards every cache, the stats dict and the in-flight tables;
+        #: never held while sampling or evaluating worlds (single-flight
+        #: followers wait on per-key events instead, so distinct draws
+        #: still sample concurrently)
+        self._lock = threading.RLock()
+        #: store key -> Event set when the leader's draw lands (or fails)
+        self._store_flights: Dict[Tuple, threading.Event] = {}
+        #: eval key -> Event set when the leader's records land (or fail)
+        self._eval_flights: Dict[Tuple, threading.Event] = {}
         self._stores: Dict[Tuple, object] = {}
         #: (store key, measure key, engine, ...) -> (records, replayed)
         self._eval_cache: Dict[Tuple, Tuple[list, int]] = {}
@@ -215,7 +225,35 @@ class Session:
             "unpacked_stores_built": 0,
             "packed_store_hits": 0,
             "unpacked_store_hits": 0,
+            # admission/coalescing ledger: arrivals that waited on an
+            # in-flight identical draw / evaluation instead of redoing it
+            # (single-flight -- the serving tier's batching counters)
+            "store_waits": 0,
+            "eval_waits": 0,
         }
+
+    # ------------------------------------------------------------------
+    # bookkeeping (thread-safe: sessions are shared by server threads)
+    # ------------------------------------------------------------------
+    def _bump(self, counter: str, n: int = 1) -> None:
+        """Increment one stats counter under the session lock."""
+        with self._lock:
+            self.stats[counter] += n
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of :attr:`stats` (safe to read while other
+        threads are querying), plus the current cache sizes."""
+        with self._lock:
+            snapshot = dict(self.stats)
+            snapshot["cached_stores"] = len(self._stores)
+            snapshot["cached_evaluations"] = len(self._eval_cache)
+        return snapshot
+
+    def has_store(self, key: Tuple) -> bool:
+        """Whether a draw (a :func:`repro.specs.sampler_store_key`) is
+        already cached -- the admission layer's warm/cold probe."""
+        with self._lock:
+            return key in self._stores
 
     # ------------------------------------------------------------------
     # substrates
@@ -226,7 +264,10 @@ class Session:
         if self._indexed is None:
             from .engine.indexed import IndexedGraph
 
-            self._indexed = IndexedGraph.from_uncertain(self.graph)
+            indexed = IndexedGraph.from_uncertain(self.graph)
+            with self._lock:
+                if self._indexed is None:
+                    self._indexed = indexed
         return self._indexed
 
     def world_store(
@@ -252,9 +293,12 @@ class Session:
         spec_params.update(params)
         context = f"sampler spec {sampler!r}"
         if "theta" in spec_params:
-            theta = check_int_knob(context, "theta", spec_params.pop("theta"))
+            theta = check_int_knob(
+                context, "theta", spec_params.pop("theta"), positive=True
+            )
         if "seed" in spec_params:
             seed = check_int_knob(context, "seed", spec_params.pop("seed"))
+        theta = check_int_knob(context, "theta", theta, positive=True)
         return self._store_for(kind, spec_params, theta, seed, packed)
 
     def _store_for(
@@ -265,52 +309,94 @@ class Session:
         seed: Optional[int],
         packed: Optional[bool] = None,
     ):
-        from .engine.worldstore import WorldStore
+        """Return the cached store for a draw -- **single-flight**.
 
+        Concurrent requests for the *same* ``(kind, params, theta,
+        seed, packed)`` draw coalesce: the first arrival (the leader)
+        samples, later arrivals wait on its in-flight event and then
+        take the cache hit (counted in ``stats["store_waits"]``)
+        instead of resampling.  Distinct draws never wait on each other
+        -- the session lock is held only for cache/table bookkeeping,
+        never while sampling.
+        """
         packed = self.packed if packed is None else bool(packed)
         rep = "packed" if packed else "unpacked"
         key = sampler_store_key(kind, params, theta, seed, packed)
         cacheable = self.cache_worlds and seed is not None
-        if cacheable:
-            store = self._stores.get(key)
-            if store is not None:
-                self.stats["store_hits"] += 1
-                self.stats[f"{rep}_store_hits"] += 1
+        if not cacheable:
+            return self._draw_store(kind, params, theta, seed, packed, rep)
+        while True:
+            with self._lock:
+                store = self._stores.get(key)
+                if store is not None:
+                    self.stats["store_hits"] += 1
+                    self.stats[f"{rep}_store_hits"] += 1
+                    return store
+                flight = self._store_flights.get(key)
+                if flight is None:
+                    flight = threading.Event()
+                    self._store_flights[key] = flight
+                    leader = True
+                else:
+                    leader = False
+                    self.stats["store_waits"] += 1
+            if not leader:
+                # wait for the leader's draw, then re-read the cache (a
+                # failed draw leaves it empty and this arrival retries
+                # as the new leader -- errors re-raise from the sampler)
+                flight.wait()
+                continue
+            try:
+                store = self._draw_store(
+                    kind, params, theta, seed, packed, rep
+                )
+                with self._lock:
+                    self._stores[key] = store
                 return store
+            finally:
+                with self._lock:
+                    self._store_flights.pop(key, None)
+                flight.set()
+
+    def _draw_store(self, kind, params, theta, seed, packed, rep):
+        """Sample one draw into a fresh store (counts it in stats)."""
+        from .engine.worldstore import WorldStore
+
         vec = _vector_sampler(kind, self.indexed, seed, params)
         store = WorldStore.from_vectorized(
             vec, theta, kind=kind, seed=seed, packed=packed
         )
-        self.stats["stores_built"] += 1
-        self.stats[f"{rep}_stores_built"] += 1
-        self.stats["worlds_sampled"] += store.count
-        if cacheable:
-            self._stores[key] = store
+        with self._lock:
+            self.stats["stores_built"] += 1
+            self.stats[f"{rep}_stores_built"] += 1
+            self.stats["worlds_sampled"] += store.count
         return store
 
     def _published_graph(self):
         """Publish the graph payload once; every store's fan-out shares it."""
         from .core.parallel import PublishedGraph
 
-        if self._graph_segment is None:
-            self._graph_segment = PublishedGraph.publish(self.indexed)
-            self._published_segments.append(self._graph_segment)
-        return self._graph_segment
+        indexed = self.indexed
+        with self._lock:
+            if self._graph_segment is None:
+                self._graph_segment = PublishedGraph.publish(indexed)
+                self._published_segments.append(self._graph_segment)
+            return self._graph_segment
 
     def _published_plan(self, key: Tuple, plan):
         """Publish a store's fan-out arrays once; reuse across queries."""
         from .core.parallel import PublishedPlan
 
-        published = self._published.get(key)
-        if published is None:
-            published = PublishedPlan.publish(
-                plan, graph=self._published_graph()
-            )
-            self.stats["plans_published"] += 1
-            if self.cache_worlds:
-                self._published[key] = published
-                self._published_segments.append(published)
-        return published
+        graph_segment = self._published_graph()
+        with self._lock:
+            published = self._published.get(key)
+            if published is None:
+                published = PublishedPlan.publish(plan, graph=graph_segment)
+                self.stats["plans_published"] += 1
+                if self.cache_worlds:
+                    self._published[key] = published
+                    self._published_segments.append(published)
+            return published
 
     # ------------------------------------------------------------------
     # queries
@@ -331,10 +417,11 @@ class Session:
         interpreter-exit finalizer, which drains the same shared list --
         releases again).
         """
-        self._stores.clear()
-        self._eval_cache.clear()
-        self._graph_segment = None
-        self._published.clear()
+        with self._lock:
+            self._stores.clear()
+            self._eval_cache.clear()
+            self._graph_segment = None
+            self._published.clear()
         _close_published(self._published_segments)
 
     def __enter__(self) -> "Session":
@@ -408,7 +495,8 @@ class Query:
             # precedence Session.world_store and the CLI flags use
             context = f"sampler spec {sampler!r}"
             spec_theta = check_int_knob(
-                context, "theta", spec_params.pop("theta", None)
+                context, "theta", spec_params.pop("theta", None),
+                positive=True,
             )
             spec_seed = check_int_knob(
                 context, "seed", spec_params.pop("seed", None)
@@ -428,9 +516,11 @@ class Query:
                 )
             self._sampler_instance = sampler
         if theta is not None:
-            self._theta = theta
+            self._theta = check_int_knob(
+                "Query.sampler", "theta", theta, positive=True
+            )
         if seed is not None:
-            self._seed = seed
+            self._seed = check_int_knob("Query.sampler", "seed", seed)
         return self
 
     def measure(self, measure=None, **params) -> "Query":
@@ -445,22 +535,48 @@ class Query:
         return self
 
     def theta(self, theta: int) -> "Query":
-        """Set the sampled world count."""
-        self._theta = theta
+        """Set the sampled world count (a positive integer)."""
+        self._theta = check_int_knob(
+            "Query.theta", "theta", theta, positive=True
+        )
         return self
 
     def seed(self, seed: Optional[int]) -> "Query":
         """Set the sampling seed (seeded draws are cached per session)."""
-        self._seed = seed
+        self._seed = check_int_knob("Query.seed", "seed", seed)
         return self
 
     def top_k(self, k: int) -> "Query":
-        """Set how many node sets to return."""
+        """Set how many node sets to return (a positive integer).
+
+        Validated here, in the builder, with the spec-registry rules
+        (``bool`` rejected, ``k >= 1``) -- a bad ``k`` used to survive
+        until deep in finalize.
+        """
+        if k is None or check_int_knob("Query.top_k", "k", k) is None:
+            raise ValueError(
+                f"Query.top_k: k must be an integer, got {k!r}"
+            )
+        if k < 1:
+            raise ValueError(f"Query.top_k: k must be >= 1, got {k}")
         self._k = k
         return self
 
     def min_size(self, min_size: int) -> "Query":
-        """Set ``l_m``, the minimum returned node-set size (NDS only)."""
+        """Set ``l_m``, the minimum returned node-set size (NDS only;
+        a positive integer, validated in the builder)."""
+        if min_size is None or check_int_knob(
+            "Query.min_size", "min_size", min_size
+        ) is None:
+            raise ValueError(
+                f"Query.min_size: min_size (l_m) must be an integer, "
+                f"got {min_size!r}"
+            )
+        if min_size < 1:
+            raise ValueError(
+                f"Query.min_size: min_size (l_m) must be >= 1, "
+                f"got {min_size}"
+            )
         self._min_size = min_size
         return self
 
@@ -480,7 +596,17 @@ class Query:
         return self
 
     def per_world_limit(self, limit: Optional[int]) -> "Query":
-        """Cap the densest subgraphs enumerated per world."""
+        """Cap the densest subgraphs enumerated per world (a positive
+        integer, or ``None`` for unbounded; validated in the builder)."""
+        if limit is not None:
+            check_int_knob(
+                "Query.per_world_limit", "per_world_limit", limit
+            )
+            if limit < 1:
+                raise ValueError(
+                    "Query.per_world_limit: per_world_limit must be "
+                    f">= 1 or None, got {limit}"
+                )
         self._per_world_limit = limit
         return self
 
@@ -537,7 +663,7 @@ class Query:
         else:
             workers = 1
 
-        session.stats["queries"] += 1
+        session._bump("queries")
         storeable = (
             self._sampler_instance is None
             and self._seed is not None
@@ -567,6 +693,12 @@ class Query:
         records straight through finalize (no sampling, no world
         evaluation); a miss falls back to the world store (no sampling)
         and evaluates in-process or over the published fan-out.
+
+        Cacheable evaluations are **single-flight** like the store
+        draws: concurrent identical queries elect one leader to
+        evaluate, later arrivals wait and replay its records
+        (``stats["eval_waits"]``), so a burst of identical requests
+        costs one evaluation, not N.
         """
         from .engine.estimators import resolve_engine
 
@@ -587,29 +719,63 @@ class Query:
             if mkey is None
             else (mode, skey, mkey, resolved, enumerate_all, per_world_limit)
         )
-        cached = None if ekey is None else session._eval_cache.get(ekey)
-        if cached is not None:
-            session.stats["eval_hits"] += 1
-            records, replayed = cached
-        else:
-            store = session._store_for(
-                self._sampler_kind, self._sampler_params, theta, self._seed,
-                packed,
+        if ekey is None:
+            records, replayed = self._compute_records(
+                mode, skey, measure, resolved, enumerate_all,
+                per_world_limit, workers, packed, theta,
             )
-            if workers > 1:
-                records, replayed = self._dispatch_records(
-                    mode, store, skey, measure, resolved,
-                    enumerate_all, per_world_limit, workers,
+            session._bump("worlds_evaluated", len(records))
+            return self._finalize(mode, records, replayed)
+        while True:
+            with session._lock:
+                cached = session._eval_cache.get(ekey)
+                if cached is not None:
+                    session.stats["eval_hits"] += 1
+                    records, replayed = cached
+                    break
+                flight = session._eval_flights.get(ekey)
+                if flight is None:
+                    flight = threading.Event()
+                    session._eval_flights[ekey] = flight
+                    leader = True
+                else:
+                    leader = False
+                    session.stats["eval_waits"] += 1
+            if not leader:
+                flight.wait()
+                continue
+            try:
+                records, replayed = self._compute_records(
+                    mode, skey, measure, resolved, enumerate_all,
+                    per_world_limit, workers, packed, theta,
                 )
-            else:
-                records, replayed = self._evaluate_records(
-                    mode, store, measure, resolved,
-                    enumerate_all, per_world_limit,
-                )
-            session.stats["worlds_evaluated"] += len(records)
-            if ekey is not None:
-                session._eval_cache[ekey] = (records, replayed)
+                session._bump("worlds_evaluated", len(records))
+                with session._lock:
+                    session._eval_cache[ekey] = (records, replayed)
+                break
+            finally:
+                with session._lock:
+                    session._eval_flights.pop(ekey, None)
+                flight.set()
         return self._finalize(mode, records, replayed)
+
+    def _compute_records(
+        self, mode, skey, measure, resolved, enumerate_all,
+        per_world_limit, workers, packed, theta,
+    ):
+        """Fetch the draw (coalesced) and evaluate it into records."""
+        store = self._session._store_for(
+            self._sampler_kind, self._sampler_params, theta, self._seed,
+            packed,
+        )
+        if workers > 1:
+            return self._dispatch_records(
+                mode, store, skey, measure, resolved,
+                enumerate_all, per_world_limit, workers,
+            )
+        return self._evaluate_records(
+            mode, store, measure, resolved, enumerate_all, per_world_limit
+        )
 
     def _evaluate_records(
         self, mode, store, measure, resolved, enumerate_all, per_world_limit
@@ -708,7 +874,7 @@ class Query:
                 sampler, self._seed, workers, engine,
             )
         # uncached draw: count it so session stats stay truthful
-        self._session.stats["worlds_sampled"] += result.theta
+        self._session._bump("worlds_sampled", result.theta)
         return result
 
     def _stream_sequential(self, mode, measure, engine, theta):
@@ -742,7 +908,7 @@ class Query:
                 self._k, self._min_size,
             )
         # uncached draw: count it so session stats stay truthful
-        self._session.stats["worlds_sampled"] += result.theta
+        self._session._bump("worlds_sampled", result.theta)
         return result
 
     def __repr__(self) -> str:

@@ -115,18 +115,28 @@ def parse_sampler_spec(spec: str) -> Tuple[str, SpecParams]:
     return kind, params
 
 
-def check_int_knob(context: str, knob: str, value) -> Optional[int]:
+def check_int_knob(
+    context: str, knob: str, value, positive: bool = False
+) -> Optional[int]:
     """Validate a query-level knob carried in a spec (``theta``/``seed``).
 
     ``bool`` is rejected explicitly even though it subclasses ``int`` --
     ``theta=true`` silently meaning "sample 1 world" is exactly the
-    quiet knob failure this registry exists to prevent.
+    quiet knob failure this registry exists to prevent.  ``positive``
+    additionally requires ``value >= 1``: ``theta=0`` used to parse
+    cleanly here and die much later as an internal ``plan_blocks``
+    error (``"total must be positive"``), far from the spec that
+    caused it.
     """
-    if value is not None and (
-        isinstance(value, bool) or not isinstance(value, int)
-    ):
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
         raise ValueError(
             f"{context}: {knob} must be an integer, got {value!r}"
+        )
+    if positive and value < 1:
+        raise ValueError(
+            f"{context}: {knob} must be positive, got {value!r}"
         )
     return value
 
@@ -143,7 +153,9 @@ def split_sampler_spec(
     """
     kind, params = parse_sampler_spec(spec)
     context = f"sampler spec {spec!r}"
-    theta = check_int_knob(context, "theta", params.pop("theta", None))
+    theta = check_int_knob(
+        context, "theta", params.pop("theta", None), positive=True
+    )
     seed = check_int_knob(context, "seed", params.pop("seed", None))
     return kind, theta, seed, params
 

@@ -1,0 +1,238 @@
+"""Regression tests for the PR-7 validation-bug sweep.
+
+Three bugs, three surfaces:
+
+* ``specs.check_int_knob`` accepted ``theta=0`` / negatives, so
+  ``"mc:theta=0"`` parsed fine and died much later inside
+  ``plan_blocks`` ("total must be positive") -- now rejected at the
+  spec layer with a context-prefixed message, and CLI paths exit 2;
+* ``Query.top_k`` / ``min_size`` / ``per_world_limit`` accepted 0,
+  negatives, and ``bool`` without error until deep in finalize -- now
+  validated in the builder with messages mirroring the registry rules;
+* ``_MaskPager.block_words`` trusted ``file.read(nbytes)``: a short
+  read silently flowed into ``np.frombuffer(...).reshape`` and failed
+  far from the cause -- now a descriptive ``IOError`` naming the spill
+  file and block.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_examples import figure1_graph
+from repro.engine.bitset import PackedMasks
+from repro.engine.worldstore import WorldStore, _MaskPager
+from repro.graph.io import write_uncertain_edge_list
+from repro.session import Session
+from repro.specs import check_int_knob, split_sampler_spec
+
+from .conftest import random_uncertain_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "figure1.txt"
+    write_uncertain_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# bug 1: theta positivity at the spec layer
+# ----------------------------------------------------------------------
+class TestSpecThetaPositivity:
+    @pytest.mark.parametrize("theta", [0, -1, -160])
+    def test_split_sampler_spec_rejects_nonpositive_theta(self, theta):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            split_sampler_spec(f"mc:theta={theta},seed=7")
+
+    def test_message_is_context_prefixed(self):
+        with pytest.raises(ValueError, match="mc:theta=0"):
+            split_sampler_spec("mc:theta=0")
+
+    @pytest.mark.parametrize("value", [0, -3])
+    def test_check_int_knob_positive_gate(self, value):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            check_int_knob("ctx", "theta", value, positive=True)
+
+    def test_check_int_knob_positive_accepts_one(self):
+        assert check_int_knob("ctx", "theta", 1, positive=True) == 1
+
+    def test_check_int_knob_still_rejects_bool(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            check_int_knob("ctx", "theta", True, positive=True)
+
+    def test_check_int_knob_none_passthrough(self):
+        assert check_int_knob("ctx", "theta", None, positive=True) is None
+
+
+# ----------------------------------------------------------------------
+# bug 2: Query builder knobs
+# ----------------------------------------------------------------------
+class TestQueryBuilderValidation:
+    @pytest.fixture
+    def session(self):
+        with Session(random_uncertain_graph(random.Random(5), 12, 0.3)) as s:
+            yield s
+
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_top_k_rejects_nonpositive(self, session, k):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            session.query().top_k(k)
+
+    @pytest.mark.parametrize("k", [True, False, 1.5, "3", None])
+    def test_top_k_rejects_non_int(self, session, k):
+        with pytest.raises(ValueError, match="k must be an integer"):
+            session.query().top_k(k)
+
+    @pytest.mark.parametrize("min_size", [0, -2])
+    def test_min_size_rejects_nonpositive(self, session, min_size):
+        with pytest.raises(ValueError, match="min_size"):
+            session.query().min_size(min_size)
+
+    def test_min_size_rejects_bool(self, session):
+        with pytest.raises(ValueError, match="min_size"):
+            session.query().min_size(True)
+
+    @pytest.mark.parametrize("limit", [0, -1, True])
+    def test_per_world_limit_rejects_bad(self, session, limit):
+        with pytest.raises(ValueError, match="per_world_limit"):
+            session.query().per_world_limit(limit)
+
+    def test_per_world_limit_accepts_none(self, session):
+        query = session.query().per_world_limit(None)
+        assert query is not None
+
+    @pytest.mark.parametrize("theta", [0, -5])
+    def test_theta_rejects_nonpositive(self, session, theta):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            session.query().theta(theta)
+
+    def test_sampler_keyword_theta_rejects_zero(self, session):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            session.query().sampler("mc", theta=0)
+
+    def test_sampler_spec_theta_rejects_zero(self, session):
+        with pytest.raises(ValueError, match="theta must be positive"):
+            session.query().sampler("mc:theta=0")
+
+    def test_seed_rejects_bool(self, session):
+        with pytest.raises(ValueError, match="seed must be an integer"):
+            session.query().seed(True)
+
+    def test_error_raised_at_builder_not_finalize(self, session):
+        # the whole point of the fix: the bad knob never reaches
+        # plan_blocks / finalize, so no store is ever drawn
+        before = session.stats_snapshot()["stores_built"]
+        with pytest.raises(ValueError):
+            session.query().sampler("mc", theta=0, seed=1)
+        assert session.stats_snapshot()["stores_built"] == before
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces exit 2 on the bad knobs
+# ----------------------------------------------------------------------
+class TestCLIExitCodes:
+    @pytest.mark.parametrize("theta", ["0", "-4"])
+    def test_mpds_theta_exits_2(self, graph_file, capsys, theta):
+        assert main(["mpds", graph_file, "--theta", theta]) == 2
+        assert "theta must be positive" in capsys.readouterr().err
+
+    def test_nds_theta_exits_2(self, graph_file, capsys):
+        assert main(["nds", graph_file, "--theta", "0"]) == 2
+        assert "theta must be positive" in capsys.readouterr().err
+
+    def test_mpds_sampler_spec_theta_exits_2(self, graph_file, capsys):
+        code = main([
+            "mpds", graph_file, "--sampler", "mc:theta=0,seed=7",
+        ])
+        assert code == 2
+        assert "theta must be positive" in capsys.readouterr().err
+
+    def test_query_theta_exits_2(self, graph_file, capsys):
+        code = main([
+            "query", graph_file, "--sampler", "mc:theta=0,seed=7",
+            "--run", "mpds",
+        ])
+        assert code == 2
+        assert "theta must be positive" in capsys.readouterr().err
+
+    def test_query_theta_flag_exits_2(self, graph_file, capsys):
+        code = main(["query", graph_file, "--theta", "-1"])
+        assert code == 2
+        assert "theta must be positive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# bug 3: pager short reads
+# ----------------------------------------------------------------------
+class _TruncatingFile:
+    """Stub spill file whose reads come back short."""
+
+    def __init__(self, inner, short_by: int) -> None:
+        self._inner = inner
+        self._short_by = short_by
+
+    def seek(self, offset: int) -> None:
+        self._inner.seek(offset)
+
+    def read(self, nbytes: int) -> bytes:
+        return self._inner.read(max(0, nbytes - self._short_by))
+
+    def close(self) -> None:  # pragma: no cover - teardown only
+        self._inner.close()
+
+
+def _small_pager() -> _MaskPager:
+    rng = np.random.default_rng(11)
+    masks = rng.random((64, 40)) < 0.5
+    packed = PackedMasks.from_bool(masks)
+    blocks = [(0, 32), (32, 64)]
+    budget = 32 * packed.words.shape[1] * 8
+    return _MaskPager(packed, blocks, budget)
+
+
+class TestPagerShortRead:
+    def test_short_read_raises_descriptive_ioerror(self):
+        pager = _small_pager()
+        pager._file = _TruncatingFile(pager._file, short_by=8)
+        with pytest.raises(IOError) as excinfo:
+            pager.block_words(1)
+        message = str(excinfo.value)
+        assert "short read from world-store spill file" in message
+        assert pager.path in message
+        assert "block 1" in message
+
+    def test_truncated_to_zero_names_expectation(self):
+        pager = _small_pager()
+        expected = pager._nbytes[0]
+        pager._file = _TruncatingFile(pager._file, short_by=expected)
+        with pytest.raises(IOError, match=f"expected {expected} bytes"):
+            pager.block_words(0)
+
+    def test_healthy_reads_unaffected(self):
+        pager = _small_pager()
+        first = pager.block_words(0).copy()
+        again = pager.block_words(0)
+        np.testing.assert_array_equal(first, again)
+        assert pager.block_loads == 1  # second hit was resident
+
+    def test_budgeted_store_roundtrip_still_exact(self):
+        # end-to-end: a spilled store with an honest file still replays
+        # byte-identically to the resident one
+        graph = random_uncertain_graph(random.Random(7), 16, 0.3)
+        resident = WorldStore.from_sampler(graph, None, 64, seed=3)
+        words_per_row = resident.mask_matrix().words.shape[1]
+        spilled = WorldStore.from_sampler(
+            graph, None, 64, seed=3,
+            memory_budget=4 * words_per_row * 8,
+        )
+        assert spilled._pager is not None
+        for i in range(64):
+            np.testing.assert_array_equal(
+                resident.mask_row(i), spilled.mask_row(i)
+            )
+        spilled.close()
