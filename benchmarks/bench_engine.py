@@ -14,6 +14,14 @@ attributable:
 * **world evaluation** -- enumerating all densest subgraphs per world
   (object Graph + FlowNetwork machinery vs the CSR/bitmask substrate).
 
+The vectorised evaluation stage is further split into the engine's own
+sub-stages (``EngineMeasure.stage_stats`` via the session counters):
+*stream* (pulling masks off the batch sampler), *bound* (the batched
+cross-world kernels: lockstep peel bound + vector-k core), and *exact*
+(the warm parametric flow chain on the survivors).  When numba is
+installed a third engine column (``engine="jit"``) is timed as well;
+without numba the table records the fallback instead.
+
 The per-stage table is archived as
 ``benchmarks/results/bench_engine_stages.txt`` on every run (pytest or
 ``python -m benchmarks.bench_engine [--tiny]``), so the evaluation-stage
@@ -27,7 +35,7 @@ import random
 import time
 
 from repro.core.mpds import top_k_mpds
-from repro.engine import VectorizedMonteCarloSampler
+from repro.engine import HAVE_NUMBA, VectorizedMonteCarloSampler
 from repro.graph.uncertain import UncertainGraph
 from repro.sampling import (
     LazyPropagationSampler,
@@ -79,11 +87,46 @@ def run_stage_benchmark(
     The sampling stage is measured by draining each engine's sampler
     without evaluating worlds; the world-evaluation stage is the
     end-to-end estimator time minus the sampling time (evaluation is the
-    only other per-world work Algorithm 1 does).  Returns a dict with
-    per-stage seconds, per-stage speedups, the rendered table, and the
-    two results (whose estimates must be identical).
+    only other per-world work Algorithm 1 does).  The vectorised run
+    goes through a :class:`repro.session.Session` so its evaluation
+    stage can be split further (stream / bound / exact, plus the
+    primed/filtered world counters); when numba is installed the same
+    query is timed a third time under ``engine="jit"``.  Returns a dict
+    with per-stage seconds, per-stage speedups, the rendered table, and
+    the results (whose estimates must all be identical).
     """
+    from repro.session import Session
+
     graph = _bench_graph(seed=2023, n=n, edge_prob=edge_prob)
+
+    start = time.perf_counter()
+    vector_sampler = VectorizedMonteCarloSampler(graph, seed)
+    for _ in vector_sampler.mask_worlds(theta):
+        pass
+    vector_sampling = time.perf_counter() - start
+
+    def timed_session_run(engine: str):
+        start = time.perf_counter()
+        with Session(graph, engine=engine, cache_worlds=False) as session:
+            result = (
+                session.query()
+                .sampler(theta=theta, seed=seed)
+                .top_k(3)
+                .mpds()
+            )
+            stats = session.stats_snapshot()
+        return time.perf_counter() - start, result, stats
+
+    # fast engines run before the long pure-Python leg so their stage
+    # timings are not polluted by its thermal / allocator aftermath
+    vector_total, vector_result, vector_stats = timed_session_run(
+        "vectorized"
+    )
+
+    jit = None
+    if HAVE_NUMBA:
+        jit_total, jit_result, _jit_stats = timed_session_run("jit")
+        jit = {"total": jit_total, "result": jit_result}
 
     start = time.perf_counter()
     sampler = MonteCarloSampler(graph, seed)
@@ -92,30 +135,34 @@ def run_stage_benchmark(
     python_sampling = time.perf_counter() - start
 
     start = time.perf_counter()
-    vector_sampler = VectorizedMonteCarloSampler(graph, seed)
-    for _ in vector_sampler.mask_worlds(theta):
-        pass
-    vector_sampling = time.perf_counter() - start
-
-    start = time.perf_counter()
     python_result = top_k_mpds(
         graph, k=3, theta=theta, seed=seed, engine="python"
     )
     python_total = time.perf_counter() - start
 
-    start = time.perf_counter()
-    vector_result = top_k_mpds(
-        graph, k=3, theta=theta, seed=seed, engine="vectorized"
-    )
-    vector_total = time.perf_counter() - start
-
     python_eval = python_total - python_sampling
     vector_eval = vector_total - vector_sampling
+    split = {
+        "stream": vector_stats["eval_sampling_seconds"],
+        "bound": vector_stats["eval_bound_seconds"],
+        "exact": vector_stats["eval_exact_seconds"],
+        "primed": vector_stats["worlds_primed"],
+        "filtered": vector_stats["worlds_filtered"],
+    }
     identical = (
         python_result.candidates == vector_result.candidates
         and python_result.top == vector_result.top
         and python_result.densest_counts == vector_result.densest_counts
     )
+
+    if jit is not None:
+        jit_result = jit.pop("result")
+        identical = identical and (
+            python_result.candidates == jit_result.candidates
+            and python_result.top == jit_result.top
+            and python_result.densest_counts == jit_result.densest_counts
+        )
+        jit["evaluation"] = jit["total"] - vector_sampling
 
     def row(stage: str, py: float, vec: float) -> str:
         return (
@@ -129,9 +176,20 @@ def run_stage_benchmark(
         f"{'stage':18s} {'python':>12s} {'vectorized':>14s} {'speedup':>10s}",
         row("sampling", python_sampling, vector_sampling),
         row("world evaluation", python_eval, vector_eval),
+        f"  eval split: stream={split['stream']:.3f} s "
+        f"bound={split['bound']:.3f} s exact={split['exact']:.3f} s "
+        f"(worlds primed={split['primed']}, filtered={split['filtered']})",
         row("end-to-end", python_total, vector_total),
-        f"identical estimates: {identical}",
     ]
+    if jit is not None:
+        lines.append(row("world eval (jit)", python_eval, jit["evaluation"]))
+        lines.append(row("end-to-end (jit)", python_total, jit["total"]))
+    else:
+        lines.append(
+            "jit tier: numba not installed; engine='jit' falls back to "
+            "the vectorized row above (identical estimates)"
+        )
+    lines.append(f"identical estimates: {identical}")
     return {
         "python": {
             "sampling": python_sampling,
@@ -143,6 +201,8 @@ def run_stage_benchmark(
             "evaluation": vector_eval,
             "total": vector_total,
         },
+        "stage_split": split,
+        "jit": jit,
         "identical": identical,
         "table": "\n".join(lines),
         "results": (python_result, vector_result),
@@ -158,6 +218,9 @@ def test_engine_speedup_with_identical_estimates(benchmark):
     assert python_result.densest_counts == vector_result.densest_counts
 
     emit("bench_engine_stages", report["table"])
+    split = report["stage_split"]
+    assert split["primed"] == BENCH_THETA  # every world saw the pre-pass
+    assert split["bound"] > 0.0 and split["exact"] > 0.0
     speedup = report["python"]["total"] / report["vectorized"]["total"]
     eval_speedup = (
         report["python"]["evaluation"] / report["vectorized"]["evaluation"]

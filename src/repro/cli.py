@@ -115,9 +115,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_and_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--engine", choices=("auto", "python", "vectorized"), default="auto",
-        help="possible-world engine (auto picks the vectorized fast path "
-        "whenever it is byte-identical; see repro.engine)",
+        "--engine", choices=("auto", "python", "vectorized", "jit"),
+        default="auto",
+        help="possible-world engine (auto picks the fastest byte-identical "
+        "path: jit when numba is installed, else vectorized; 'jit' falls "
+        "back to vectorized without numba; see repro.engine)",
     )
     parser.add_argument(
         "--workers", type=_workers_arg, default=1, metavar="N|auto",

@@ -98,6 +98,7 @@ def evaluate_store_mpds(
     engine: str = "auto",
     enumerate_all: bool = True,
     per_world_limit: Optional[int] = 100_000,
+    stage_stats: Optional[dict] = None,
 ) -> Tuple[List[WorldRecord], int]:
     """Replay a world store into Algorithm 1's per-world records.
 
@@ -105,11 +106,18 @@ def evaluate_store_mpds(
     the loop over stored worlds, shared by :func:`mpds_from_store` and
     the session evaluation cache (which keeps the records to serve
     later ``k`` variants through :func:`finalize_mpds` alone).
+
+    When ``stage_stats`` is a dict and a vector engine ran, the
+    engine measure's per-stage split (``EngineMeasure.stage_stats``)
+    is merged into it -- the session's evaluation-timing seam.
     """
     worlds, loop_measure, engine_measure = store.world_stream(measure, engine)
     records = list(
         evaluate_worlds(worlds, loop_measure, enumerate_all, per_world_limit)
     )
+    if engine_measure is not None and stage_stats is not None:
+        for key, value in engine_measure.stage_stats().items():
+            stage_stats[key] = stage_stats.get(key, 0) + value
     return records, (engine_measure.replayed_worlds if engine_measure else 0)
 
 
@@ -180,11 +188,13 @@ def top_k_mpds(
         Safety cap on the number of densest subgraphs enumerated per world
         (their count can be exponential -- Table VIII).
     engine:
-        ``"auto"`` (default), ``"python"`` or ``"vectorized"``; selects
-        the possible-world engine (see :mod:`repro.engine`).  ``auto``
-        vectorises every {MC, LP, RSS} x {edge, clique, pattern density}
-        combination; custom sampler/measure types run pure-Python.
-        Estimates are identical across engines for the same seed.
+        ``"auto"`` (default), ``"python"``, ``"vectorized"`` or
+        ``"jit"``; selects the possible-world engine (see
+        :mod:`repro.engine`).  ``auto`` vectorises every {MC, LP, RSS}
+        x {edge, clique, pattern density} combination (JIT-compiled
+        hot loops when numba is installed); custom sampler/measure
+        types run pure-Python.  Estimates are identical across engines
+        for the same seed.
     """
     from ..session import Session
 

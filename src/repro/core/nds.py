@@ -95,6 +95,7 @@ def evaluate_store_transactions(
     store,
     measure: DensityMeasure,
     engine: str = "auto",
+    stage_stats: Optional[dict] = None,
 ) -> List[TransactionRecord]:
     """Replay a world store into Algorithm 5's transaction records.
 
@@ -102,9 +103,17 @@ def evaluate_store_transactions(
     :func:`nds_from_store` and the session evaluation cache (which
     keeps the records to serve later ``k``/``min_size`` variants
     through the accumulate/finalize stages alone).
+
+    When ``stage_stats`` is a dict and a vector engine ran, the
+    engine measure's per-stage split (``EngineMeasure.stage_stats``)
+    is merged into it -- the session's evaluation-timing seam.
     """
-    worlds, loop_measure, _engine_measure = store.world_stream(measure, engine)
-    return list(evaluate_transactions(worlds, loop_measure))
+    worlds, loop_measure, engine_measure = store.world_stream(measure, engine)
+    records = list(evaluate_transactions(worlds, loop_measure))
+    if engine_measure is not None and stage_stats is not None:
+        for key, value in engine_measure.stage_stats().items():
+            stage_stats[key] = stage_stats.get(key, 0) + value
+    return records
 
 
 def nds_from_store(

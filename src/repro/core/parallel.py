@@ -192,9 +192,10 @@ def _block_records(
 ) -> Tuple[list, int]:
     """Evaluate world rows ``lo:hi`` of ``masks`` into per-world records.
 
-    ``engine`` must already be resolved to ``"vectorized"`` or
-    ``"python"``.  The vectorised path evaluates :class:`MaskWorld`
-    views through an :class:`EngineMeasure`; the python path replays
+    ``engine`` must already be resolved to ``"vectorized"``, ``"jit"``
+    or ``"python"``.  The vector tiers evaluate :class:`MaskWorld`
+    views through an :class:`EngineMeasure` (batched cheap stages via
+    :func:`primed_world_stream`); the python path replays
     each world's exact insertion sequence into a :class:`Graph` and
     queries the plain measure -- both byte-identical to what the
     sequential estimator computes for the same worlds, with one
@@ -207,14 +208,19 @@ def _block_records(
     matches the sequential run by construction.  Returns ``(records,
     replayed_worlds)``.
     """
-    from ..engine.estimators import EngineMeasure
+    from ..engine.estimators import (
+        VECTOR_ENGINES,
+        EngineMeasure,
+        primed_world_stream,
+    )
     from ..engine.indexed import MaskWorld
     from ..sampling.base import WeightedWorld
     from .mpds import evaluate_worlds
     from .nds import evaluate_transactions
 
+    vector = engine in VECTOR_ENGINES
     loop_measure = (
-        EngineMeasure(measure) if engine == "vectorized" else measure
+        EngineMeasure(measure, tier=engine) if vector else measure
     )
 
     def block_worlds() -> Iterator[WeightedWorld]:
@@ -224,22 +230,27 @@ def _block_records(
                 if order_data is not None
                 else None
             )
-            if engine == "vectorized":
+            if vector:
                 world = MaskWorld(indexed, masks[i], order=order)
             else:
                 world = indexed.world_graph(masks[i], order)
             # weights are merged in the parent; per-block weight is unused
             yield WeightedWorld(world, 0.0)
 
+    worlds = (
+        primed_world_stream(block_worlds(), loop_measure)
+        if vector
+        else block_worlds()
+    )
     if mode == "nds":
         records = [
             maximal
-            for maximal, _ in evaluate_transactions(block_worlds(), loop_measure)
+            for maximal, _ in evaluate_transactions(worlds, loop_measure)
         ]
         return records, 0
     records: list = []
     for densest_sets, _ in evaluate_worlds(
-        block_worlds(), loop_measure, enumerate_all, per_world_limit
+        worlds, loop_measure, enumerate_all, per_world_limit
     ):
         if (
             enumerate_all
@@ -253,7 +264,7 @@ def _block_records(
         else:
             records.append(densest_sets)
     replayed = (
-        loop_measure.replayed_worlds if engine == "vectorized" else 0
+        loop_measure.replayed_worlds if vector else 0
     )
     return records, replayed
 

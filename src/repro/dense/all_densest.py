@@ -150,7 +150,20 @@ def _dinkelbach_component(view: "SubWorldView", bound: Fraction):
     a max-flowed CSR Goldberg network of ``view`` at ``alpha = rho*``
     (``view`` may have been re-shrunk to the tighter ceil(rho*)-core,
     mirroring :func:`prepare_from_bound`).
+
+    Delegates to the warm reverse-parametric chain
+    (:func:`repro.flow.parametric.parametric_dinkelbach`), which runs one
+    persistent push-relabel per component instead of one cold flow per
+    Dinkelbach iteration; :func:`_dinkelbach_component_cold` keeps the
+    classic restart loop for differential testing.
     """
+    from ..flow.parametric import parametric_dinkelbach
+
+    return parametric_dinkelbach(view, bound)
+
+
+def _dinkelbach_component_cold(view: "SubWorldView", bound: Fraction):
+    """Classic cold-restart Dinkelbach loop (reference implementation)."""
     alpha = Fraction(bound)
     while True:
         network = build_edge_density_network_csr(
@@ -201,9 +214,10 @@ def _component_residual_structure(network, view: "SubWorldView"):
     """
     coreachable = network.coreachable_to_sink()
     candidates = [i for i, flag in enumerate(coreachable) if not flag]
+    adjacency = network.residual_adjacency(candidates)
     structure = build_component_structure_indexed(
         network.num_nodes,
-        network.residual_successors,
+        adjacency.__getitem__,
         network.source,
         network.sink,
         view.label_of,

@@ -29,7 +29,10 @@ from typing import (
 )
 
 from ..flow.network import FlowNetwork, NetNode
-from ..flow.scc import condensation_successors, strongly_connected_components
+from ..flow.scc import (
+    condensation_successors,
+    strongly_connected_components_indexed,
+)
 
 NodeSet = FrozenSet[Hashable]
 
@@ -93,8 +96,9 @@ def build_component_structure_indexed(
     provably contains every kept component, so the condensation of the
     restriction equals the restriction of the condensation.)
     """
-    raw_components = strongly_connected_components(
-        list(range(num_nodes)) if vertices is None else list(vertices),
+    raw_components = strongly_connected_components_indexed(
+        num_nodes,
+        range(num_nodes) if vertices is None else vertices,
         successors,
     )
     dag = condensation_successors(raw_components, successors)

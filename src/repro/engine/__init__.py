@@ -35,17 +35,29 @@ stages while returning **identical estimates for the same seed**:
 When does the vectorised path activate?
 ---------------------------------------
 ``top_k_mpds`` / ``top_k_nds`` / the ``core.parallel`` wrappers accept
-``engine="auto" | "python" | "vectorized"``:
+``engine="auto" | "python" | "vectorized" | "jit"``:
 
 * ``auto`` (default) -- vectorised for every guaranteed byte-identical
   combination: {MC (default), LP, RSS} x {EdgeDensity, CliqueDensity,
-  PatternDensity}.  Custom sampler or measure types run the original
-  pure-Python path.
-* ``vectorized`` -- force it; unknown measures still work through the
-  mask -> :class:`Graph` adapter (:meth:`IndexedGraph.world_graph`), but
-  the sampler must be MC, LP or RSS (or a vectorised twin).
+  PatternDensity}, upgraded to the JIT tier when numba is installed.
+  Custom sampler or measure types run the original pure-Python path.
+* ``vectorized`` -- force the numpy tier (no JIT upgrade); unknown
+  measures still work through the mask -> :class:`Graph` adapter
+  (:meth:`IndexedGraph.world_graph`), but the sampler must be MC, LP or
+  RSS (or a vectorised twin).
+* ``jit`` -- the vectorized engine with the two irreducible hot loops
+  (bucketed peel, first-phase push-relabel) numba-compiled
+  (:mod:`repro.engine.jit`); falls back to ``vectorized`` when numba is
+  not installed.  Same estimates either way.
 * ``python`` -- force the original path (e.g. for timing comparisons:
   see ``benchmarks/bench_engine.py``).
+
+On top of whichever per-world tier runs, the vector engines evaluate
+cheap stages *batched across worlds*: :func:`primed_world_stream`
+buffers a chunk of sampled worlds, stacks their edge masks and runs
+the bound / shrink stages (:func:`batch_peel_bounds`,
+:func:`batch_k_core_alive`) for the whole chunk in a handful of numpy
+calls, so the per-world python loop only performs the exact stage.
 
 Estimates are byte-identical across engines for a fixed seed; the
 differential harness in ``tests/test_engine_differential.py`` sweeps
@@ -67,11 +79,13 @@ from .indexed import IndexedGraph, MaskWorld, SubWorldView
 from .shm import attach_arrays, close_attachment, pack_arrays
 from .kernels import (
     batch_k_core_alive,
+    batch_peel_bounds,
     batch_world_degrees,
     batched_greedypp,
     k_core_alive,
     world_degrees,
 )
+from .jit import HAVE_NUMBA, jit_active, use_jit
 from .lazy import VectorizedLazyPropagationSampler
 from .sampler import (
     VectorizedMonteCarloSampler,
@@ -82,9 +96,11 @@ from .stratified import VectorizedStratifiedSampler
 from .worldstore import WorldStore
 from .estimators import (
     ENGINES,
+    VECTOR_ENGINES,
     EngineMeasure,
     measure_core_k,
     prepare_world_stream,
+    primed_world_stream,
     resolve_engine,
     vectorized_sampler,
 )
@@ -111,11 +127,17 @@ __all__ = [
     "batch_world_degrees",
     "k_core_alive",
     "batch_k_core_alive",
+    "batch_peel_bounds",
     "batched_greedypp",
+    "HAVE_NUMBA",
+    "jit_active",
+    "use_jit",
     "ENGINES",
+    "VECTOR_ENGINES",
     "EngineMeasure",
     "measure_core_k",
     "prepare_world_stream",
+    "primed_world_stream",
     "resolve_engine",
     "vectorized_sampler",
 ]

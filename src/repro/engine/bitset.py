@@ -32,6 +32,9 @@ import numpy as np
 #: bits per packed word
 WORD_BITS = 64
 
+#: rows batch-unpacked per :class:`PackedMasks` row-cache fill
+ROW_CACHE_BLOCK = 64
+
 #: elementwise popcount: numpy >= 2.0 ships a ufunc; older hosts fall
 #: back to a 16-bit lookup table (64 KiB, built once on first use)
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
@@ -194,9 +197,19 @@ class PackedMasks:
     boolean rows), while the words stay resident at 1/8 the footprint.
     Everything else (shared-memory publication, popcount kernels,
     block spill) operates on :attr:`words` directly.
+
+    Row access is served from a one-block cache: ``__getitem__`` batch
+    unpacks the aligned :data:`ROW_CACHE_BLOCK`-row block containing
+    the requested row and keeps it until a different block is touched,
+    so sequential replay (the store's access pattern) costs one
+    ``np.unpackbits`` per block instead of one per row, while the
+    transient footprint stays bounded at ``ROW_CACHE_BLOCK * m`` bytes.
+    The cache is one tuple attribute (atomic to swap in CPython) and
+    rows are handed out as copies, so concurrent session threads stay
+    safe and the packed storage stays effectively immutable.
     """
 
-    __slots__ = ("words", "m")
+    __slots__ = ("words", "m", "_cache")
 
     def __init__(self, words: np.ndarray, m: int) -> None:
         words = np.asarray(words, dtype=np.uint64)
@@ -211,6 +224,8 @@ class PackedMasks:
             )
         self.words = words
         self.m = m
+        #: (block_lo, unpacked_rows) of the most recently touched block
+        self._cache: Optional[Tuple[int, np.ndarray]] = None
 
     @classmethod
     def from_bool(cls, masks: np.ndarray) -> "PackedMasks":
@@ -235,8 +250,20 @@ class PackedMasks:
         return len(self.words)
 
     def __getitem__(self, i: int) -> np.ndarray:
-        """Unpack world ``i``'s boolean mask (the lazy replay boundary)."""
-        return unpack_row(self.words[i], self.m)
+        """World ``i``'s boolean mask (the lazy replay boundary).
+
+        Served as a fresh writable copy out of the one-block row cache
+        (see the class docstring); repeated / sequential access does
+        not re-unpack the same block.
+        """
+        i = range(len(self.words))[i]  # normalise negatives, bounds-check
+        lo = i - (i % ROW_CACHE_BLOCK)
+        cached = self._cache
+        if cached is None or cached[0] != lo:
+            cached = (lo, unpack_rows(self.words[lo : lo + ROW_CACHE_BLOCK],
+                                      self.m))
+            self._cache = cached
+        return cached[1][i - lo].copy()
 
     def rows(self, lo: int, hi: int) -> np.ndarray:
         """Unpack rows ``lo:hi`` into a boolean ``(hi - lo, m)`` block."""

@@ -30,8 +30,11 @@ even the truncated subset matches byte-for-byte.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from fractions import Fraction
-from typing import List, Optional
+from itertools import islice
+from time import perf_counter
+from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -53,12 +56,23 @@ from ..sampling.lazy_propagation import LazyPropagationSampler
 from ..sampling.monte_carlo import MonteCarloSampler
 from ..sampling.stratified import RecursiveStratifiedSampler
 from .indexed import MaskWorld, SubWorldView
-from .kernels import k_core_alive
+from .jit import HAVE_NUMBA, use_jit
+from .kernels import batch_k_core_alive, batch_peel_bounds, k_core_alive
 from .lazy import VectorizedLazyPropagationSampler
 from .sampler import VectorizedMonteCarloSampler
 from .stratified import VectorizedStratifiedSampler
 
-ENGINES = ("auto", "python", "vectorized")
+ENGINES = ("auto", "python", "vectorized", "jit")
+
+#: resolved engines that run the mask-native (vectorised) pipeline;
+#: ``"jit"`` is the same pipeline with the numba tier active for the
+#: two per-world hot loops (:mod:`repro.engine.jit`)
+VECTOR_ENGINES = ("vectorized", "jit")
+
+#: how many worlds the batched pre-pass buffers and primes at once
+#: (peel bounds and k-cores for the whole chunk in a handful of numpy
+#: passes instead of one python loop iteration per world)
+PRIME_CHUNK = 64
 
 #: sampler types the vectorised engine can replay byte-for-byte
 _VECTORIZABLE_SAMPLERS = (
@@ -99,6 +113,13 @@ def resolve_engine(engine: str, sampler, measure: DensityMeasure) -> str:
     engine for any measure (unknown measures run through the
     mask->Graph adapter) but still requires one of the replayable
     samplers.  ``python`` always uses the original path.
+
+    ``jit`` is the vectorised engine with the optional numba tier
+    (:mod:`repro.engine.jit`) active for the per-world hot loops; it
+    resolves to ``"jit"`` only when numba is importable and falls back
+    to ``"vectorized"`` otherwise -- same results either way, the tier
+    is purely a performance knob.  ``auto`` upgrades to ``"jit"``
+    automatically when numba is present.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -107,15 +128,17 @@ def resolve_engine(engine: str, sampler, measure: DensityMeasure) -> str:
     )
     if engine == "python":
         return "python"
-    if engine == "vectorized":
+    if engine in ("vectorized", "jit"):
         if not replayable:
             raise ValueError(
-                "engine='vectorized' supports MC, LP and RSS sampling only; "
+                f"engine={engine!r} supports MC, LP and RSS sampling only; "
                 f"got sampler {type(sampler).__name__}"
             )
+        if engine == "jit":
+            return "jit" if HAVE_NUMBA else "vectorized"
         return "vectorized"
     if replayable and type(measure) in _FAST_MEASURES:
-        return "vectorized"
+        return "jit" if HAVE_NUMBA else "vectorized"
     return "python"
 
 
@@ -150,6 +173,43 @@ def vectorized_sampler(graph, sampler, seed: Optional[int]):
     )
 
 
+def primed_world_stream(
+    worlds: Iterable,
+    engine_measure: "EngineMeasure",
+    chunk: int = PRIME_CHUNK,
+) -> Iterator:
+    """Batch-prime a weighted :class:`MaskWorld` stream, chunk by chunk.
+
+    Pulls up to ``chunk`` worlds at a time and runs the cheap filtering
+    stages for the whole chunk in a few numpy passes
+    (:meth:`EngineMeasure.prime_batch`: batched degree counts, lockstep
+    bucketed peel bounds, per-world-k k-cores), attaching the results to
+    each world's ``prepped`` slot -- the estimator loop downstream then
+    skips its per-world python bound/core stages and goes straight to
+    the exact solver on the pre-shrunk core.  Worlds are still yielded
+    in order (buffering never reorders or drops), so estimates are
+    byte-identical to the unprimed stream.
+
+    Also the seam where the per-stage wall-clock split is measured:
+    time spent pulling from upstream is the **sampling** stage, the
+    batch kernels are the **bound** stage
+    (:attr:`EngineMeasure.stage_seconds`).
+    """
+    worlds = iter(worlds)
+    while True:
+        started = perf_counter()
+        buffered = list(islice(worlds, chunk))
+        engine_measure.stage_seconds["sampling"] += perf_counter() - started
+        if not buffered:
+            return
+        started = perf_counter()
+        engine_measure.prime_batch(
+            [w.graph for w in buffered if isinstance(w.graph, MaskWorld)]
+        )
+        engine_measure.stage_seconds["bound"] += perf_counter() - started
+        yield from buffered
+
+
 def prepare_world_stream(
     graph,
     theta: int,
@@ -164,16 +224,22 @@ def prepare_world_stream(
     :mod:`repro.core.mpds` / :mod:`repro.core.nds`) use to set up their
     ``(world, weight)`` loop.  Returns ``(worlds, loop_measure,
     engine_measure)``: on the vectorised path ``worlds`` yields
-    :class:`MaskWorld` views and ``loop_measure`` is an
+    :class:`MaskWorld` views (batch-primed chunk by chunk through
+    :func:`primed_world_stream`) and ``loop_measure`` is an
     :class:`EngineMeasure` (also returned as ``engine_measure`` for
     bookkeeping access); on the python path ``worlds`` yields
     materialised :class:`Graph` worlds, ``loop_measure`` is the plain
     measure and ``engine_measure`` is ``None``.
     """
-    if resolve_engine(engine, sampler, measure) == "vectorized":
+    resolved = resolve_engine(engine, sampler, measure)
+    if resolved in VECTOR_ENGINES:
         worlds = vectorized_sampler(graph, sampler, seed).mask_worlds(theta)
-        engine_measure = EngineMeasure(measure)
-        return worlds, engine_measure, engine_measure
+        engine_measure = EngineMeasure(measure, tier=resolved)
+        return (
+            primed_world_stream(worlds, engine_measure),
+            engine_measure,
+            engine_measure,
+        )
     sampler = sampler or MonteCarloSampler(graph, seed)
     return sampler.worlds(theta), measure, None
 
@@ -220,14 +286,104 @@ class EngineMeasure(DensityMeasure):
     ``replayed_worlds`` counts the worlds whose (possibly) truncated
     enumeration was replayed through the pure-Python path to keep the
     ``per_world_limit`` subset byte-identical across engines.
+
+    ``tier`` selects the implementation of the two per-world hot loops:
+    ``"numpy"`` (always available) or ``"jit"`` (numba-compiled when
+    installed; see :mod:`repro.engine.jit` -- activated per call via a
+    context variable, so concurrent queries can run different tiers).
+    ``stage_seconds`` splits the evaluation wall clock into the
+    *sampling* (upstream world production), *bound* (peel bounds +
+    k-core shrink, batched or per world) and *exact* (Dinkelbach flows,
+    residual condensation, enumeration) stages; ``worlds_primed`` /
+    ``worlds_filtered`` count worlds served by the batched pre-pass and
+    worlds dismissed as edgeless before any exact work.
     """
 
-    def __init__(self, inner: DensityMeasure) -> None:
+    def __init__(self, inner: DensityMeasure, tier: str = "numpy") -> None:
+        if tier not in ("numpy", "vectorized", "jit"):
+            raise ValueError(f"unknown engine tier {tier!r}")
         self.inner = inner
         self.name = inner.name
         self._fast = type(inner) is EdgeDensity
         self._core_k = measure_core_k(inner)
+        self._jit = tier == "jit"
         self.replayed_worlds = 0
+        self.worlds_primed = 0
+        self.worlds_filtered = 0
+        self.stage_seconds = {"sampling": 0.0, "bound": 0.0, "exact": 0.0}
+
+    def _tier(self):
+        """Context manager activating this measure's hot-loop tier."""
+        return use_jit(True) if self._jit else nullcontext()
+
+    def stage_stats(self) -> dict:
+        """Per-stage evaluation split for session/serve bookkeeping.
+
+        ``sampling`` / ``bound`` / ``exact`` are wall-clock seconds
+        (world production, cheap filtering stages, exact solve);
+        ``primed`` / ``filtered`` count worlds served by the batched
+        pre-pass and worlds dismissed as edgeless.
+        """
+        return {
+            "sampling": self.stage_seconds["sampling"],
+            "bound": self.stage_seconds["bound"],
+            "exact": self.stage_seconds["exact"],
+            "primed": self.worlds_primed,
+            "filtered": self.worlds_filtered,
+        }
+
+    # ------------------------------------------------------------------
+    # batched pre-pass (chunk-at-a-time cheap stages)
+    # ------------------------------------------------------------------
+    def prime_batch(self, worlds: List[MaskWorld]) -> None:
+        """Run the cheap filtering stages for a chunk of worlds at once.
+
+        Edge-density measures get their bucketed peel bound and
+        ceil(bound)-core masks (lockstep across the chunk:
+        :func:`repro.engine.kernels.batch_peel_bounds` +
+        :func:`repro.engine.kernels.batch_k_core_alive` with per-world
+        ``k``); clique/pattern measures get their fixed
+        :func:`measure_core_k` core masks.  Results land in each world's
+        ``prepped`` slot, which :meth:`_prepared` / ``_filtered_world``
+        consume instead of re-deriving them one world at a time.  The
+        batched peel removes whole minimum-degree buckets per round, so
+        its bound can differ from the sequential peel's -- both are
+        achieved densities, and :func:`prepare_from_bound_csr` results
+        are bound-independent, so every estimate stays byte-identical.
+        """
+        if not worlds:
+            return
+        indexed = worlds[0].indexed
+        worlds = [w for w in worlds if w.indexed is indexed]
+        masks = np.stack([w.mask for w in worlds])
+        if self._fast:
+            nums, dens = batch_peel_bounds(indexed, masks)
+            cores = -(-nums // dens)  # ceil; edgeless rows give k = 0
+            node_alive, edge_alive = batch_k_core_alive(
+                indexed, masks, cores
+            )
+            for i, world in enumerate(worlds):
+                if nums[i] <= 0:
+                    world.prepped = (0, 1, None, None)
+                elif edge_alive[i].any():
+                    world.prepped = (
+                        int(nums[i]), int(dens[i]),
+                        node_alive[i], edge_alive[i],
+                    )
+                else:  # pragma: no cover - see prepare_from_bound
+                    world.prepped = (
+                        int(nums[i]), int(dens[i]),
+                        np.ones(indexed.n, dtype=bool), world.mask,
+                    )
+        elif self._core_k is not None:
+            node_alive, edge_alive = batch_k_core_alive(
+                indexed, masks, self._core_k
+            )
+            for i, world in enumerate(worlds):
+                world.prepped = (node_alive[i], edge_alive[i])
+        else:
+            return
+        self.worlds_primed += len(worlds)
 
     # ------------------------------------------------------------------
     # mask-native edge-density pipeline
@@ -240,34 +396,62 @@ class EngineMeasure(DensityMeasure):
         bucketed Charikar peel bound, the k-core shrink, the Dinkelbach
         flows and the residual condensation all run on index arrays, and
         node labels only reappear in the returned structure's frozensets.
+
+        A world primed by the batched pre-pass (``world.prepped`` set by
+        :meth:`prime_batch`) skips straight to the exact stage on its
+        precomputed bound and core masks; only unprimed worlds pay the
+        per-world bound stage here.
         """
-        if not world.mask.any():
-            return None
         indexed = world.indexed
-        view = world.view()
-        indptr, neighbors = view.csr()
-        _order, _edges, num, den, _size, _degen = _peel_arrays(
-            view.n, indptr, neighbors
-        )
-        if num <= 0:  # pragma: no cover - edges imply a positive bound
-            return None
-        bound = Fraction(num, den)
-        k = -(-bound.numerator // bound.denominator)
-        node_alive, edge_alive = k_core_alive(indexed, world.mask, k)
-        if not edge_alive.any():  # pragma: no cover - see prepare_from_bound
-            node_alive = np.ones(indexed.n, dtype=bool)
-            edge_alive = world.mask
+        primed = world.prepped if self._fast else None
+        if primed is not None:
+            num, den, node_alive, edge_alive = primed
+            if num <= 0:
+                self.worlds_filtered += 1
+                return None
+        else:
+            if not world.mask.any():
+                self.worlds_filtered += 1
+                return None
+            started = perf_counter()
+            view = world.view()
+            indptr, neighbors = view.csr()
+            with self._tier():
+                _order, _edges, num, den, _size, _degen = _peel_arrays(
+                    view.n, indptr, neighbors
+                )
+            if num <= 0:  # pragma: no cover - edges imply a positive bound
+                self.stage_seconds["bound"] += perf_counter() - started
+                self.worlds_filtered += 1
+                return None
+            k = -(-num // den)
+            node_alive, edge_alive = k_core_alive(indexed, world.mask, k)
+            if not edge_alive.any():  # pragma: no cover - see
+                # prepare_from_bound
+                node_alive = np.ones(indexed.n, dtype=bool)
+                edge_alive = world.mask
+            self.stage_seconds["bound"] += perf_counter() - started
+        started = perf_counter()
         core = SubWorldView(indexed, edge_alive, node_alive)
-        return prepare_from_bound_csr(core, bound)
+        with self._tier():
+            prepared = prepare_from_bound_csr(core, Fraction(num, den))
+        self.stage_seconds["exact"] += perf_counter() - started
+        return prepared
 
     # ------------------------------------------------------------------
     # clique/pattern pre-filtering
     # ------------------------------------------------------------------
     def _filtered_world(self, world: MaskWorld) -> Graph:
         """Materialise only the core that can contain densest sets."""
-        node_alive, edge_alive = k_core_alive(
-            world.indexed, world.mask, self._core_k
-        )
+        primed = world.prepped
+        if primed is not None and len(primed) == 2:
+            node_alive, edge_alive = primed
+        else:
+            started = perf_counter()
+            node_alive, edge_alive = k_core_alive(
+                world.indexed, world.mask, self._core_k
+            )
+            self.stage_seconds["bound"] += perf_counter() - started
         return SubWorldView(world.indexed, edge_alive, node_alive).materialize()
 
     def all_densest(

@@ -241,9 +241,14 @@ class MaskWorld:
     pure-Python sampler's edge insertion sequence (see
     :meth:`IndexedGraph.world_graph`) so the materialised graph is
     indistinguishable from the one that sampler would have built.
+
+    ``prepped`` optionally carries the batched pre-pass results for this
+    world (peel bound and core masks computed across a whole chunk of
+    worlds at once by :func:`repro.engine.estimators.primed_world_stream`);
+    ``None`` means the estimator computes them per world as before.
     """
 
-    __slots__ = ("indexed", "mask", "order", "_graph")
+    __slots__ = ("indexed", "mask", "order", "prepped", "_graph")
 
     def __init__(
         self,
@@ -254,6 +259,7 @@ class MaskWorld:
         self.indexed = indexed
         self.mask = mask
         self.order = order
+        self.prepped = None
         self._graph: Optional[Graph] = None
 
     def to_graph(self) -> Graph:

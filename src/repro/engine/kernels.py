@@ -119,7 +119,7 @@ def expected_world_degrees(
 
 
 def batch_k_core_alive(
-    indexed: IndexedGraph, edge_masks: EdgeMasks, k: int
+    indexed: IndexedGraph, edge_masks: EdgeMasks, k: Union[int, np.ndarray]
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Peel a whole ``(theta, m)`` batch of worlds to their k-cores at once.
 
@@ -127,6 +127,9 @@ def batch_k_core_alive(
     ``(theta, m)``; row ``t`` equals :func:`k_core_alive` on world ``t``.
     All worlds peel in lockstep (a world that has converged simply stops
     changing), so the pass count is the maximum peel depth of the batch.
+    ``k`` may be a scalar or a ``(theta,)`` vector of per-world orders
+    (the batched estimator pre-pass peels each world to the core of its
+    own ceil(peel bound)).
 
     The streaming estimator loop pre-filters clique/pattern worlds one at
     a time via :func:`k_core_alive` (worlds are consumed lazily to keep
@@ -141,15 +144,71 @@ def batch_k_core_alive(
     theta = edge_masks.shape[0]
     edge_alive = edge_masks.copy()
     node_alive = np.ones((theta, indexed.n), dtype=bool)
-    if k <= 0:
+    k = np.asarray(k, dtype=np.int64)
+    if not (k > 0).any():
         return node_alive, edge_alive
+    threshold = k if k.ndim else np.full(theta, int(k), dtype=np.int64)
     while True:
         degree = batch_world_degrees(indexed, edge_alive)
-        dead = node_alive & (degree < k)
+        dead = node_alive & (degree < threshold[:, None])
         if not dead.any():
             return node_alive, edge_alive
         node_alive &= ~dead
         edge_alive &= node_alive[:, u] & node_alive[:, v]
+
+
+def batch_peel_bounds(
+    indexed: IndexedGraph, edge_masks: EdgeMasks
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bucketed Charikar peel bounds for a whole batch of worlds at once.
+
+    Lockstep across worlds: every round, each unfinished world deletes
+    *all* of its alive minimum-degree nodes (the batched variant of the
+    sequential bucket peel -- same family of achieved densities, removal
+    granularity one bucket instead of one node).  Returns ``(nums,
+    dens)`` ``(theta,)`` ``int64`` arrays where ``nums[t] / dens[t]`` is
+    the densest prefix seen for world ``t`` -- an **achieved** edge
+    density of an induced subgraph, hence a valid Dinkelbach seed that
+    the bound-independence contract of
+    :func:`repro.dense.all_densest.prepare_from_bound_csr` accepts
+    without changing any result.  Edgeless worlds report ``0 / 1``.
+
+    Degree updates are incremental (only edges deleted this round are
+    re-binned), so total work is ``O(rounds * theta * n + theta * m)``.
+    """
+    if isinstance(edge_masks, PackedMasks):
+        edge_masks = edge_masks.to_bool()
+    u, v = indexed.edge_u, indexed.edge_v
+    theta = edge_masks.shape[0]
+    n = indexed.n
+    edge_alive = edge_masks.copy()
+    node_alive = np.ones((theta, n), dtype=bool)
+    degree = batch_world_degrees(indexed, edge_alive)
+    edges_left = edge_alive.sum(axis=1, dtype=np.int64)
+    nodes_left = np.full(theta, n, dtype=np.int64)
+    nums = edges_left.copy()
+    dens = nodes_left.copy()
+    live = edges_left > 0
+    nums[~live] = 0
+    dens[~live] = 1
+    while live.any():
+        # per-world minimum alive degree (finished worlds stay put)
+        masked = np.where(node_alive, degree, _INF)
+        min_degree = masked.min(axis=1)
+        kill = node_alive & (degree == min_degree[:, None]) & live[:, None]
+        node_alive &= ~kill
+        gone = edge_alive & ~(node_alive[:, u] & node_alive[:, v])
+        edge_alive &= ~gone
+        world_idx, edge_idx = np.nonzero(gone)
+        np.subtract.at(degree, (world_idx, u[edge_idx]), 1)
+        np.subtract.at(degree, (world_idx, v[edge_idx]), 1)
+        edges_left -= np.bincount(world_idx, minlength=theta)
+        nodes_left -= kill.sum(axis=1, dtype=np.int64)
+        better = live & (edges_left * dens > nums * nodes_left)
+        nums[better] = edges_left[better]
+        dens[better] = nodes_left[better]
+        live &= edges_left > 0
+    return nums, dens
 
 
 def k_core_alive(

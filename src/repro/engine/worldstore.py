@@ -430,11 +430,21 @@ class WorldStore:
         replayable, so only the measure matters) and returns the world
         iterator plus the measure the estimator loop should query.
         """
-        from .estimators import EngineMeasure, resolve_engine
+        from .estimators import (
+            VECTOR_ENGINES,
+            EngineMeasure,
+            primed_world_stream,
+            resolve_engine,
+        )
 
-        if resolve_engine(engine, None, measure) == "vectorized":
-            engine_measure = EngineMeasure(measure)
-            return self.mask_worlds(), engine_measure, engine_measure
+        resolved = resolve_engine(engine, None, measure)
+        if resolved in VECTOR_ENGINES:
+            engine_measure = EngineMeasure(measure, tier=resolved)
+            return (
+                primed_world_stream(self.mask_worlds(), engine_measure),
+                engine_measure,
+                engine_measure,
+            )
         return self.graph_worlds(), measure, None
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ the FIFO push-relabel in that file, the engine's default) and
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterator, List
+from typing import Iterable, Iterator, List
 
 import numpy as np
 
@@ -110,6 +110,24 @@ class CSRFlowNetwork:
         for e in range(self.indptr[node], self.indptr[node + 1]):
             if cap[e] > 0:
                 yield to[e]
+
+    def residual_adjacency(self, nodes: Iterable[int]) -> List[List[int]]:
+        """Materialised :meth:`residual_successors` lists for ``nodes``.
+
+        Returns a full-size table (indexed by node id, empty outside
+        ``nodes``) so repeated traversals -- Tarjan visits every arc
+        twice -- skip the per-arc generator machinery.  Successor order
+        matches :meth:`residual_successors` exactly.
+        """
+        to, cap, indptr = self.to, self.cap, self.indptr
+        adjacency: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for node in nodes:
+            adjacency[node] = [
+                to[e]
+                for e in range(indptr[node], indptr[node + 1])
+                if cap[e] > 0
+            ]
+        return adjacency
 
     def reachable_from_source(self) -> List[bool]:
         """Per-node flags: reachable from ``source`` in the residual graph.

@@ -153,7 +153,19 @@ def csr_max_preflow_min_cut(network: CSRFlowNetwork) -> Tuple[int, List[bool]]:
     no excess was parked anywhere and the preflow is a maximum flow.
     (Goldberg's edge-density networks certify exactly in that case:
     total source capacity is ``2 m q``, the certification target.)
+
+    When the JIT tier is active (:mod:`repro.engine.jit`) the discharge
+    runs as the compiled flat-array port; capacities beyond ``int64``
+    fall back to the exact python loop.  Either path leaves the same
+    kind of max-preflow residual (answers to flow-invariant queries are
+    identical; see :mod:`repro.flow.parametric`).
     """
+    from ..engine import jit
+
+    if jit.jit_active():
+        result = jit.preflow_phase1(network)
+        if result is not None:
+            return result
     return _push_relabel(network, phase1_only=True)
 
 

@@ -72,6 +72,68 @@ def strongly_connected_components(
     return components
 
 
+def strongly_connected_components_indexed(
+    num_nodes: int,
+    vertices: Iterable[int],
+    successors: Callable[[int], Iterable[int]],
+) -> List[List[int]]:
+    """Array-backed Tarjan for integer vertices in ``[0, num_nodes)``.
+
+    Semantically identical to :func:`strongly_connected_components`
+    (same emission order -- reverse topological), but bookkeeping lives
+    in flat lists instead of dicts, which is measurably faster on the
+    per-world residual condensations of the CSR flow pipeline.
+    """
+    UNSEEN = -1
+    index_counter = 0
+    indices = [UNSEEN] * num_nodes
+    lowlink = [0] * num_nodes
+    on_stack = [False] * num_nodes
+    stack: List[int] = []
+    components: List[List[int]] = []
+
+    for root in vertices:
+        if indices[root] != UNSEEN:
+            continue
+        work = [(root, iter(successors(root)))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            vertex, successor_iter = work[-1]
+            advanced = False
+            for child in successor_iter:
+                if indices[child] == UNSEEN:
+                    indices[child] = lowlink[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack[child] = True
+                    work.append((child, iter(successors(child))))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    if indices[child] < lowlink[vertex]:
+                        lowlink[vertex] = indices[child]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[vertex] < lowlink[parent]:
+                    lowlink[parent] = lowlink[vertex]
+            if lowlink[vertex] == indices[vertex]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+    return components
+
+
 def condensation_successors(
     components: List[List[Vertex]],
     successors: Callable[[Vertex], Iterable[Vertex]],

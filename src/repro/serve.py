@@ -928,7 +928,8 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "repeatable",
     )
     parser.add_argument(
-        "--engine", choices=("auto", "python", "vectorized"), default="auto"
+        "--engine", choices=("auto", "python", "vectorized", "jit"),
+        default="auto",
     )
     parser.add_argument(
         "--workers", type=_workers_arg, default="auto", metavar="N|auto",

@@ -145,8 +145,11 @@ class Session:
     graph:
         The uncertain graph every query runs against.
     engine:
-        Default engine for queries (``"auto" | "python" | "vectorized"``);
-        individual queries may override it.
+        Default engine for queries (``"auto" | "python" | "vectorized" |
+        "jit"``); individual queries may override it.  ``jit`` (and
+        ``auto`` when numba is installed) runs the vectorized engine
+        with compiled hot loops; without numba it falls back to
+        ``vectorized``.  Estimates are identical either way.
     workers:
         Default worker count for queries (``1`` = sequential,
         ``"auto"`` = host-sized fan-out, or an explicit count).
@@ -230,6 +233,16 @@ class Session:
             # (single-flight -- the serving tier's batching counters)
             "store_waits": 0,
             "eval_waits": 0,
+            # per-stage evaluation split (vectorized / jit engines only):
+            # seconds spent producing worlds, running the batched cheap
+            # filtering stages, and solving the exact edge-density
+            # networks -- plus how many worlds the batched pre-pass
+            # primed and how many it dismissed as edgeless
+            "eval_sampling_seconds": 0.0,
+            "eval_bound_seconds": 0.0,
+            "eval_exact_seconds": 0.0,
+            "worlds_primed": 0,
+            "worlds_filtered": 0,
         }
 
     # ------------------------------------------------------------------
@@ -239,6 +252,17 @@ class Session:
         """Increment one stats counter under the session lock."""
         with self._lock:
             self.stats[counter] += n
+
+    def _absorb_stage_stats(self, stage: Optional[dict]) -> None:
+        """Merge an :meth:`EngineMeasure.stage_stats` dict into stats."""
+        if not stage:
+            return
+        with self._lock:
+            self.stats["eval_sampling_seconds"] += stage.get("sampling", 0.0)
+            self.stats["eval_bound_seconds"] += stage.get("bound", 0.0)
+            self.stats["eval_exact_seconds"] += stage.get("exact", 0.0)
+            self.stats["worlds_primed"] += stage.get("primed", 0)
+            self.stats["worlds_filtered"] += stage.get("filtered", 0)
 
     def stats_snapshot(self) -> dict:
         """A consistent copy of :attr:`stats` (safe to read while other
@@ -783,11 +807,21 @@ class Query:
         """Evaluate the store's worlds in-process into per-world records,
         through the same :mod:`repro.core` seams ``mpds_from_store`` /
         ``nds_from_store`` run on."""
+        stage: dict = {}
         if mode == "mpds":
-            return evaluate_store_mpds(
-                store, measure, resolved, enumerate_all, per_world_limit
+            out = evaluate_store_mpds(
+                store, measure, resolved, enumerate_all, per_world_limit,
+                stage_stats=stage,
             )
-        return evaluate_store_transactions(store, measure, resolved), 0
+        else:
+            out = (
+                evaluate_store_transactions(
+                    store, measure, resolved, stage_stats=stage
+                ),
+                0,
+            )
+        self._session._absorb_stage_stats(stage)
+        return out
 
     def _dispatch_records(
         self, mode, store, skey, measure, resolved, enumerate_all,
@@ -909,6 +943,8 @@ class Query:
             )
         # uncached draw: count it so session stats stay truthful
         self._session._bump("worlds_sampled", result.theta)
+        if engine_measure is not None:
+            self._session._absorb_stage_stats(engine_measure.stage_stats())
         return result
 
     def __repr__(self) -> str:

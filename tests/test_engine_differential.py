@@ -18,10 +18,13 @@ from repro.core.measures import CliqueDensity, EdgeDensity, PatternDensity
 from repro.core.mpds import top_k_mpds
 from repro.core.nds import top_k_nds
 from repro.engine import (
+    HAVE_NUMBA,
+    VECTOR_ENGINES,
     VectorizedLazyPropagationSampler,
     VectorizedMonteCarloSampler,
     VectorizedStratifiedSampler,
     resolve_engine,
+    use_jit,
 )
 from repro.graph.uncertain import UncertainGraph
 from repro.patterns.pattern import Pattern
@@ -78,7 +81,9 @@ class TestAutoCoversEverything:
         graph = differential_graph()
         sampler = make_sampler(sampler_name, graph, 1)
         measure = make_measure(measure_name)
-        assert resolve_engine("auto", sampler, measure) == "vectorized"
+        resolved = resolve_engine("auto", sampler, measure)
+        assert resolved in VECTOR_ENGINES
+        assert resolved == ("jit" if HAVE_NUMBA else "vectorized")
 
     @pytest.mark.parametrize(
         "vectorized_cls",
@@ -91,7 +96,9 @@ class TestAutoCoversEverything:
     def test_auto_accepts_vectorized_twins(self, vectorized_cls):
         graph = differential_graph()
         sampler = vectorized_cls(graph, 1)
-        assert resolve_engine("auto", sampler, EdgeDensity()) == "vectorized"
+        assert resolve_engine("auto", sampler, EdgeDensity()) in (
+            VECTOR_ENGINES
+        )
 
 
 class TestMPDSDifferential:
@@ -127,6 +134,52 @@ class TestMPDSDifferential:
         # the exact state the pure-Python run would have
         assert memory["python"] == memory["vectorized"]
         assert python.replayed_worlds == 0
+
+
+class TestJitTierDifferential:
+    """Same sweep with the JIT tier forced on (interpreted without numba).
+
+    ``engine='jit'`` resolves to ``'vectorized'`` on numba-less hosts, so
+    forcing the tier via :func:`use_jit` is what actually exercises the
+    flat-array ports inside every sampler x measure cell.
+    """
+
+    @pytest.mark.parametrize("measure_name", MPDS_MEASURES)
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_identical_mpds(self, sampler_name, measure_name):
+        graph = differential_graph()
+        theta = 16 if measure_name == "2-star" else 24
+        sampler = make_sampler(sampler_name, graph, 7)
+        python = top_k_mpds(
+            graph, k=3, theta=theta, measure=make_measure(measure_name),
+            sampler=sampler, seed=7, engine="python",
+        )
+        sampler = make_sampler(sampler_name, graph, 7)
+        with use_jit(True):
+            tiered = top_k_mpds(
+                graph, k=3, theta=theta, measure=make_measure(measure_name),
+                sampler=sampler, seed=7, engine="jit",
+            )
+        assert python.candidates == tiered.candidates
+        assert python.top == tiered.top
+        assert python.densest_counts == tiered.densest_counts
+
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_identical_nds(self, sampler_name):
+        graph = differential_graph()
+        sampler = make_sampler(sampler_name, graph, 7)
+        python = top_k_nds(
+            graph, k=3, min_size=2, theta=24, sampler=sampler, seed=7,
+            engine="python",
+        )
+        sampler = make_sampler(sampler_name, graph, 7)
+        with use_jit(True):
+            tiered = top_k_nds(
+                graph, k=3, min_size=2, theta=24, sampler=sampler, seed=7,
+                engine="jit",
+            )
+        assert python.top == tiered.top
+        assert python.transactions == tiered.transactions
 
 
 class TestNDSDifferential:
