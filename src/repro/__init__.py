@@ -71,6 +71,7 @@ from .sampling import (
 )
 from .engine import IndexedGraph, VectorizedMonteCarloSampler, WorldStore
 from .session import Query, Session
+from .delta import GraphDelta, draw_dynamic_store
 from .specs import build_measure, build_sampler, parse_spec
 
 __version__ = "1.0.0"
@@ -108,6 +109,8 @@ __all__ = [
     "WorldStore",
     "Query",
     "Session",
+    "GraphDelta",
+    "draw_dynamic_store",
     "build_measure",
     "build_sampler",
     "parse_spec",

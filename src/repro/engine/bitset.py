@@ -207,9 +207,14 @@ class PackedMasks:
     The cache is one tuple attribute (atomic to swap in CPython) and
     rows are handed out as copies, so concurrent session threads stay
     safe and the packed storage stays effectively immutable.
+
+    The one sanctioned mutation is :meth:`set_column` (dynamic-store
+    surgery: a probability update re-draws a single edge's column in
+    place).  Every mutation bumps a generation counter the row cache is
+    keyed on, so a cached block can never serve pre-surgery rows.
     """
 
-    __slots__ = ("words", "m", "_cache")
+    __slots__ = ("words", "m", "_cache", "_generation")
 
     def __init__(self, words: np.ndarray, m: int) -> None:
         words = np.asarray(words, dtype=np.uint64)
@@ -224,8 +229,10 @@ class PackedMasks:
             )
         self.words = words
         self.m = m
-        #: (block_lo, unpacked_rows) of the most recently touched block
-        self._cache: Optional[Tuple[int, np.ndarray]] = None
+        #: (generation, block_lo, unpacked_rows) of the most recently
+        #: touched block; stale the moment the generation moves on
+        self._cache: Optional[Tuple[int, int, np.ndarray]] = None
+        self._generation = 0
 
     @classmethod
     def from_bool(cls, masks: np.ndarray) -> "PackedMasks":
@@ -258,12 +265,48 @@ class PackedMasks:
         """
         i = range(len(self.words))[i]  # normalise negatives, bounds-check
         lo = i - (i % ROW_CACHE_BLOCK)
+        generation = self._generation
         cached = self._cache
-        if cached is None or cached[0] != lo:
-            cached = (lo, unpack_rows(self.words[lo : lo + ROW_CACHE_BLOCK],
-                                      self.m))
+        if cached is None or cached[0] != generation or cached[1] != lo:
+            cached = (
+                generation,
+                lo,
+                unpack_rows(self.words[lo : lo + ROW_CACHE_BLOCK], self.m),
+            )
             self._cache = cached
-        return cached[1][i - lo].copy()
+        return cached[2][i - lo].copy()
+
+    def set_column(self, j: int, column: np.ndarray) -> np.ndarray:
+        """Overwrite bit ``j`` of every row; return the old bool column.
+
+        The dynamic-store surgery primitive: a probability update
+        re-draws one edge's ``(T,)`` outcome column and writes it into
+        the packed words in place (one word column touched).  Bumps the
+        row-cache generation so subsequent ``__getitem__`` calls can
+        never observe pre-surgery rows, and returns the replaced
+        column so callers can diff for flipped worlds.
+        """
+        j = range(self.m)[j]  # normalise negatives, bounds-check
+        column = np.asarray(column)
+        if column.shape != (len(self.words),):
+            raise ValueError(
+                f"column must have shape ({len(self.words)},), "
+                f"got {column.shape}"
+            )
+        if column.dtype != np.bool_:
+            column = column.astype(bool)
+        word, bitpos = divmod(j, WORD_BITS)
+        bit = np.uint64(1 << bitpos)
+        if not self.words.flags.writeable:
+            # shm-published words are read-only views; surgery gets a
+            # private copy (publication is invalidated by the caller)
+            self.words = self.words.copy()
+        old = (self.words[:, word] & bit) != 0
+        self.words[:, word] &= np.uint64(~(1 << bitpos) & (2**64 - 1))
+        self.words[:, word] |= np.where(column, bit, np.uint64(0))
+        self._generation += 1
+        self._cache = None
+        return old
 
     def rows(self, lo: int, hi: int) -> np.ndarray:
         """Unpack rows ``lo:hi`` into a boolean ``(hi - lo, m)`` block."""

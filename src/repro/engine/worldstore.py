@@ -27,9 +27,11 @@ chunk grid the parallel substrate uses
 (:func:`repro.engine.blocks.plan_blocks`), spilled to a private
 temporary file, and streamed back in block by block as replay touches
 them, with least-recently-used blocks evicted whenever residency would
-exceed the budget.  Spilled blocks are immutable, so eviction never
-writes back.  :attr:`WorldStore.peak_mask_bytes` tracks the high-water
-mark the budget is asserted against.
+exceed the budget.  Spilled blocks only change under dynamic-store
+surgery, which writes through to the spill file immediately
+(:meth:`_MaskPager.write_block`), so eviction never writes back.
+:attr:`WorldStore.peak_mask_bytes` tracks the high-water mark the
+budget is asserted against.
 
 Byte-identity contract
 ----------------------
@@ -50,6 +52,13 @@ a store are **byte-identical** to the equivalent one-shot
 ``tests/test_session_differential.py`` asserts cell by cell -- and
 packing / budgeting never enters the contract: a packed or budgeted
 store replays the same bytes an unpacked resident store replays.
+
+*Dynamic* stores (``dynamic=True``, drawn by
+:func:`repro.delta.draw_dynamic_store`) trade the continuous-stream
+contract for maintainability: each mask column comes from a per-edge
+substream, so :meth:`set_column` / :meth:`replace_contents` can
+surgically apply a :class:`repro.delta.GraphDelta` while staying
+byte-identical to a from-scratch dynamic draw on the mutated graph.
 """
 
 from __future__ import annotations
@@ -159,6 +168,26 @@ class _MaskPager:
         self.block_loads += 1
         return words
 
+    def write_block(self, index: int, words: np.ndarray) -> None:
+        """Overwrite block ``index``'s spilled words (same-shape surgery).
+
+        Write-through: the spill file is updated immediately, so the
+        no-write-back eviction invariant holds even after surgery.  The
+        block's size never changes, so the residency ledger only swaps
+        the resident copy (if any) and the budget stays truthful.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.shape != self._shape[index]:
+            raise ValueError(
+                f"block {index} surgery must preserve shape "
+                f"{self._shape[index]}, got {words.shape}"
+            )
+        self._file.seek(self._offsets[index])
+        self._file.write(words.tobytes())
+        self._file.flush()
+        if index in self._resident:
+            self._resident[index] = words
+
     def block_of(self, i: int) -> int:
         """Grid block index containing world row ``i`` (equal-size grid)."""
         start, stop = self.blocks[0]
@@ -190,7 +219,7 @@ class WorldStore:
 
     __slots__ = (
         "indexed", "weights", "order_data", "order_indptr",
-        "kind", "theta", "seed", "memory_budget",
+        "kind", "theta", "seed", "memory_budget", "dynamic",
         "_masks", "_pager",
     )
 
@@ -206,6 +235,7 @@ class WorldStore:
         seed: Optional[int] = None,
         packed: Optional[bool] = None,
         memory_budget: Optional[int] = None,
+        dynamic: bool = False,
     ) -> None:
         self.indexed = indexed
         self.weights = weights
@@ -215,6 +245,7 @@ class WorldStore:
         self.theta = len(weights) if theta is None else theta
         self.seed = seed
         self.memory_budget = memory_budget
+        self.dynamic = bool(dynamic)
         if packed is None:
             packed = not isinstance(masks, np.ndarray)
         if packed and isinstance(masks, np.ndarray):
@@ -383,6 +414,131 @@ class WorldStore:
         return self.order_data[self.order_indptr[i]:self.order_indptr[i + 1]]
 
     # ------------------------------------------------------------------
+    # surgery (dynamic-store maintenance; see repro.delta)
+    # ------------------------------------------------------------------
+    def set_column(self, j: int, column: np.ndarray) -> np.ndarray:
+        """Overwrite edge ``j``'s outcome column; return flipped worlds.
+
+        The probability-update fast path: one ``(T,)`` boolean column
+        is written in place -- directly for an unpacked store, via
+        single-word surgery for a packed one
+        (:meth:`PackedMasks.set_column`, which also invalidates its row
+        cache), and block by block through the pager for a budgeted
+        store (each block is loaded, patched and written through, so
+        residency never exceeds the budget).  Returns the indices of
+        the worlds whose bit actually changed -- the evaluation-cache
+        invalidation set.
+        """
+        column = np.asarray(column)
+        if column.dtype != np.bool_:
+            column = column.astype(bool)
+        if column.shape != (self.count,):
+            raise ValueError(
+                f"column must have shape ({self.count},), "
+                f"got {column.shape}"
+            )
+        if self._pager is not None:
+            from .bitset import WORD_BITS
+
+            word, bitpos = divmod(range(self.indexed.m)[j], WORD_BITS)
+            bit = np.uint64(1 << bitpos)
+            clear = np.uint64(~(1 << bitpos) & (2**64 - 1))
+            pager = self._pager
+            flipped: List[np.ndarray] = []
+            for index, (start, stop) in enumerate(pager.blocks):
+                # spilled words come off np.frombuffer read-only views;
+                # surgery needs a private writable copy
+                words = np.array(pager.block_words(index))
+                old = (words[:, word] & bit) != 0
+                part = column[start:stop]
+                changed = np.flatnonzero(old != part)
+                if len(changed):
+                    words[:, word] &= clear
+                    words[:, word] |= np.where(part, bit, np.uint64(0))
+                    pager.write_block(index, words)
+                    flipped.append(changed + start)
+            if not flipped:
+                return np.zeros(0, dtype=np.int64)
+            return np.concatenate(flipped)
+        if isinstance(self._masks, PackedMasks):
+            old = self._masks.set_column(j, column)
+        else:
+            if not self._masks.flags.writeable:
+                self._masks = self._masks.copy()
+            old = self._masks[:, j].copy()
+            self._masks[:, j] = column
+        return np.flatnonzero(old != column)
+
+    def rebuild_orders(self) -> None:
+        """Recompute the insertion-order sidecar from the mask rows.
+
+        Dynamic stores define per-world insertion order as ascending
+        edge id -- a pure function of each mask row -- so after column
+        surgery the sidecar is rebuilt by streaming the rows (budgeted
+        stores stay within budget).  No-op for stores without orders.
+        """
+        if self.order_data is None:
+            return
+        data: List[np.ndarray] = []
+        indptr = np.zeros(self.count + 1, dtype=np.int64)
+        total = 0
+        for i, row in enumerate(self._iter_mask_rows()):
+            alive = np.flatnonzero(row).astype(np.int64)
+            data.append(alive)
+            total += len(alive)
+            indptr[i + 1] = total
+        self.order_data = (
+            np.concatenate(data) if data else np.zeros(0, dtype=np.int64)
+        )
+        self.order_indptr = indptr
+
+    def replace_contents(
+        self,
+        masks: np.ndarray,
+        order_data: Optional[np.ndarray],
+        order_indptr: Optional[np.ndarray],
+        indexed: IndexedGraph,
+    ) -> None:
+        """Swap in post-surgery contents (structural-delta rebuilds).
+
+        Insertions and deletions change the mask width, which in-place
+        word surgery cannot express; the caller rebuilds the boolean
+        matrix and this method re-packs / re-pages it under the store's
+        own representation and budget, closing the previous spill file.
+        """
+        masks = np.asarray(masks)
+        if masks.dtype != np.bool_:
+            masks = masks.astype(bool)
+        if masks.shape != (self.count, indexed.m):
+            raise ValueError(
+                f"replacement masks must have shape "
+                f"({self.count}, {indexed.m}), got {masks.shape}"
+            )
+        was_packed = self.packed
+        if self._pager is not None:
+            self._pager.close()
+            self._pager = None
+        self.indexed = indexed
+        self.order_data = order_data
+        self.order_indptr = order_indptr
+        if not was_packed:
+            self._masks = masks
+            return
+        packed = PackedMasks.from_bool(masks)
+        self._masks = packed
+        if (
+            self.memory_budget is not None
+            and self.count > 0
+            and indexed.m > 0
+        ):
+            from .blocks import plan_blocks
+
+            self._pager = _MaskPager(
+                packed, plan_blocks(self.count), self.memory_budget
+            )
+            self._masks = None
+
+    # ------------------------------------------------------------------
     # replay
     # ------------------------------------------------------------------
     def _iter_mask_rows(self) -> Iterator[np.ndarray]:
@@ -404,24 +560,54 @@ class WorldStore:
             for i in range(self.count):
                 yield self._masks[i]
 
-    def mask_worlds(self) -> Iterator[WeightedWorld]:
-        """Yield the stored worlds as fresh :class:`MaskWorld` views."""
-        for i, mask in enumerate(self._iter_mask_rows()):
+    def mask_worlds(
+        self, subset: Optional[np.ndarray] = None
+    ) -> Iterator[WeightedWorld]:
+        """Yield the stored worlds as fresh :class:`MaskWorld` views.
+
+        ``subset`` restricts replay to those world indices (ascending
+        by convention) -- the seam stale-evaluation patching uses to
+        re-evaluate only flipped worlds after a delta.
+        """
+        if subset is None:
+            for i, mask in enumerate(self._iter_mask_rows()):
+                yield WeightedWorld(
+                    MaskWorld(self.indexed, mask, self.order(i)),
+                    float(self.weights[i]),
+                )
+            return
+        for i in subset:
+            i = int(i)
             yield WeightedWorld(
-                MaskWorld(self.indexed, mask, self.order(i)),
+                MaskWorld(self.indexed, self.mask_row(i), self.order(i)),
                 float(self.weights[i]),
             )
 
-    def graph_worlds(self) -> Iterator[WeightedWorld]:
+    def graph_worlds(
+        self, subset: Optional[np.ndarray] = None
+    ) -> Iterator[WeightedWorld]:
         """Yield the stored worlds materialised as :class:`Graph` objects,
         replaying each world's exact insertion sequence."""
-        for i, mask in enumerate(self._iter_mask_rows()):
+        if subset is None:
+            for i, mask in enumerate(self._iter_mask_rows()):
+                yield WeightedWorld(
+                    self.indexed.world_graph(mask, self.order(i)),
+                    float(self.weights[i]),
+                )
+            return
+        for i in subset:
+            i = int(i)
             yield WeightedWorld(
-                self.indexed.world_graph(mask, self.order(i)),
+                self.indexed.world_graph(self.mask_row(i), self.order(i)),
                 float(self.weights[i]),
             )
 
-    def world_stream(self, measure, engine: str = "auto") -> Tuple:
+    def world_stream(
+        self,
+        measure,
+        engine: str = "auto",
+        subset: Optional[np.ndarray] = None,
+    ) -> Tuple:
         """Build one query's ``(worlds, loop_measure, engine_measure)``.
 
         The store-backed twin of
@@ -429,6 +615,7 @@ class WorldStore:
         the engine for ``measure`` (stored streams are always
         replayable, so only the measure matters) and returns the world
         iterator plus the measure the estimator loop should query.
+        ``subset`` replays only those world indices.
         """
         from .estimators import (
             VECTOR_ENGINES,
@@ -441,11 +628,13 @@ class WorldStore:
         if resolved in VECTOR_ENGINES:
             engine_measure = EngineMeasure(measure, tier=resolved)
             return (
-                primed_world_stream(self.mask_worlds(), engine_measure),
+                primed_world_stream(
+                    self.mask_worlds(subset), engine_measure
+                ),
                 engine_measure,
                 engine_measure,
             )
-        return self.graph_worlds(), measure, None
+        return self.graph_worlds(subset), measure, None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -461,8 +650,9 @@ class WorldStore:
             if self.memory_budget is not None
             else ""
         )
+        dynamic = ", dynamic=True" if self.dynamic else ""
         return (
             f"WorldStore(kind={self.kind!r}, worlds={self.count}, "
             f"m={self.indexed.m}, seed={self.seed!r}, "
-            f"packed={self.packed}{budget})"
+            f"packed={self.packed}{budget}{dynamic})"
         )

@@ -72,6 +72,36 @@ class UncertainGraph:
         self._graph.add_edge(u, v)
         self._prob[canonical_edge(u, v)] = float(probability)
 
+    def set_probability(self, u: Node, v: Node, probability: float) -> None:
+        """Re-weight the existing edge ``(u, v)`` in place.
+
+        The edge keeps its position in the insertion order (the order
+        :meth:`weighted_edges` iterates and the engine's edge indexing
+        follows), which is what lets :mod:`repro.delta` re-draw exactly
+        one mask column for a probability update.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"edge probability must be in (0, 1], got {probability!r}"
+            )
+        edge = canonical_edge(u, v)
+        if edge not in self._prob:
+            raise KeyError(f"no uncertain edge {edge!r} to re-weight")
+        self._prob[edge] = float(probability)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the uncertain edge ``(u, v)``; both endpoints stay.
+
+        Mirrors :meth:`condition` with ``present=False``, but mutates
+        in place (the :class:`repro.delta.GraphDelta` deletion path).
+        Later edges close ranks in the insertion order.
+        """
+        edge = canonical_edge(u, v)
+        if edge not in self._prob:
+            raise KeyError(f"no uncertain edge {edge!r} to remove")
+        self._graph.remove_edge(u, v)
+        del self._prob[edge]
+
     def copy(self) -> "UncertainGraph":
         """Return an independent copy."""
         clone = UncertainGraph()

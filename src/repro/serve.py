@@ -46,9 +46,25 @@ HTTP surface (all JSON)::
     DELETE /graphs/<name>     close + unregister
     POST   /query             {"graph": ..., "run": "mpds"|"nds",
                                "sampler": "mc:theta=160,seed=7",
-                               "measure": "clique:h=3", "k": 3, ...}
+                               "measure": "clique:h=3", "k": 3,
+                               "dynamic": true, ...}
+    POST   /graphs/<name>/update
+                              {"updates": [[u, v, p], ...],
+                               "inserts": [[u, v, p], ...],
+                               "deletes": [[u, v], ...]}
     GET    /stats             counters + latency histograms
     POST   /shutdown          graceful drain + stop
+
+Dynamic graphs: ``POST /graphs/<name>/update`` applies a
+:class:`repro.delta.GraphDelta` to a live graph.  It rides the
+admission controller's *exclusive* gate -- new queries pause (they are
+not rejected), in-flight ones drain, the session updates surgically
+(:meth:`Session.update`), then admissions resume.  Queries sent with
+``"dynamic": true`` draw per-edge-substream stores that survive
+updates with only the affected mask columns re-drawn; their responses
+after an update are byte-identical to a fresh dynamic session on the
+mutated graph (shadow checks are skipped for them -- the legacy
+one-shot twin differs by design).
 
 Start it with ``repro-serve`` (or ``python -m repro.serve``)::
 
@@ -64,6 +80,7 @@ import json
 import sys
 import threading
 import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -137,6 +154,52 @@ def _uncertain_from_rows(rows: Sequence[Sequence]) -> UncertainGraph:
             u, v = str(u), str(v)
         graph.add_edge(u, v, p)
     return graph
+
+
+def _delta_groups(body: dict) -> Dict[str, list]:
+    """Normalize a ``POST .../update`` body into GraphDelta row groups.
+
+    Labels follow the same convention as :func:`_uncertain_from_rows`
+    (all-integer labels convert to int, others to str), so a delta
+    addresses the same nodes a registered edge list produced.
+    """
+    groups: Dict[str, list] = {}
+    labels: List[object] = []
+    for group, width in (("updates", 3), ("inserts", 3), ("deletes", 2)):
+        rows = body.get(group)
+        if rows is None:
+            rows = []
+        if not isinstance(rows, (list, tuple)):
+            raise ValueError(
+                f"{group!r} must be an array of edge rows, "
+                f"got {type(rows).__name__}"
+            )
+        out = []
+        for row in rows:
+            if not isinstance(row, (list, tuple)) or len(row) != width:
+                expected = "[u, v, p]" if width == 3 else "[u, v]"
+                raise ValueError(
+                    f"malformed {group} row {row!r} (expected {expected})"
+                )
+            out.append(list(row))
+            labels.extend(row[:2])
+        groups[group] = out
+    as_int = bool(labels)
+    for label in labels:
+        try:
+            int(str(label))
+        except ValueError:
+            as_int = False
+            break
+    for rows in groups.values():
+        for row in rows:
+            for slot in (0, 1):
+                label = row[slot]
+                if as_int:
+                    row[slot] = int(str(label))
+                elif not isinstance(label, str):
+                    row[slot] = str(label)
+    return groups
 
 
 def _uncertain_from_text(text: str) -> UncertainGraph:
@@ -241,7 +304,10 @@ class AdmissionController:
       host); warm queries replay in-process, where they are cheapest;
     * **draining** -- :meth:`begin_drain` rejects new work while
       :meth:`wait_drained` lets in-flight queries finish, the heart of
-      graceful shutdown.
+      graceful shutdown; :meth:`exclusive` is the *reversible* variant
+      (graph updates): new arrivals pause instead of being rejected,
+      in-flight work drains, the exclusive section runs, admissions
+      resume.
     """
 
     def __init__(
@@ -253,7 +319,9 @@ class AdmissionController:
         self.heavy_cost = heavy_cost
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
+        self._resume = threading.Condition(self._lock)
         self.draining = False
+        self.paused = 0
         self.active = 0
         self.peak_active = 0
         self.admitted = 0
@@ -262,8 +330,15 @@ class AdmissionController:
 
     # -- in-flight tracking --------------------------------------------
     def admit(self) -> None:
-        """Count one request in; raises :class:`Draining` once draining."""
+        """Count one request in; raises :class:`Draining` once draining.
+
+        While an :meth:`exclusive` section holds the gate, arrivals
+        *block* here (they are admitted once the section ends) rather
+        than being rejected -- an update is a pause, not a shutdown.
+        """
         with self._lock:
+            while self.paused and not self.draining:
+                self._resume.wait()
             if self.draining:
                 self.rejected += 1
                 raise Draining("server is draining; no new work admitted")
@@ -279,9 +354,11 @@ class AdmissionController:
                 self._drained.notify_all()
 
     def begin_drain(self) -> None:
-        """Stop admitting new work (idempotent)."""
+        """Stop admitting new work (idempotent); wakes paused arrivals
+        so they observe the drain and reject instead of hanging."""
         with self._lock:
             self.draining = True
+            self._resume.notify_all()
 
     def wait_drained(self, timeout: Optional[float] = None) -> bool:
         """Block until every admitted request released (or timeout)."""
@@ -296,6 +373,33 @@ class AdmissionController:
                     return False
                 self._drained.wait(remaining)
             return True
+
+    @contextmanager
+    def exclusive(self, timeout: Optional[float] = None):
+        """Pause admissions, drain in-flight work, run, resume.
+
+        The graph-update gate: the body runs with zero queries in
+        flight, while new arrivals block in :meth:`admit` (not
+        rejected) and resume the moment the section exits.  Raises
+        :class:`TimeoutError` if in-flight work does not drain in
+        ``timeout`` seconds (admissions resume in that case too).
+        The caller must **not** have admitted itself -- it would wait
+        on its own drain.
+        """
+        with self._lock:
+            self.paused += 1
+        try:
+            if not self.wait_drained(timeout):
+                raise TimeoutError(
+                    "timed out draining in-flight queries for an "
+                    "exclusive section"
+                )
+            yield
+        finally:
+            with self._lock:
+                self.paused -= 1
+                if not self.paused:
+                    self._resume.notify_all()
 
     # -- routing -------------------------------------------------------
     def route(
@@ -325,6 +429,7 @@ class AdmissionController:
         with self._lock:
             return {
                 "draining": self.draining,
+                "paused": bool(self.paused),
                 "active": self.active,
                 "peak_active": self.peak_active,
                 "admitted": self.admitted,
@@ -476,6 +581,7 @@ class ReproServer:
             "errors_total": 0,
             "queries_served": 0,
             "graphs_registered": 0,
+            "updates_applied": 0,
             "shadow_checks": 0,
             "shadow_mismatches": 0,
         }
@@ -652,7 +758,11 @@ class ReproServer:
     def _endpoint_label(self, method: str, path: str) -> str:
         path = path.split("?", 1)[0]
         if path.startswith("/graphs/"):
-            path = "/graphs/{name}"
+            path = (
+                "/graphs/{name}/update"
+                if path.rstrip("/").endswith("/update")
+                else "/graphs/{name}"
+            )
         return f"{method} {path}"
 
     def _histogram(self, endpoint: str) -> LatencyHistogram:
@@ -700,6 +810,12 @@ class ReproServer:
                     return 200, self._handle_query(body)
                 finally:
                     self.admission.release()
+            if path.startswith("/graphs/") and path.endswith("/update"):
+                # deliberately NOT admitted: the update drains admitted
+                # work via the exclusive gate and would deadlock on its
+                # own admission
+                name = path[len("/graphs/"):-len("/update")]
+                return 200, self._handle_update(name, body)
             if path == "/shutdown":
                 return self._handle_shutdown(body)
         elif method == "DELETE":
@@ -726,6 +842,45 @@ class ReproServer:
             "in_flight": snapshot["active"],
         }
 
+    # -- graph updates -------------------------------------------------
+    def _handle_update(self, name: str, body: dict) -> dict:
+        """Apply a :class:`repro.delta.GraphDelta` to a live graph.
+
+        Rides the admission controller's exclusive gate: queries
+        arriving during the update block (they are not rejected) while
+        in-flight ones drain, then the session updates surgically
+        (dynamic stores keep their unflipped worlds) and admissions
+        resume.  A drain that exceeds ``body["timeout"]`` (default 60s)
+        returns 503 with nothing applied.
+        """
+        from .delta import GraphDelta
+
+        entry = self._entry(name)
+        delta = GraphDelta(**_delta_groups(body))
+        if delta.empty:
+            raise _HTTPError(
+                400,
+                "update body names no edges; provide 'updates', "
+                "'inserts' and/or 'deletes'",
+            )
+        timeout = float(body.get("timeout", 60.0))
+        with self._lock:
+            if self.admission.draining:
+                raise Draining(
+                    "server is draining; no updates accepted"
+                )
+        try:
+            with self.admission.exclusive(timeout):
+                try:
+                    summary = entry.session.update(delta)
+                except KeyError as exc:
+                    raise _HTTPError(400, str(exc))
+        except TimeoutError as exc:
+            raise _HTTPError(503, str(exc))
+        with self._lock:
+            self.stats["updates_applied"] += 1
+        return dict({"graph": entry.name}, **summary)
+
     # -- queries -------------------------------------------------------
     def _handle_query(self, body: dict) -> dict:
         entry = self._entry(body.get("graph"))
@@ -749,10 +904,13 @@ class ReproServer:
         measure_spec = body.get("measure")
         k = body.get("k", 1)
         engine = body.get("engine", self.engine)
+        dynamic = bool(body.get("dynamic", False))
 
         session = entry.session
         store_key = (
-            sampler_store_key(kind, params, theta, seed, session.packed)
+            sampler_store_key(
+                kind, params, theta, seed, session.packed, dynamic
+            )
             if seed is not None
             else None
         )
@@ -765,6 +923,8 @@ class ReproServer:
         query = session.query().sampler(
             kind, theta=theta, seed=seed, **params
         )
+        if dynamic:
+            query.dynamic()
         query.measure(build_measure(measure_spec))
         query.top_k(k)
         query.engine(engine)
@@ -794,13 +954,20 @@ class ReproServer:
             "measure": measure_spec or "edge",
             "k": k,
             "cold_draw": cold,
+            "dynamic": dynamic,
             "workers": workers if workers is not None else 1,
             "elapsed_ms": elapsed_ms,
             "result": result.to_dict(),
         }
-        shadow = self._maybe_shadow(
-            entry, mode, kind, params, theta, seed, measure_spec, body,
-            engine, result,
+        # dynamic draws are a distinct sampling scheme: the legacy
+        # one-shot twin differs by design, so shadowing is skipped
+        shadow = (
+            None
+            if dynamic
+            else self._maybe_shadow(
+                entry, mode, kind, params, theta, seed, measure_spec,
+                body, engine, result,
+            )
         )
         if shadow is not None:
             payload["shadow"] = shadow

@@ -56,6 +56,16 @@ store cache is *seed-keyed* by design; give the sampler a seed to share
 worlds across queries.  User-constructed sampler *instances* carry
 mutable RNG state, so they stream exactly as the legacy functions did
 instead of populating the cache.
+
+Dynamic graphs: :meth:`Session.update` applies a
+:class:`repro.delta.GraphDelta` to the session's graph in place.
+Queries marked :meth:`Query.dynamic` draw per-edge-substream stores
+(:mod:`repro.delta`) that updates maintain *surgically* -- only the
+affected mask columns are re-drawn, and only the evaluation-cache
+records of worlds that actually flipped are re-computed (lazily, on
+the next query).  Legacy continuous-stream stores cannot be maintained
+column-wise (one RNG stream spans all edges), so an update evicts them
+along with their evaluations; they re-draw on demand.
 """
 
 from __future__ import annotations
@@ -97,6 +107,49 @@ def _close_published(published: List) -> None:
     """Finalizer target: unlink a session's published segments."""
     while published:
         published.pop().close()
+
+
+def _check_dynamic_draw(kind, params, seed) -> None:
+    """Validate a dynamic draw request (mc/lp, seeded, no params)."""
+    from .delta import DYNAMIC_KINDS
+
+    if kind not in DYNAMIC_KINDS:
+        raise ValueError(
+            f"sampler kind {kind!r} is not delta-capable; dynamic draws "
+            f"support {list(DYNAMIC_KINDS)}"
+        )
+    if params:
+        raise ValueError(
+            f"dynamic draws accept no sampler parameters, got "
+            f"{sorted(params)}"
+        )
+    if seed is None:
+        raise ValueError(
+            "dynamic draws require an explicit seed (the per-edge "
+            "substreams are keyed on it)"
+        )
+
+
+class _StaleEval:
+    """An evaluation-cache entry awaiting per-world re-evaluation.
+
+    :meth:`Session.update` marks an entry stale instead of recomputing
+    it eagerly: ``records`` are the pre-update per-world records and
+    ``dirty`` the indices of the worlds that flipped.  The next query
+    that hits the entry re-evaluates *only* the dirty worlds (the
+    store's ``subset`` replay) and splices the fresh records in --
+    byte-identical to a full re-evaluation, since records are strictly
+    per-world.  Repeated updates union their flips into ``dirty``.
+    Only entries whose original evaluation replayed zero truncated
+    worlds are marked (a truncated entry's replay attribution is not
+    per-world, so updates drop it instead).
+    """
+
+    __slots__ = ("records", "dirty")
+
+    def __init__(self, records: list, dirty: set) -> None:
+        self.records = records
+        self.dirty = dirty
 
 
 def _measure_key(measure: DensityMeasure) -> Optional[Tuple]:
@@ -243,6 +296,21 @@ class Session:
             "eval_exact_seconds": 0.0,
             "worlds_primed": 0,
             "worlds_filtered": 0,
+            # dynamic-graph maintenance ledger (Session.update): how
+            # many deltas were applied, how much work surgery actually
+            # did (columns re-drawn in place, worlds whose edge sets
+            # flipped), and what it cost the caches (evaluations marked
+            # stale or dropped, stale entries patched lazily, worlds
+            # re-evaluated during patching, legacy stores evicted)
+            "graph_updates": 0,
+            "dynamic_stores_built": 0,
+            "stores_updated": 0,
+            "stores_evicted": 0,
+            "columns_redrawn": 0,
+            "worlds_flipped": 0,
+            "evals_invalidated": 0,
+            "evals_patched": 0,
+            "worlds_reevaluated": 0,
         }
 
     # ------------------------------------------------------------------
@@ -300,6 +368,7 @@ class Session:
         theta: int = 160,
         seed: Optional[int] = None,
         packed: Optional[bool] = None,
+        dynamic: bool = False,
         **params,
     ):
         """Return the cached world store for a draw, sampling on miss.
@@ -307,11 +376,13 @@ class Session:
         ``sampler`` is a registry spec (``"mc"``, ``"lp"``,
         ``"rss:r=4"``; a ``theta=``/``seed=`` carried in the spec
         overrides the keyword).  Seeded draws are cached under
-        ``(kind, params, theta, seed, packed)``; unseeded draws are
-        sampled fresh each call (the cache is seed-keyed by design).
-        ``packed`` overrides the session's default mask representation
-        for this draw; packed and unpacked draws never share a cache
-        line.
+        ``(kind, params, theta, seed, packed, dynamic)``; unseeded
+        draws are sampled fresh each call (the cache is seed-keyed by
+        design).  ``packed`` overrides the session's default mask
+        representation for this draw; packed and unpacked draws never
+        share a cache line.  ``dynamic=True`` draws the per-edge
+        substream twin (:mod:`repro.delta`) that
+        :meth:`Session.update` maintains surgically.
         """
         kind, spec_params = parse_sampler_spec(sampler)
         spec_params.update(params)
@@ -323,7 +394,11 @@ class Session:
         if "seed" in spec_params:
             seed = check_int_knob(context, "seed", spec_params.pop("seed"))
         theta = check_int_knob(context, "theta", theta, positive=True)
-        return self._store_for(kind, spec_params, theta, seed, packed)
+        if dynamic:
+            _check_dynamic_draw(kind, spec_params, seed)
+        return self._store_for(
+            kind, spec_params, theta, seed, packed, dynamic
+        )
 
     def _store_for(
         self,
@@ -332,6 +407,7 @@ class Session:
         theta: int,
         seed: Optional[int],
         packed: Optional[bool] = None,
+        dynamic: bool = False,
     ):
         """Return the cached store for a draw -- **single-flight**.
 
@@ -345,10 +421,12 @@ class Session:
         """
         packed = self.packed if packed is None else bool(packed)
         rep = "packed" if packed else "unpacked"
-        key = sampler_store_key(kind, params, theta, seed, packed)
+        key = sampler_store_key(kind, params, theta, seed, packed, dynamic)
         cacheable = self.cache_worlds and seed is not None
         if not cacheable:
-            return self._draw_store(kind, params, theta, seed, packed, rep)
+            return self._draw_store(
+                kind, params, theta, seed, packed, rep, dynamic
+            )
         while True:
             with self._lock:
                 store = self._stores.get(key)
@@ -372,7 +450,7 @@ class Session:
                 continue
             try:
                 store = self._draw_store(
-                    kind, params, theta, seed, packed, rep
+                    kind, params, theta, seed, packed, rep, dynamic
                 )
                 with self._lock:
                     self._stores[key] = store
@@ -382,17 +460,28 @@ class Session:
                     self._store_flights.pop(key, None)
                 flight.set()
 
-    def _draw_store(self, kind, params, theta, seed, packed, rep):
+    def _draw_store(self, kind, params, theta, seed, packed, rep,
+                    dynamic=False):
         """Sample one draw into a fresh store (counts it in stats)."""
         from .engine.worldstore import WorldStore
 
-        vec = _vector_sampler(kind, self.indexed, seed, params)
-        store = WorldStore.from_vectorized(
-            vec, theta, kind=kind, seed=seed, packed=packed
-        )
+        if dynamic:
+            from .delta import draw_dynamic_store
+
+            store = draw_dynamic_store(
+                self.indexed, kind=kind, theta=theta, seed=seed,
+                packed=packed,
+            )
+        else:
+            vec = _vector_sampler(kind, self.indexed, seed, params)
+            store = WorldStore.from_vectorized(
+                vec, theta, kind=kind, seed=seed, packed=packed
+            )
         with self._lock:
             self.stats["stores_built"] += 1
             self.stats[f"{rep}_stores_built"] += 1
+            if dynamic:
+                self.stats["dynamic_stores_built"] += 1
             self.stats["worlds_sampled"] += store.count
         return store
 
@@ -421,6 +510,125 @@ class Session:
                     self._published[key] = published
                     self._published_segments.append(published)
             return published
+
+    # ------------------------------------------------------------------
+    # dynamic-graph maintenance
+    # ------------------------------------------------------------------
+    def update(self, delta) -> dict:
+        """Apply a :class:`repro.delta.GraphDelta` to the live session.
+
+        The graph is mutated in place and every session substrate is
+        brought in line *incrementally* where the representation allows
+        it:
+
+        * **dynamic stores** (per-edge substream draws) are surgically
+          maintained -- only the columns of updated/inserted edges are
+          re-drawn (``columns_redrawn``), and the column diffs report
+          exactly which worlds flipped (``worlds_flipped``);
+        * **evaluation caches** over dynamic stores are invalidated at
+          world granularity: entries are marked stale with their dirty
+          world set and re-evaluated lazily on the next hit (only the
+          flipped worlds replay);
+        * **legacy stores** (continuous-stream draws) cannot be
+          maintained column-wise, so they are evicted with their
+          evaluations and re-drawn on demand;
+        * published shared-memory segments describe pre-update arrays
+          and are unlinked (warm fan-outs republish).
+
+        Not safe to run concurrently with in-flight queries on the
+        same session -- the serving tier drains admissions first
+        (``POST /graphs/<name>/update``).  Returns a summary dict of
+        the counters this update moved.
+        """
+        from .delta import GraphDelta, apply_store_delta
+
+        if not isinstance(delta, GraphDelta):
+            raise TypeError(
+                f"Session.update expects a GraphDelta, "
+                f"got {type(delta).__name__}"
+            )
+        with self._lock:
+            if self._store_flights or self._eval_flights:
+                raise RuntimeError(
+                    "Session.update cannot run concurrently with "
+                    "in-flight queries; drain them first (the serving "
+                    "tier's admission gate does exactly that)"
+                )
+            resolved = delta.apply(self.graph)
+            self.stats["graph_updates"] += 1
+            summary = {
+                "updates": len(resolved.updates),
+                "noop_updates": resolved.noop_updates,
+                "inserts": len(resolved.inserts),
+                "deletes": len(resolved.deletes),
+                "columns_redrawn": 0,
+                "worlds_flipped": 0,
+                "stores_updated": 0,
+                "stores_evicted": 0,
+                "evals_invalidated": 0,
+            }
+            if resolved.empty:
+                # a no-op delta touches nothing: zero columns redrawn,
+                # zero evaluations invalidated (pinned by the property
+                # tier)
+                return summary
+            if self._indexed is None:
+                # no query ever indexed the graph, so no store, eval
+                # entry or published segment can exist either
+                return summary
+            from .engine.indexed import IndexedGraph
+
+            new_indexed = IndexedGraph.from_uncertain(self.graph)
+            self._indexed = new_indexed
+            updated_flips: Dict[Tuple, set] = {}
+            evicted = set()
+            for key in list(self._stores):
+                store = self._stores[key]
+                if getattr(store, "dynamic", False):
+                    outcome = apply_store_delta(store, resolved, new_indexed)
+                    summary["columns_redrawn"] += outcome.columns_redrawn
+                    summary["worlds_flipped"] += len(outcome.flipped)
+                    summary["stores_updated"] += 1
+                    self.stats["columns_redrawn"] += outcome.columns_redrawn
+                    self.stats["worlds_flipped"] += len(outcome.flipped)
+                    self.stats["stores_updated"] += 1
+                    updated_flips[key] = {int(i) for i in outcome.flipped}
+                else:
+                    del self._stores[key]
+                    store.close()
+                    evicted.add(key)
+                    summary["stores_evicted"] += 1
+                    self.stats["stores_evicted"] += 1
+            for ekey in list(self._eval_cache):
+                skey = ekey[1]
+                if skey in evicted:
+                    del self._eval_cache[ekey]
+                elif skey in updated_flips:
+                    flips = updated_flips[skey]
+                    if not flips:
+                        continue
+                    cached = self._eval_cache[ekey]
+                    if isinstance(cached, _StaleEval):
+                        cached.dirty.update(flips)
+                    else:
+                        records, replayed = cached
+                        if replayed:
+                            # replay attribution is not per-world, so a
+                            # spliced total would lie; drop the entry
+                            del self._eval_cache[ekey]
+                        else:
+                            self._eval_cache[ekey] = _StaleEval(
+                                records, set(flips)
+                            )
+                else:
+                    continue
+                summary["evals_invalidated"] += 1
+                self.stats["evals_invalidated"] += 1
+            # published segments snapshot pre-update arrays; unlink them
+            self._graph_segment = None
+            self._published.clear()
+        _close_published(self._published_segments)
+        return summary
 
     # ------------------------------------------------------------------
     # queries
@@ -486,6 +694,7 @@ class Query:
         self._enumerate_all = True
         self._per_world_limit: Optional[int] = 100_000
         self._packed: Optional[bool] = None
+        self._dynamic = False
 
     # ------------------------------------------------------------------
     # chainable setters
@@ -642,6 +851,20 @@ class Query:
         self._packed = packed
         return self
 
+    def dynamic(self, dynamic: bool = True) -> "Query":
+        """Draw this query's worlds from per-edge seed-keyed substreams.
+
+        Dynamic draws (:mod:`repro.delta`) survive
+        :meth:`Session.update` surgically -- a probability update
+        re-draws one mask column instead of evicting the store.  They
+        are deterministic and engine/worker-invariant like the legacy
+        draws, but **not** byte-identical to the one-shot estimators
+        (a continuous RNG stream cannot be maintained column-wise).
+        Requires an explicit seed; ``mc``/``lp`` kinds only.
+        """
+        self._dynamic = bool(dynamic)
+        return self
+
     # ------------------------------------------------------------------
     # terminals
     # ------------------------------------------------------------------
@@ -688,10 +911,19 @@ class Query:
             workers = 1
 
         session._bump("queries")
+        if self._dynamic:
+            if self._sampler_instance is not None:
+                raise ValueError(
+                    "dynamic draws cannot use a sampler instance "
+                    "(their substreams are derived from the seed)"
+                )
+            _check_dynamic_draw(
+                self._sampler_kind, self._sampler_params, self._seed
+            )
         storeable = (
             self._sampler_instance is None
             and self._seed is not None
-            and session.cache_worlds
+            and (session.cache_worlds or self._dynamic)
             and theta > 0
             and session.indexed.m > 0
         )
@@ -732,12 +964,14 @@ class Query:
         )
         skey = sampler_store_key(
             self._sampler_kind, self._sampler_params, theta, self._seed,
-            packed,
+            packed, self._dynamic,
         )
         resolved = resolve_engine(engine, None, measure)
         enumerate_all = self._enumerate_all if mode == "mpds" else True
         per_world_limit = self._per_world_limit if mode == "mpds" else None
-        mkey = _measure_key(measure)
+        # one-shot sessions (cache_worlds=False, reachable via dynamic
+        # queries) must not pin records across calls
+        mkey = _measure_key(measure) if session.cache_worlds else None
         ekey = (
             None
             if mkey is None
@@ -753,10 +987,11 @@ class Query:
         while True:
             with session._lock:
                 cached = session._eval_cache.get(ekey)
-                if cached is not None:
+                if cached is not None and not isinstance(cached, _StaleEval):
                     session.stats["eval_hits"] += 1
                     records, replayed = cached
                     break
+                stale = cached  # None, or a post-update _StaleEval
                 flight = session._eval_flights.get(ekey)
                 if flight is None:
                     flight = threading.Event()
@@ -769,11 +1004,17 @@ class Query:
                 flight.wait()
                 continue
             try:
-                records, replayed = self._compute_records(
-                    mode, skey, measure, resolved, enumerate_all,
-                    per_world_limit, workers, packed, theta,
-                )
-                session._bump("worlds_evaluated", len(records))
+                if stale is not None:
+                    records, replayed = self._patch_records(
+                        mode, stale, measure, resolved, enumerate_all,
+                        per_world_limit, packed, theta,
+                    )
+                else:
+                    records, replayed = self._compute_records(
+                        mode, skey, measure, resolved, enumerate_all,
+                        per_world_limit, workers, packed, theta,
+                    )
+                    session._bump("worlds_evaluated", len(records))
                 with session._lock:
                     session._eval_cache[ekey] = (records, replayed)
                 break
@@ -783,6 +1024,52 @@ class Query:
                 flight.set()
         return self._finalize(mode, records, replayed)
 
+    def _patch_records(
+        self, mode, stale, measure, resolved, enumerate_all,
+        per_world_limit, packed, theta,
+    ):
+        """Re-evaluate a stale entry's dirty worlds and splice them in.
+
+        Per-world records make the splice exact: unflipped worlds keep
+        their pre-update records (their edge sets did not change) and
+        the dirty subset replays through the very same evaluation seams
+        a full pass uses, so the patched list is byte-identical to
+        re-evaluating the whole store.  A stale entry always has
+        ``replayed == 0`` (truncated ones are dropped on update), so
+        the fresh subset's replay count is the new total.
+        """
+        session = self._session
+        store = session._store_for(
+            self._sampler_kind, self._sampler_params, theta, self._seed,
+            packed, self._dynamic,
+        )
+        dirty = sorted(stale.dirty)
+        worlds, loop_measure, engine_measure = store.world_stream(
+            measure, resolved, subset=dirty
+        )
+        if mode == "mpds":
+            fresh = list(
+                evaluate_worlds(
+                    worlds, loop_measure, enumerate_all, per_world_limit
+                )
+            )
+            replayed = (
+                engine_measure.replayed_worlds if engine_measure else 0
+            )
+        else:
+            fresh = list(evaluate_transactions(worlds, loop_measure))
+            replayed = 0
+        if engine_measure is not None:
+            session._absorb_stage_stats(engine_measure.stage_stats())
+        records = list(stale.records)
+        for index, record in zip(dirty, fresh):
+            records[index] = record
+        with session._lock:
+            session.stats["evals_patched"] += 1
+            session.stats["worlds_reevaluated"] += len(dirty)
+            session.stats["worlds_evaluated"] += len(dirty)
+        return records, replayed
+
     def _compute_records(
         self, mode, skey, measure, resolved, enumerate_all,
         per_world_limit, workers, packed, theta,
@@ -790,7 +1077,7 @@ class Query:
         """Fetch the draw (coalesced) and evaluate it into records."""
         store = self._session._store_for(
             self._sampler_kind, self._sampler_params, theta, self._seed,
-            packed,
+            packed, self._dynamic,
         )
         if workers > 1:
             return self._dispatch_records(

@@ -180,6 +180,7 @@ def sampler_store_key(
     theta: int,
     seed: Optional[int],
     packed: bool = True,
+    dynamic: bool = False,
 ) -> Tuple:
     """Canonical world-store cache key for a (sampler, theta, seed) draw.
 
@@ -187,10 +188,13 @@ def sampler_store_key(
     words vs the boolean byte matrix).  Both replay byte-identical
     worlds, but they are distinct objects with distinct memory
     profiles, so a mixed session must never hand a query built for one
-    representation the other -- the key keeps them apart.
+    representation the other -- the key keeps them apart.  ``dynamic``
+    keys the per-edge-substream draws (:mod:`repro.delta`) apart from
+    the legacy continuous-stream draws: same kind/theta/seed, different
+    bytes by design.
     """
     return (kind, tuple(sorted(params.items())), int(theta), seed,
-            bool(packed))
+            bool(packed), bool(dynamic))
 
 
 # ----------------------------------------------------------------------

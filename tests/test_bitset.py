@@ -200,3 +200,50 @@ class TestPackedMasks:
         packed = PackedMasks(words, 80)
         assert packed.words is words
         np.testing.assert_array_equal(packed.to_bool(), masks)
+
+    @pytest.mark.parametrize("m", [5, 64, 100, 130])
+    def test_set_column_surgery_matches_boolean_oracle(self, m):
+        masks = random_masks(7, 20, m)
+        packed = PackedMasks.from_bool(masks)
+        j = m // 2
+        column = random_masks(8, 20, 1)[:, 0]
+        old = packed.set_column(j, column)
+        np.testing.assert_array_equal(old, masks[:, j])
+        expected = masks.copy()
+        expected[:, j] = column
+        np.testing.assert_array_equal(packed.to_bool(), expected)
+        # padding bits stay zero through surgery
+        tail = packed.words[:, -1] >> np.uint64(m % WORD_BITS or WORD_BITS)
+        assert not tail.any()
+
+    def test_set_column_invalidates_the_row_block_cache(self):
+        # regression: the 64-row unpack cache must not serve rows drawn
+        # before an in-place column write (read, mutate, re-read)
+        masks = random_masks(9, 70, 90)
+        packed = PackedMasks.from_bool(masks)
+        before = packed[3].copy()          # fills the rows-0..63 block
+        column = ~masks[:, 10]
+        packed.set_column(10, column)
+        after = packed[3]                  # same block, post-surgery
+        assert after[10] == column[3]
+        assert before[10] == masks[3, 10]
+        assert after[10] != before[10]
+        # rows outside the mutated column are untouched
+        keep = np.ones(90, dtype=bool)
+        keep[10] = False
+        np.testing.assert_array_equal(after[keep], before[keep])
+
+    def test_set_column_copies_readonly_words_before_writing(self):
+        # shm-attached stores publish read-only words; surgery must not
+        # die on (or write through) the shared view
+        masks = random_masks(11, 6, 80)
+        words = pack_rows(masks)
+        words.flags.writeable = False
+        packed = PackedMasks(words, 80)
+        packed.set_column(0, ~masks[:, 0])
+        assert packed.words is not words
+        assert not words.flags.writeable  # original view untouched
+        np.testing.assert_array_equal(
+            unpack_rows(words, 80), masks
+        )
+        assert packed[0][0] != masks[0, 0]

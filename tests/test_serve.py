@@ -578,3 +578,242 @@ class TestServeCLI:
         code = serve_main(["--port", "0", "--dataset", "nope"])
         assert code == 2
         assert "unknown dataset" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# live graph updates (POST /graphs/<name>/update)
+# ----------------------------------------------------------------------
+class TestDynamicUpdates:
+    """Deltas ride the admission controller's exclusive gate: in-flight
+    queries drain, the session updates surgically, queued arrivals
+    resume -- and post-update dynamic answers byte-match a fresh
+    session on the mutated graph."""
+
+    EDGES = [
+        [0, 1, 0.6], [1, 2, 0.7], [0, 2, 0.5], [2, 3, 0.4], [3, 4, 0.8],
+    ]
+
+    def _register(self, srv, name, edges=None):
+        status, _ = srv.handle("POST", "/graphs", {
+            "name": name, "edges": [list(r) for r in edges or self.EDGES],
+        })
+        assert status == 201
+
+    def test_update_round_trip_byte_matches_fresh_session(self, server):
+        self._register(server, "dyn")
+        body = {
+            "graph": "dyn", "sampler": "mc:theta=64,seed=5", "k": 2,
+            "dynamic": True,
+        }
+        cold = _query(server, body)
+        assert cold["dynamic"] is True and cold["cold_draw"] is True
+        status, summary = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[0, 1, 0.95]], "inserts": [[4, 5, 0.6]],
+        })
+        assert status == 200, summary
+        assert summary["graph"] == "dyn"
+        assert summary["updates"] == 1 and summary["inserts"] == 1
+        assert summary["columns_redrawn"] == 2
+        assert summary["stores_updated"] == 1
+        warm = _query(server, body)
+        # maintained surgically, never re-drawn
+        assert warm["cold_draw"] is False
+        mutated = [
+            [0, 1, 0.95], [1, 2, 0.7], [0, 2, 0.5], [2, 3, 0.4],
+            [3, 4, 0.8], [4, 5, 0.6],
+        ]
+        self._register(server, "ref", mutated)
+        reference = _query(server, dict(body, graph="ref"))
+        assert warm["result"] == reference["result"]
+
+    def test_update_drains_in_flight_queries_then_resumes(self, server):
+        self._register(server, "dyn")
+        release = threading.Event()
+        original = server._handle_query
+
+        def slow_query(body):
+            assert release.wait(10.0)
+            return original(body)
+
+        server._handle_query = slow_query
+        outcomes = {}
+
+        def fire_query():
+            outcomes["query"] = server.handle("POST", "/query", {
+                "graph": "dyn", "sampler": "mc:theta=32,seed=1",
+                "dynamic": True,
+            })
+
+        def fire_update():
+            outcomes["update"] = server.handle(
+                "POST", "/graphs/dyn/update",
+                {"updates": [[0, 1, 0.9]]},
+            )
+
+        query_thread = threading.Thread(target=fire_query)
+        query_thread.start()
+        deadline = time.monotonic() + 5.0
+        while server.admission.snapshot()["active"] < 1:
+            assert time.monotonic() < deadline, "query never admitted"
+            time.sleep(0.005)
+
+        update_thread = threading.Thread(target=fire_update)
+        update_thread.start()
+        deadline = time.monotonic() + 5.0
+        while not server.admission.snapshot()["paused"]:
+            assert time.monotonic() < deadline, "update never paused gate"
+            time.sleep(0.005)
+        # the update waits on the in-flight query, not vice versa
+        assert "update" not in outcomes
+
+        release.set()
+        query_thread.join(timeout=10.0)
+        update_thread.join(timeout=10.0)
+        assert outcomes["query"][0] == 200
+        assert outcomes["update"][0] == 200
+        assert server.admission.snapshot()["paused"] is False
+        # the gate reopened: later queries are admitted normally
+        post = _query(server, {
+            "graph": "dyn", "sampler": "mc:theta=32,seed=1",
+            "dynamic": True,
+        })
+        assert post["result"] is not None
+
+    def test_update_timeout_applies_nothing_and_reopens(self, server):
+        self._register(server, "dyn")
+        release = threading.Event()
+        original = server._handle_query
+
+        def slow_query(body):
+            assert release.wait(10.0)
+            return original(body)
+
+        server._handle_query = slow_query
+        worker = threading.Thread(
+            target=lambda: server.handle("POST", "/query", {
+                "graph": "dyn", "sampler": "mc:theta=32,seed=1",
+            }),
+        )
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while server.admission.snapshot()["active"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        status, payload = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[0, 1, 0.9]], "timeout": 0.05,
+        })
+        assert status == 503
+        assert "timed out" in payload["error"]
+        # nothing was applied
+        entry = server._graphs["dyn"]
+        assert entry.session.graph.probability(0, 1) == 0.6
+        assert server.stats_payload()["server"]["updates_applied"] == 0
+        release.set()
+        worker.join(timeout=10.0)
+        assert server.admission.snapshot()["paused"] is False
+
+    def test_stats_expose_delta_counters(self, server):
+        self._register(server, "dyn")
+        _query(server, {
+            "graph": "dyn", "sampler": "mc:theta=48,seed=3", "k": 1,
+            "dynamic": True,
+        })
+        status, _ = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[1, 2, 0.05]],
+        })
+        assert status == 200
+        stats = server.stats_payload()
+        assert stats["server"]["updates_applied"] == 1
+        session_stats = stats["sessions"]["dyn"]
+        assert session_stats["graph_updates"] == 1
+        assert session_stats["columns_redrawn"] == 1
+        assert session_stats["stores_updated"] == 1
+        assert session_stats["evals_invalidated"] >= 1
+        assert "POST /graphs/{name}/update" in stats["latency_ms"]
+
+    def test_update_error_surfaces(self, server):
+        status, payload = server.handle(
+            "POST", "/graphs/missing/update", {"updates": [[0, 1, 0.5]]}
+        )
+        assert status == 404
+        self._register(server, "dyn")
+        status, payload = server.handle("POST", "/graphs/dyn/update", {})
+        assert status == 400
+        assert "names no edges" in payload["error"]
+        status, payload = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[0, 1]],  # missing probability
+        })
+        assert status == 400
+        status, payload = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[900, 901, 0.5]],  # no such edge
+        })
+        assert status == 400
+        assert "missing edge" in payload["error"]
+        status, payload = server.handle("POST", "/graphs/dyn/update", {
+            "deletes": [[0, 1, 0.5]],  # deletes take pairs
+        })
+        assert status == 400
+        # none of the rejects touched the graph or the ledger
+        assert server.stats_payload()["server"]["updates_applied"] == 0
+
+    def test_updates_rejected_while_draining(self, server):
+        self._register(server, "dyn")
+        server.admission.begin_drain()
+        status, payload = server.handle("POST", "/graphs/dyn/update", {
+            "updates": [[0, 1, 0.9]],
+        })
+        assert status == 503
+        assert "draining" in payload["error"]
+
+    def test_concurrent_queries_and_updates_over_http(self):
+        """A live daemon under interleaved /query + /update load: every
+        request succeeds, and the post-update answer byte-matches a
+        fresh one-shot session on the mutated graph."""
+        with ReproServer(port=0) as srv:
+            base = srv.url
+            status, _ = _http("POST", base + "/graphs", {
+                "name": "dyn", "edges": [list(r) for r in
+                                         TestDynamicUpdates.EDGES],
+            })
+            assert status == 201
+            body = {
+                "graph": "dyn", "sampler": "mc:theta=48,seed=11", "k": 2,
+                "dynamic": True,
+            }
+            outcomes = []
+
+            def fire_queries():
+                for _ in range(6):
+                    outcomes.append(_http("POST", base + "/query", body))
+
+            threads = [
+                threading.Thread(target=fire_queries) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            status, summary = _http(
+                "POST", base + "/graphs/dyn/update",
+                {"updates": [[2, 3, 0.99]]},
+            )
+            assert status == 200, summary
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert all(status == 200 for status, _ in outcomes)
+            final = _http("POST", base + "/query", body)[1]
+            from repro.graph.uncertain import UncertainGraph
+            from repro.session import Session as _Session
+
+            mutated = UncertainGraph.from_weighted_edges(
+                [(0, 1, 0.6), (1, 2, 0.7), (0, 2, 0.5), (2, 3, 0.99),
+                 (3, 4, 0.8)]
+            )
+            with _Session(mutated) as fresh:
+                twin = (
+                    fresh.query().sampler("mc", theta=48, seed=11)
+                    .dynamic().top_k(2).mpds()
+                )
+            assert json.dumps(
+                final["result"], sort_keys=True
+            ) == json.dumps(twin.to_dict(), sort_keys=True)
+            status, stats = _http("GET", base + "/stats")
+            assert stats["server"]["updates_applied"] == 1
