@@ -18,7 +18,7 @@ def test_fig20(benchmark):
     emit("fig20a_varying_k", k_table)
     emit("fig20b_varying_lm", lm_table)
     # paper shapes: avg containment decreases in k ...
-    for dataset in {p.dataset for p in k_points}:
+    for dataset in sorted({p.dataset for p in k_points}):
         series = [p.avg_containment for p in k_points if p.dataset == dataset]
         assert series[0] >= series[-1] - 1e-9, dataset
     # ... and decays to 0 once l_m exceeds the largest closed set

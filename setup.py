@@ -29,6 +29,7 @@ setup(
         "console_scripts": [
             "repro-mpds = repro.cli:main",
             "repro-serve = repro.serve:main",
+            "repro-lint = repro.analysis.cli:main",
         ],
     },
 )

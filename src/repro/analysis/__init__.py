@@ -1,0 +1,102 @@
+"""``repro-lint``: AST-based determinism/lock/lifecycle/spec analysis.
+
+The repo's determinism contract (byte-identical estimates across
+engines, workers, packed masks, and delta steps) is enforced
+dynamically by differential tests -- which cannot see hazards on paths
+the tests don't exercise.  This package is the static half: four
+checker families tuned to this codebase's idioms, a committed baseline
+(``analysis/baseline.json``) for accepted legacy findings, and a CI
+gate on zero *new* findings.
+
+Checker families (ids in parentheses):
+
+* determinism hazards (``DET101``..``DET104``) -- unseeded RNGs,
+  hash-ordered set iteration, identity/repr flowing into cache keys
+  (the PR 5 bug class), wall-clock branching;
+* lock discipline (``LOCK201``) -- Session/serve shared attributes
+  accessed without the owning lock, driven by an attribute-ownership
+  registry;
+* resource lifecycle (``RES301``..``RES303``) -- SharedMemory and
+  tempfile handles with no reachable cleanup, resource-holding
+  containers dropped without closing their values;
+* spec-registry consistency (``SPEC401``..``SPEC403``) -- every spec
+  literal in code/docstrings/markdown parses against ``repro.specs``,
+  and engine vocabulary matches ``ENGINES``.
+
+Run ``repro-lint src/repro`` (or ``python -m repro.analysis``); see
+:mod:`repro.analysis.cli` for the gate/baseline workflow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import load_baseline, partition, write_baseline
+from .core import Checker, Finding, SourceFile, discover, run_checkers
+from .determinism import DeterminismChecker
+from .lifecycle import ResourceLifecycleChecker
+from .locks import LockDisciplineChecker
+from .spec_consistency import SpecConsistencyChecker
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "SourceFile",
+    "DeterminismChecker",
+    "LockDisciplineChecker",
+    "ResourceLifecycleChecker",
+    "SpecConsistencyChecker",
+    "all_checkers",
+    "run_analysis",
+    "load_baseline",
+    "write_baseline",
+    "partition",
+]
+
+
+def all_checkers() -> List[Checker]:
+    """One fresh instance of every registered checker family."""
+    return [
+        DeterminismChecker(),
+        LockDisciplineChecker(),
+        ResourceLifecycleChecker(),
+        SpecConsistencyChecker(),
+    ]
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor holding ``.git`` or ``setup.py`` (else ``start``)."""
+    start = start.resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / ".git").exists() or (candidate / "setup.py").is_file():
+            return candidate
+    return probe
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Scan ``paths`` and return fingerprinted findings.
+
+    ``root`` anchors the repo-relative labels used in fingerprints
+    (auto-detected from the first path when omitted); ``select`` keeps
+    only findings whose checker id starts with one of the given
+    prefixes (``["DET"]``, ``["LOCK201"]``, ...).
+    """
+    paths = [Path(p) for p in paths]
+    if root is None:
+        root = find_repo_root(paths[0]) if paths else Path.cwd()
+    sources = discover(paths, Path(root))
+    findings = run_checkers(sources, list(checkers or all_checkers()))
+    if select:
+        findings = [
+            f
+            for f in findings
+            if any(f.checker.startswith(prefix) for prefix in select)
+        ]
+    return findings

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` == ``repro-lint``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Baseline persistence: suppress accepted legacy findings.
+
+The committed ``analysis/baseline.json`` maps finding fingerprints to a
+human-readable record of what was accepted.  CI gates on zero findings
+*outside* the baseline, so new hazards fail the build while the accepted
+legacy set (documented, deliberate patterns) stays quiet.  Regenerate
+with ``repro-lint --write-baseline`` after triaging any new findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Return fingerprint -> accepted-finding record (empty if missing)."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"malformed baseline file: {path}")
+    records = {}
+    for entry in data["findings"]:
+        records[entry["fingerprint"]] = entry
+    return records
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Persist every finding as accepted (sorted for stable diffs)."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "checker": f.checker,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.checker))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: List[Finding], baseline: Dict[str, dict]
+) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split findings into (new, suppressed); also report stale entries.
+
+    A baseline entry is *stale* when no current finding matches its
+    fingerprint -- usually because the flagged code was fixed.  Stale
+    entries never fail the run; ``--write-baseline`` prunes them.
+    """
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    seen = set()
+    for f in findings:
+        if f.fingerprint in baseline:
+            suppressed.append(f)
+            seen.add(f.fingerprint)
+        else:
+            new.append(f)
+    stale = [
+        entry
+        for fingerprint, entry in baseline.items()
+        if fingerprint not in seen
+    ]
+    return new, suppressed, stale

@@ -1,0 +1,147 @@
+"""``repro-lint`` command line: scan, gate against the baseline, update it.
+
+Exit codes: ``0`` clean (every finding is baselined), ``1`` new
+findings, ``2`` usage error.  Typical workflows::
+
+    repro-lint src/repro                 # CI gate (uses analysis/baseline.json)
+    repro-lint src/repro README.md docs  # include markdown spec/vocab checks
+    repro-lint --select DET src/repro    # one family only
+    repro-lint --write-baseline src/repro   # accept current findings
+
+``--write-baseline`` records *all* current findings as accepted and
+prunes stale entries; review the diff of ``analysis/baseline.json`` like
+any other code change -- a growing baseline is a growing debt list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import all_checkers, find_repo_root, run_analysis
+from .baseline import load_baseline, partition, write_baseline
+
+DEFAULT_BASELINE = Path("analysis") / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism / lock-discipline / resource-lifecycle "
+            "/ spec-consistency analysis for the repro codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root anchoring relative paths in fingerprints "
+        "(default: auto-detect from the first scanned path)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker-id prefixes to keep "
+        "(e.g. DET,LOCK201)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit machine-readable JSON instead of text",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list checker families and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for checker in all_checkers():
+            doc = (type(checker).__module__.rsplit(".", 1)[-1], checker.family)
+            print(f"{doc[1]:<6} {doc[0]}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        paths = [Path(p) for p in args.paths]
+        root = args.root or find_repo_root(paths[0])
+        findings = run_analysis(paths, root=root, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or (Path(root) / DEFAULT_BASELINE)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"repro-lint: wrote {len(findings)} accepted finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    new, suppressed, stale = partition(findings, baseline)
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_dict() for f in new],
+                    "suppressed": len(suppressed),
+                    "stale_baseline_entries": stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"repro-lint: {len(new)} new finding(s), "
+            f"{len(suppressed)} baselined, {len(stale)} stale baseline "
+            "entr(y/ies)"
+        )
+        print(summary)
+        if stale:
+            print(
+                "repro-lint: stale baseline entries point at fixed code; "
+                "run --write-baseline to prune them"
+            )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

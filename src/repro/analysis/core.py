@@ -1,0 +1,229 @@
+"""Core machinery for ``repro-lint``: sources, findings, fingerprints.
+
+The analyzer is AST-first: every ``.py`` file is parsed once into a
+:class:`SourceFile` (tree + parent map built lazily) and handed to each
+registered checker.  Markdown files ride along for the spec-consistency
+checker, which validates spec strings inside code spans and fenced
+blocks.
+
+Findings are identified across runs by a *fingerprint* that is robust to
+line drift: it hashes the file label, the checker id, the normalized
+source line text, and an occurrence ordinal -- never the line number.
+Moving a flagged line does not invalidate the committed baseline;
+editing it (or adding a second identical hazard) does.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: directories never scanned, wherever they appear
+SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class Finding:
+    """One diagnostic: where, what, and how to fix it."""
+
+    checker: str  #: checker id, e.g. ``DET103``
+    path: str  #: repo-relative posix path (the fingerprint label)
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.checker} {self.message}"
+        if self.hint:
+            text += f" [fix: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class SourceFile:
+    """A scanned file: text, lazily parsed AST, and a parent map."""
+
+    def __init__(self, path: Path, label: str, text: Optional[str] = None):
+        self.path = path
+        self.label = label
+        self.text = path.read_text(encoding="utf-8") if text is None else text
+        self.lines = self.text.splitlines()
+        self.kind = "markdown" if label.endswith(".md") else "python"
+        self._tree: Optional[ast.AST] = None
+        self._parse_failed = False
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def tree(self) -> Optional[ast.AST]:
+        if self._tree is None and not self._parse_failed and self.kind == "python":
+            try:
+                self._tree = ast.parse(self.text)
+            except SyntaxError:
+                self._parse_failed = True
+        return self._tree
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child -> parent map over the whole tree (built once)."""
+        if self._parents is None:
+            self._parents = {}
+            tree = self.tree
+            if tree is not None:
+                for parent in ast.walk(tree):
+                    for child in ast.iter_child_nodes(parent):
+                        self._parents[child] = parent
+        return self._parents
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents
+        while node in parents:
+            node = parents[node]
+            yield node
+
+    def enclosing_function(self, node: ast.AST):
+        for anc in self.parent_chain(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def matches(self, suffixes: Sequence[str]) -> bool:
+        """True when this file's label ends with any of ``suffixes``."""
+        return any(self.label.endswith(suffix) for suffix in suffixes)
+
+
+class Checker:
+    """Base class: one checker *family* (several related checker ids)."""
+
+    family = "BASE"
+
+    def run(self, src: SourceFile) -> List[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finding(
+        self,
+        checker: str,
+        src: SourceFile,
+        node,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(checker, src.label, line, col, message, hint)
+
+
+def discover(paths: Iterable[Path], root: Path) -> List[SourceFile]:
+    """Expand files/directories into :class:`SourceFile` objects.
+
+    Directories are walked for ``*.py`` and ``*.md``; explicit file
+    arguments are taken as-is.  Labels are posix paths relative to
+    ``root`` (falling back to the bare name for files outside it) so
+    fingerprints don't depend on the invocation directory.
+    """
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*")):
+                if child.suffix not in (".py", ".md"):
+                    continue
+                if any(part in SKIP_DIRS for part in child.parts):
+                    continue
+                files.append(child)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    sources = []
+    seen = set()
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            label = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            label = resolved.name
+        sources.append(SourceFile(resolved, label))
+    return sources
+
+
+def assign_fingerprints(findings: List[Finding], sources: Dict[str, SourceFile]) -> None:
+    """Fill each finding's fingerprint (line-drift-stable identity)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.checker)):
+        src = sources.get(f.path)
+        norm = src.source_line(f.line).strip() if src else ""
+        key = (f.path, f.checker, norm)
+        ordinal = counts.get(key, 0)
+        counts[key] = ordinal + 1
+        payload = f"{f.path}::{f.checker}::{norm}::{ordinal}"
+        f.fingerprint = hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def run_checkers(
+    sources: Sequence[SourceFile], checkers: Sequence[Checker]
+) -> List[Finding]:
+    """Run every checker over every source; return fingerprinted findings."""
+    findings: List[Finding] = []
+    for src in sources:
+        for checker in checkers:
+            findings.extend(checker.run(src))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.checker))
+    assign_fingerprints(findings, {src.label: src for src in sources})
+    return findings
+
+
+# --- small AST helpers shared by the checker families -----------------------
+
+
+def unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are cosmetic
+        return "<expr>"
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, '' for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def base_name(node: ast.AST) -> str:
+    """Leftmost Name of an attribute/subscript chain, '' otherwise."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.value if not isinstance(node, ast.Call) else node.func
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+def contains_name(tree: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name for n in ast.walk(tree)
+    )

@@ -1,0 +1,387 @@
+"""Determinism-hazard checkers (DET1xx).
+
+The repo's contract is byte-identical estimates across engines, worker
+counts, packed representations, and delta steps.  These checkers flag
+the constructs that have historically broken that contract:
+
+``DET101``
+    Module-level / unseeded RNG use (``random.random()``,
+    ``random.Random()`` with no seed, legacy ``np.random.*`` global
+    state, ``np.random.default_rng()`` with no seed) outside the
+    sanctioned sampler seams listed in :data:`SANCTIONED_RNG_FILES`.
+``DET102``
+    Iteration over ``set``/``frozenset`` values (``for x in set(...)``,
+    ``list(set(...))``) -- hash-order iteration differs across
+    processes whenever keys are strings (PYTHONHASHSEED), and across
+    builds for mixed types.  Wrap in ``sorted(...)`` or dedup with
+    ``dict.fromkeys(...)`` (insertion-ordered) instead.
+``DET103``
+    Unstable object identity flowing into keys or seeds: any
+    ``hash()`` / ``.__hash__()`` call (string hashing is randomized per
+    process), any ``id()`` call, and -- the PR 5 bug class --
+    ``repr(<parameter>)`` inside a key/cache/fingerprint-building
+    function without the ``cls.__repr__ is object.__repr__`` default-repr
+    guard (``object.__repr__`` embeds ``id()``, and CPython reuses
+    addresses, so two distinct live objects can alias one cache key).
+``DET104``
+    Wall-clock reads inside branch conditions or comparisons in
+    result-producing code (``if time.monotonic() ...``): results must
+    not depend on how fast the host is.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from .core import Checker, Finding, SourceFile, dotted_name
+
+#: files allowed to default to unseeded RNGs: the public graph/generator
+#: API seams document "pass rng/seed for reproducibility" and fall back
+#: to the module RNG by design.  Estimation paths never appear here.
+SANCTIONED_RNG_FILES = (
+    "repro/graph/generators.py",
+    "repro/graph/uncertain.py",
+)
+
+#: files allowed to branch on wall-clock time: serving timeouts, drain
+#: deadlines, and pool supervision are inherently wall-clock-driven.
+SANCTIONED_CLOCK_FILES = (
+    "repro/serve.py",
+    "repro/core/parallel.py",
+)
+
+#: legacy numpy global-state entry points (np.random.<fn>)
+_NP_LEGACY = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "normal",
+    "uniform",
+    "binomial",
+    "poisson",
+    "exponential",
+    "get_state",
+    "set_state",
+}
+
+#: random-module attrs that are NOT module-global-state draws
+_RANDOM_MODULE_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+    "time.time_ns",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+}
+
+#: function names treated as key/seed producers for the repr rule
+_KEYISH = re.compile(r"key|cache|fingerprint|digest", re.IGNORECASE)
+
+
+def _is_test_file(src: SourceFile) -> bool:
+    name = src.path.name
+    return name.startswith("test_") or name.startswith("conftest")
+
+
+class DeterminismChecker(Checker):
+    family = "DET"
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        if src.kind != "python" or src.tree is None or _is_test_file(src):
+            return []
+        findings: List[Finding] = []
+        findings.extend(self._unseeded_rng(src))
+        findings.extend(self._set_iteration(src))
+        findings.extend(self._unstable_identity(src))
+        findings.extend(self._clock_branching(src))
+        return findings
+
+    # -- DET101 ------------------------------------------------------------
+    def _unseeded_rng(self, src: SourceFile) -> List[Finding]:
+        if src.matches(SANCTIONED_RNG_FILES):
+            return []
+        findings = []
+        imported_random = any(
+            isinstance(n, ast.Import)
+            and any(a.name == "random" for a in n.names)
+            for n in ast.walk(src.tree)
+        )
+        from_numpy_random: Set[str] = set()
+        for n in ast.walk(src.tree):
+            if isinstance(n, ast.ImportFrom) and n.module == "numpy.random":
+                from_numpy_random.update(a.asname or a.name for a in n.names)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                finding = self._classify_rng_call(src, node, name, from_numpy_random)
+                if finding is not None:
+                    findings.append(finding)
+            elif (
+                imported_random
+                and isinstance(node, ast.Name)
+                and node.id == "random"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                parent = src.parents.get(node)
+                if isinstance(parent, ast.Attribute):
+                    continue  # handled as a call / attribute chain
+                findings.append(
+                    self.finding(
+                        "DET101",
+                        src,
+                        node,
+                        "the 'random' module itself is used as an RNG value "
+                        "(module-global, unseeded state)",
+                        "thread a seeded random.Random(seed) through instead",
+                    )
+                )
+        return findings
+
+    def _classify_rng_call(self, src, node, name, from_numpy_random):
+        unseeded = not node.args and not node.keywords
+        if name.startswith("random."):
+            attr = name.split(".", 1)[1]
+            if attr == "Random" and unseeded:
+                return self.finding(
+                    "DET101",
+                    src,
+                    node,
+                    "random.Random() constructed without a seed",
+                    "derive the seed from the query seed (stable digest)",
+                )
+            if "." not in attr and attr not in _RANDOM_MODULE_OK and attr[:1].islower():
+                return self.finding(
+                    "DET101",
+                    src,
+                    node,
+                    f"module-level RNG call random.{attr}(...) uses unseeded "
+                    "global state",
+                    "use a seeded random.Random(seed) instance",
+                )
+        if name in ("np.random." + a for a in _NP_LEGACY) or name in (
+            "numpy.random." + a for a in _NP_LEGACY
+        ):
+            return self.finding(
+                "DET101",
+                src,
+                node,
+                f"legacy numpy global-state RNG call {name}(...)",
+                "use np.random.Generator seeded via SeedSequence",
+            )
+        if name in ("np.random.default_rng", "numpy.random.default_rng") or (
+            name == "default_rng" and name in from_numpy_random
+        ):
+            if unseeded:
+                return self.finding(
+                    "DET101",
+                    src,
+                    node,
+                    "np.random.default_rng() created without a seed",
+                    "pass entropy derived from the query seed",
+                )
+        if name in ("np.random.SeedSequence", "numpy.random.SeedSequence", "SeedSequence"):
+            if name == "SeedSequence" and name not in from_numpy_random:
+                return None
+            if unseeded:
+                return self.finding(
+                    "DET101",
+                    src,
+                    node,
+                    "SeedSequence() created without entropy draws OS entropy",
+                    "pass entropy=<derived seed>",
+                )
+        return None
+
+    # -- DET102 ------------------------------------------------------------
+    def _set_iteration(self, src: SourceFile) -> List[Finding]:
+        findings = []
+        for node in ast.walk(src.tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in ("list", "tuple", "enumerate", "iter", "reversed")
+                    and node.args
+                ):
+                    iters.append(node.args[0])
+            for it in iters:
+                if self._is_set_expr(it):
+                    findings.append(
+                        self.finding(
+                            "DET102",
+                            src,
+                            it,
+                            "iteration over a set is hash-ordered "
+                            "(varies with PYTHONHASHSEED for str keys)",
+                            "iterate sorted(...) or dedup with dict.fromkeys(...)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                return True
+        return False
+
+    # -- DET103 ------------------------------------------------------------
+    def _unstable_identity(self, src: SourceFile) -> List[Finding]:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("hash", "id"):
+                if self._inside_dunder_hash(src, node):
+                    continue
+                what = (
+                    "hash() is randomized per process for str/bytes keys"
+                    if fn.id == "hash"
+                    else "id() is an ephemeral address, unstable across runs"
+                )
+                findings.append(
+                    self.finding(
+                        "DET103",
+                        src,
+                        node,
+                        f"{what}; it must not feed keys or seeds",
+                        "derive a stable digest (hashlib.blake2b / zlib.crc32) "
+                        "from the value's canonical encoding",
+                    )
+                )
+            elif isinstance(fn, ast.Attribute) and fn.attr == "__hash__":
+                if self._inside_dunder_hash(src, node):
+                    continue
+                findings.append(
+                    self.finding(
+                        "DET103",
+                        src,
+                        node,
+                        ".__hash__() is randomized per process for str keys; "
+                        "it must not feed keys or seeds",
+                        "derive a stable digest from a canonical encoding",
+                    )
+                )
+        findings.extend(self._repr_in_key_functions(src))
+        return findings
+
+    @staticmethod
+    def _inside_dunder_hash(src: SourceFile, node: ast.AST) -> bool:
+        fn = src.enclosing_function(node)
+        return fn is not None and fn.name in ("__hash__", "__eq__")
+
+    def _repr_in_key_functions(self, src: SourceFile) -> List[Finding]:
+        """The PR 5 bug class: default-repr objects aliasing cache keys."""
+        findings = []
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _KEYISH.search(fn.name):
+                continue
+            params = {
+                a.arg
+                for a in (
+                    fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+                )
+                if a.arg not in ("self", "cls")
+            }
+            if self._has_default_repr_guard(fn):
+                continue
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "repr"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params
+                ):
+                    findings.append(
+                        self.finding(
+                            "DET103",
+                            src,
+                            node,
+                            f"repr() of parameter {node.args[0].id!r} feeds a "
+                            f"key in {fn.name}(); a default object.__repr__ "
+                            "embeds id(), and address reuse aliases distinct "
+                            "live objects to one key",
+                            "reject default-repr objects first: "
+                            "`if type(x).__repr__ is object.__repr__: ...`",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _has_default_repr_guard(fn: ast.AST) -> bool:
+        """Look for a ``... .__repr__ is object.__repr__`` comparison."""
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left] + list(node.comparators)
+            repr_attrs = [
+                s
+                for s in sides
+                if isinstance(s, ast.Attribute) and s.attr == "__repr__"
+            ]
+            if len(repr_attrs) >= 2:
+                return True
+        return False
+
+    # -- DET104 ------------------------------------------------------------
+    def _clock_branching(self, src: SourceFile) -> List[Finding]:
+        if src.matches(SANCTIONED_CLOCK_FILES):
+            return []
+        findings = []
+        flagged = set()
+        tests = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                tests.append(node.test)
+            elif isinstance(node, ast.Compare):
+                tests.append(node)
+        for test in tests:
+            for sub in ast.walk(test):
+                if isinstance(sub, ast.Call) and dotted_name(sub.func) in _CLOCK_CALLS:
+                    key = (sub.lineno, sub.col_offset)
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    findings.append(
+                        self.finding(
+                            "DET104",
+                            src,
+                            sub,
+                            f"branching on wall-clock time "
+                            f"({dotted_name(sub.func)}()) makes results "
+                            "depend on host speed",
+                            "gate on counts/sizes, or move the timing to "
+                            "telemetry only",
+                        )
+                    )
+        return findings

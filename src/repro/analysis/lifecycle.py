@@ -1,0 +1,279 @@
+"""Resource-lifecycle checkers (RES3xx).
+
+Shared-memory segments and spill files outlive the objects that created
+them unless someone closes/unlinks them; PR 7's pager short-read bug was
+a lifecycle bug surfacing far from its cause.  Three rules:
+
+``RES301``
+    ``SharedMemory(create=True)`` whose handle neither escapes the
+    function (returned / stored on ``self``) nor sees a ``close()`` /
+    ``unlink()`` in the same function.  Returning the handle is an
+    ownership transfer (``pack_arrays`` documents caller-owns) and is
+    not flagged.
+``RES302``
+    ``tempfile.NamedTemporaryFile`` / ``mkstemp`` / ``mkdtemp`` results
+    that are neither context-managed, closed/unlinked/replaced in the
+    function, stored on ``self`` (a holder class is expected to expose
+    ``close``), nor returned.
+``RES303``
+    A registered resource-holding container (:data:`RESOURCE_CONTAINERS`,
+    e.g. ``Session._stores`` holding spill-backed world stores) dropped
+    wholesale -- ``.clear()``, rebinding, or a discarded ``.pop()`` --
+    in a function that never calls ``.close()`` on values derived from
+    it.  Dropping the dict reference leaves cleanup to GC timing, which
+    the determinism/bench harnesses cannot rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from .core import Checker, Finding, SourceFile, base_name, contains_name, dotted_name
+
+#: file suffix -> attribute names holding closeable resources
+RESOURCE_CONTAINERS: Dict[str, FrozenSet[str]] = {
+    "repro/session.py": frozenset({"_stores"}),
+    "repro/serve.py": frozenset({"_graphs"}),
+}
+
+_TEMPFILE_FACTORIES = {"NamedTemporaryFile", "TemporaryFile", "mkstemp", "mkdtemp"}
+
+
+class ResourceLifecycleChecker(Checker):
+    family = "RES"
+
+    def __init__(self, containers: Dict[str, Sequence[str]] = None):
+        self.containers = (
+            RESOURCE_CONTAINERS if containers is None else containers
+        )
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        if src.kind != "python" or src.tree is None:
+            return []
+        findings: List[Finding] = []
+        findings.extend(self._shared_memory(src))
+        findings.extend(self._tempfiles(src))
+        findings.extend(self._container_drops(src))
+        return findings
+
+    # -- RES301 ------------------------------------------------------------
+    def _shared_memory(self, src: SourceFile) -> List[Finding]:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = dotted_name(node.func)
+            if not fname.endswith("SharedMemory"):
+                continue
+            if not any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            ):
+                continue
+            if self._handle_escapes(src, node, ("close", "unlink")):
+                continue
+            findings.append(
+                self.finding(
+                    "RES301",
+                    src,
+                    node,
+                    "SharedMemory(create=True) with no reachable close()/"
+                    "unlink() and no ownership transfer; the segment "
+                    "outlives the process in /dev/shm",
+                    "close+unlink in a finally, store it on self with a "
+                    "close() method, or return it to a documented owner",
+                )
+            )
+        return findings
+
+    # -- RES302 ------------------------------------------------------------
+    def _tempfiles(self, src: SourceFile) -> List[Finding]:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = dotted_name(node.func)
+            leaf = fname.rsplit(".", 1)[-1]
+            if leaf not in _TEMPFILE_FACTORIES:
+                continue
+            if self._in_with_item(src, node):
+                continue
+            cleanup = ("close", "unlink", "replace", "rename", "remove", "rmtree", "cleanup", "fdopen")
+            if self._handle_escapes(src, node, cleanup):
+                continue
+            findings.append(
+                self.finding(
+                    "RES302",
+                    src,
+                    node,
+                    f"tempfile.{leaf}(...) result is never cleaned up on "
+                    "this path (no with-block, close/unlink/replace, or "
+                    "owning object)",
+                    "context-manage it, or close/unlink in a finally",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _in_with_item(src: SourceFile, node: ast.AST) -> bool:
+        parent = src.parents.get(node)
+        return isinstance(parent, ast.withitem)
+
+    def _handle_escapes(self, src, call, cleanup_attrs) -> bool:
+        """True when the call's result is owned somewhere reachable.
+
+        Owned means: returned/yielded from the enclosing function, bound
+        to a ``self`` attribute, or bound to names on which a cleanup
+        call (``close``/``unlink``/...) appears in the same function.
+        Tuple unpacking (``fd, path = mkstemp()``) tracks every element.
+        """
+        fn = src.enclosing_function(call)
+        if fn is None:
+            return True  # module-level singletons are deliberate
+        parent = src.parents.get(call)
+        names: Set[str] = set()
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Attribute):
+                    return True  # stored on an owning object
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            names.add(elt.id)
+                        elif isinstance(elt, ast.Attribute):
+                            return True
+        elif isinstance(parent, (ast.Return, ast.Yield)):
+            return True
+        elif isinstance(parent, ast.Attribute) and parent.attr in cleanup_attrs:
+            return True  # e.g. SharedMemory(...).close() chained directly
+        if not names:
+            return False
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                if any(contains_name(node.value, name) for name in names):
+                    return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in cleanup_attrs
+                    and base_name(func.value) in names
+                ):
+                    return True
+                # cleanup free functions taking the handle: os.unlink(path)
+                leaf = dotted_name(func).rsplit(".", 1)[-1]
+                if leaf in cleanup_attrs and any(
+                    isinstance(a, ast.Name) and a.id in names for a in node.args
+                ):
+                    return True
+        return False
+
+    # -- RES303 ------------------------------------------------------------
+    def _container_drops(self, src: SourceFile) -> List[Finding]:
+        attrs: Set[str] = set()
+        for suffix, owned in self.containers.items():
+            if src.label.endswith(suffix):
+                attrs |= set(owned)
+        if not attrs:
+            return []
+        findings = []
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name == "__init__":
+                continue
+            drops = self._drop_sites(src, fn, attrs)
+            if not drops:
+                continue
+            if self._closes_derived_values(src, fn, attrs):
+                continue
+            for node, attr in drops:
+                findings.append(
+                    self.finding(
+                        "RES303",
+                        src,
+                        node,
+                        f"{attr} holds closeable resources but is dropped "
+                        f"in {fn.name}() without closing its values "
+                        "(cleanup left to GC timing)",
+                        "close each value (e.g. `for v in ...: v.close()`) "
+                        "before clearing",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _drop_sites(src, fn, attrs):
+        """(node, attr) for clear()/rebind/discarded-pop of owned attrs."""
+        sites = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("clear", "pop", "popitem")
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in attrs
+                ):
+                    parent = src.parents.get(node)
+                    if func.attr == "clear" or isinstance(parent, ast.Expr):
+                        sites.append((node, func.value.attr))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and target.attr in attrs:
+                        sites.append((node, target.attr))
+        return sites
+
+    @staticmethod
+    def _closes_derived_values(src, fn, attrs) -> bool:
+        """Does ``fn`` call ``.close()`` on anything derived from the attrs?"""
+
+        def mentions_attr(tree) -> bool:
+            return any(
+                isinstance(n, ast.Attribute) and n.attr in attrs
+                for n in ast.walk(tree)
+            )
+
+        derived: Set[str] = set()
+        changed = True
+        while changed:  # two passes reach entries -> entry chains
+            changed = False
+            for node in ast.walk(fn):
+                targets = []
+                source = None
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    source = node.value
+                elif isinstance(node, ast.For):
+                    targets = [node.target]
+                    source = node.iter
+                if source is None:
+                    continue
+                if mentions_attr(source) or any(
+                    contains_name(source, name) for name in derived
+                ):
+                    for target in targets:
+                        for leaf in ast.walk(target):
+                            if isinstance(leaf, ast.Name) and leaf.id not in derived:
+                                derived.add(leaf.id)
+                                changed = True
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "close"):
+                continue
+            base = base_name(func.value)
+            if base in derived:
+                return True
+            # chained `self._stores.pop(key).close()`
+            if isinstance(func.value, ast.Call) and mentions_attr(func.value):
+                return True
+            if mentions_attr(func.value):
+                return True
+        return False

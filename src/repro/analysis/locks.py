@@ -1,0 +1,169 @@
+"""Lock-discipline checker (LOCK2xx).
+
+Thread-shared mutable state in the session/serving tier is guarded by
+per-object locks.  The rules are declarative: :data:`LOCK_REGISTRY` maps
+a file to the attribute-ownership contract of each shared class -- which
+attributes a lock owns, and which attributes (Conditions built on that
+lock) count as holding it.
+
+``LOCK201``
+    A read or write of an owned attribute reached without holding the
+    owner's lock *on the same receiver*.  ``with self._lock:`` guards
+    ``self.stats`` but NOT ``self.admission.draining`` -- that needs
+    ``self.admission``'s own lock (or a locked accessor method on the
+    owning class).
+
+The matcher is receiver-syntactic (``self``, ``session``,
+``self.admission`` compared by unparsed text), which is exactly right
+for the idioms in this codebase; cross-file aliasing (e.g. a CLI reading
+``session.stats``) is out of scope and documented as such.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .core import Checker, Finding, SourceFile, unparse
+
+
+@dataclass(frozen=True)
+class Ownership:
+    """One class's lock contract: ``lock_attr`` owns ``attrs``."""
+
+    cls: str
+    lock_attr: str
+    attrs: FrozenSet[str]
+    #: Condition/Event attributes constructed over the same lock --
+    #: ``with self._drained:`` acquires the underlying lock too
+    lock_aliases: Tuple[str, ...] = ()
+    #: methods exempt from the contract (construction, finalizers)
+    exempt: Tuple[str, ...] = ("__init__", "__del__")
+
+
+#: file suffix -> ownership contracts for the shared classes it defines
+LOCK_REGISTRY: Dict[str, Tuple[Ownership, ...]] = {
+    "repro/session.py": (
+        Ownership(
+            cls="Session",
+            lock_attr="_lock",
+            attrs=frozenset(
+                {
+                    "stats",
+                    "_stores",
+                    "_eval_cache",
+                    "_store_flights",
+                    "_eval_flights",
+                    "_published",
+                    "_graph_segment",
+                    "_indexed",
+                }
+            ),
+        ),
+    ),
+    "repro/serve.py": (
+        Ownership(
+            cls="AdmissionController",
+            lock_attr="_lock",
+            attrs=frozenset(
+                {
+                    "draining",
+                    "paused",
+                    "active",
+                    "peak_active",
+                    "admitted",
+                    "rejected",
+                    "heavy_routed",
+                }
+            ),
+            lock_aliases=("_drained", "_resume"),
+        ),
+        Ownership(
+            cls="ReproServer",
+            lock_attr="_lock",
+            attrs=frozenset(
+                {"stats", "_graphs", "_histograms", "_shadow_acc", "_closed"}
+            ),
+        ),
+        Ownership(
+            cls="LatencyHistogram",
+            lock_attr="_lock",
+            attrs=frozenset(
+                {"counts", "count", "total_ms", "min_ms", "max_ms"}
+            ),
+        ),
+    ),
+}
+
+
+class LockDisciplineChecker(Checker):
+    family = "LOCK"
+
+    def __init__(self, registry: Dict[str, Sequence[Ownership]] = None):
+        self.registry = LOCK_REGISTRY if registry is None else registry
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        if src.kind != "python" or src.tree is None:
+            return []
+        rules: List[Ownership] = []
+        for suffix, owned in self.registry.items():
+            if src.label.endswith(suffix):
+                rules.extend(owned)
+        if not rules:
+            return []
+        owned_attrs: Set[str] = set()
+        lock_names: Set[str] = set()
+        exempt: Set[str] = set()
+        for rule in rules:
+            owned_attrs |= set(rule.attrs)
+            lock_names.add(rule.lock_attr)
+            lock_names.update(rule.lock_aliases)
+            exempt.update(rule.exempt)
+        findings: List[Finding] = []
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name in exempt:
+                continue
+            self._check_function(
+                src, fn, owned_attrs, lock_names, frozenset(), findings
+            )
+        return findings
+
+    def _check_function(self, src, fn, owned_attrs, lock_names, held, findings):
+        for stmt in fn.body:
+            self._visit(src, stmt, owned_attrs, lock_names, set(held), findings)
+
+    def _visit(self, src, node, owned_attrs, lock_names, held, findings):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are visited at the top level
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                ce = item.context_expr
+                if isinstance(ce, ast.Attribute) and ce.attr in lock_names:
+                    inner.add(unparse(ce.value))
+            for stmt in node.body:
+                self._visit(src, stmt, owned_attrs, lock_names, inner, findings)
+            return
+        # flag owned-attribute accesses whose receiver's lock is not held
+        if isinstance(node, ast.Attribute) and node.attr in owned_attrs:
+            receiver = unparse(node.value)
+            if receiver not in held:
+                findings.append(
+                    self.finding(
+                        "LOCK201",
+                        src,
+                        node,
+                        f"access to {receiver}.{node.attr} without holding "
+                        f"{receiver}'s lock",
+                        f"wrap in `with {receiver}._lock:` or call a locked "
+                        "accessor on the owning class",
+                    )
+                )
+            # still recurse into the receiver expression
+            self._visit(src, node.value, owned_attrs, lock_names, held, findings)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(src, child, owned_attrs, lock_names, held, findings)

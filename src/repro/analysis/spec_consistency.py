@@ -1,0 +1,233 @@
+"""Spec-registry consistency checkers (SPEC4xx).
+
+Sampler/measure spec strings (``mc:theta=160,seed=7``,
+``pattern:psi=diamond``) appear as literals in the CLI, serve handlers,
+tests, docstrings, and markdown code blocks.  The registry in
+:mod:`repro.specs` is the single source of truth; these checkers parse
+every such literal against it so vocabulary drift (a renamed pattern, a
+retired knob, a new engine missing from a doc) fails lint instead of
+surfacing as a runtime ``ValueError`` -- or worse, silently stale docs.
+
+``SPEC401``
+    A spec-shaped string literal that does not parse against
+    ``repro.specs`` (bad knob value, unknown pattern, malformed pair).
+``SPEC402``
+    A sampler spec whose constructor parameters don't exist on the
+    registered sampler class (``rss:depth=2`` when the knob is
+    ``max_depth``).
+``SPEC403``
+    An engine-vocabulary enumeration (``{auto,python,vectorized}``
+    prose or argparse ``choices``) that disagrees with
+    ``repro.engine.estimators.ENGINES``.
+
+Literals inside f-strings / ``str.format`` templates are skipped (the
+holes make them unparseable by construction), as are literals inside
+``pytest.raises`` blocks and error-path test functions, which exercise
+invalid specs on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from typing import List, Optional, Set
+
+from .core import Checker, Finding, SourceFile
+
+#: test functions exercising rejection paths may hold invalid specs, and
+#: grammar-level ``parse_*`` tests feed arbitrary params on purpose
+_ERROR_TEST = re.compile(
+    r"bad|invalid|error|reject|unknown|malform|validation|raises|parse",
+    re.IGNORECASE,
+)
+
+#: spec-shaped token: kind[:k=v,...] with the kind alternation filled in
+#: from the live registries at check time
+_SPEC_BODY = r"(?::[A-Za-z0-9_.\-]+=[A-Za-z0-9_.\-]*(?:,[A-Za-z0-9_.\-]+=[A-Za-z0-9_.\-]*)*)"
+
+#: engine enumerations in prose/docstrings: {auto,python,...} or auto|python|...
+_ENGINE_ENUM = re.compile(
+    r"\{?auto\s*[,|]\s*python\s*[,|]\s*[a-z]+(?:\s*[,|]\s*[a-z]+)*\}?"
+)
+
+_MD_CODE = re.compile(r"``?([^`\n]+)``?")
+
+
+def _registries():
+    from ..engine.estimators import ENGINES
+    from ..specs import MEASURE_KINDS, SAMPLER_KINDS
+
+    return SAMPLER_KINDS, MEASURE_KINDS, ENGINES
+
+
+def validate_spec(text: str) -> Optional[str]:
+    """Return an error message when ``text`` fails the spec registry."""
+    from ..specs import (
+        SAMPLER_KINDS,
+        build_measure,
+        split_sampler_spec,
+    )
+
+    kind = text.split(":", 1)[0]
+    try:
+        if kind in SAMPLER_KINDS:
+            _, _theta, _seed, params = split_sampler_spec(text)
+            sampler_cls = SAMPLER_KINDS[kind]
+            sig = inspect.signature(sampler_cls.__init__)
+            accepts_kwargs = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in sig.parameters.values()
+            )
+            if not accepts_kwargs:
+                known = set(sig.parameters) - {"self", "graph", "seed"}
+                unknown = sorted(set(params) - known)
+                if unknown:
+                    return (
+                        f"sampler {kind!r} has no parameter(s) "
+                        f"{', '.join(unknown)}; known: {sorted(known)}"
+                    )
+        else:
+            build_measure(text)
+    except (ValueError, TypeError) as exc:
+        return str(exc)
+    return None
+
+
+class SpecConsistencyChecker(Checker):
+    family = "SPEC"
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        if "repro/analysis/" in src.label:
+            return []  # this package documents counterexamples on purpose
+        if src.path.stem.startswith("test_") and _ERROR_TEST.search(src.path.stem):
+            return []  # e.g. test_validation_bugs exercises invalid specs
+        if src.kind == "markdown":
+            return self._check_markdown(src)
+        if src.tree is None:
+            return []
+        return self._check_python(src)
+
+    # -- helpers -----------------------------------------------------------
+    def _spec_regex(self) -> re.Pattern:
+        sampler_kinds, measure_kinds, _ = _registries()
+        kinds = "|".join(sorted(sampler_kinds) + sorted(measure_kinds))
+        return re.compile(rf"^(?:{kinds}){_SPEC_BODY}$")
+
+    def _token_regex(self) -> re.Pattern:
+        """Spec tokens embedded in prose (docstrings, markdown)."""
+        sampler_kinds, measure_kinds, _ = _registries()
+        kinds = "|".join(sorted(sampler_kinds) + sorted(measure_kinds))
+        return re.compile(rf"\b(?:{kinds}){_SPEC_BODY}")
+
+    # -- python sources ----------------------------------------------------
+    def _check_python(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        whole = self._spec_regex()
+        token = self._token_regex()
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                continue
+            if self._exempt_context(src, node):
+                continue
+            text = node.value
+            if whole.match(text):
+                if "{" in text:
+                    continue  # a .format() template; holes are deliberate
+                error = validate_spec(text)
+                if error:
+                    findings.append(self._bad_spec(src, node, text, error))
+            elif len(text) > 60 and ("\n" in text or "``" in text):
+                # docstring / prose: validate embedded spec tokens
+                for match in token.finditer(text):
+                    error = validate_spec(match.group(0))
+                    if error:
+                        findings.append(
+                            self._bad_spec(src, node, match.group(0), error)
+                        )
+                findings.extend(self._engine_enums(src, node, text))
+        return findings
+
+    def _exempt_context(self, src: SourceFile, node: ast.AST) -> bool:
+        """Skip f-string/format fragments and deliberate-error tests."""
+        fstring_parent = src.parents.get(node)
+        if isinstance(fstring_parent, ast.JoinedStr):
+            return True
+        for anc in src.parent_chain(node):
+            if isinstance(anc, ast.With):
+                for item in anc.items:
+                    ce = item.context_expr
+                    if isinstance(ce, ast.Call):
+                        fn = ce.func
+                        if isinstance(fn, ast.Attribute) and fn.attr == "raises":
+                            return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _ERROR_TEST.search(anc.name):
+                    return True
+        return False
+
+    def _bad_spec(self, src, node, text, error) -> Finding:
+        return self.finding(
+            "SPEC401" if "parameter" not in error else "SPEC402",
+            src,
+            node,
+            f"spec literal {text!r} fails the registry: {error}",
+            "align the literal with repro.specs (or register the new knob)",
+        )
+
+    # -- engine vocabulary -------------------------------------------------
+    def _engine_enums(self, src, node, text) -> List[Finding]:
+        _, _, engines = _registries()
+        findings = []
+        for match in _ENGINE_ENUM.finditer(text):
+            listed = set(re.split(r"[,|{}\s]+", match.group(0))) - {""}
+            if not listed <= set(engines) | {"auto"}:
+                continue  # prose that merely resembles an enumeration
+            if listed != set(engines):
+                missing = sorted(set(engines) - listed)
+                findings.append(
+                    self.finding(
+                        "SPEC403",
+                        src,
+                        node,
+                        f"engine vocabulary {sorted(listed)} is stale: "
+                        f"missing {missing} (ENGINES = {list(engines)})",
+                        "update the enumeration to match "
+                        "repro.engine.estimators.ENGINES",
+                    )
+                )
+        return findings
+
+    # -- markdown ----------------------------------------------------------
+    def _check_markdown(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        token = self._token_regex()
+        in_fence = False
+        for lineno, line in enumerate(src.lines, start=1):
+            stripped = line.strip()
+            if stripped.startswith("```"):
+                in_fence = not in_fence
+                continue
+            segments: List[str] = []
+            if in_fence:
+                segments.append(line)
+            else:
+                segments.extend(m.group(1) for m in _MD_CODE.finditer(line))
+            for segment in segments:
+                for match in token.finditer(segment):
+                    error = validate_spec(match.group(0))
+                    if error:
+                        finding = self._bad_spec(src, _At(lineno), match.group(0), error)
+                        findings.append(finding)
+            for match in _ENGINE_ENUM.finditer(line):
+                for f in self._engine_enums(src, _At(lineno), match.group(0)):
+                    findings.append(f)
+        return findings
+
+
+class _At:
+    """Positional stand-in for text (non-AST) findings."""
+
+    def __init__(self, lineno: int, col_offset: int = 0):
+        self.lineno = lineno
+        self.col_offset = col_offset

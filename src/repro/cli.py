@@ -27,7 +27,7 @@ sampled **once** and every ``--run`` replays them (different ``k``,
 the session API exists for.  A ``--run`` spec is
 ``mpds[:k=3,measure=clique:h=3,...]`` or ``nds[:k=2,min_size=3,...]``.
 
-``--engine {auto,python,vectorized}`` picks the possible-world engine
+``--engine {auto,python,vectorized,jit}`` picks the possible-world engine
 (:mod:`repro.engine`); estimates are identical across engines for a
 fixed ``--seed``.  ``--workers N|auto`` fans the sampled worlds out over
 the shared-memory parallel substrate (:mod:`repro.core.parallel`);

@@ -26,6 +26,7 @@ ROI names follow AAL conventions; every base region appears as ``.L`` and
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, List, Tuple
 
@@ -141,7 +142,12 @@ def brain_network(
     """
     if group not in ("TD", "ASD"):
         raise ValueError(f"group must be 'TD' or 'ASD', got {group!r}")
-    rng = random.Random((seed, group).__hash__() & 0x7FFFFFFF)
+    # derive the group substream from a stable digest: tuple.__hash__ mixes
+    # in the randomized str hash, so it varies per interpreter process
+    digest = hashlib.blake2b(
+        f"brain:{seed}:{group}".encode("utf-8"), digest_size=8
+    ).digest()
+    rng = random.Random(int.from_bytes(digest, "big"))
     nodes = roi_names()
     lobes = roi_lobes()
     counts: Dict[tuple, int] = {}

@@ -135,7 +135,9 @@ def _instance_peel_round(
     """
     membership: Dict[Node, List[int]] = {node: [] for node in graph}
     for idx, instance in enumerate(instances):
-        for member in set(instance):
+        # dedup in instance order (set iteration is hash-randomized for
+        # str labels, and heap tie-break counters downstream depend on it)
+        for member in dict.fromkeys(instance):
             membership[member].append(idx)
     alive_instances = [True] * len(instances)
     degree = {node: len(membership[node]) for node in graph}
@@ -167,7 +169,7 @@ def _instance_peel_round(
                 continue
             alive_instances[idx] = False
             remaining -= 1
-            for member in set(instances[idx]):
+            for member in dict.fromkeys(instances[idx]):
                 if member in removed or member == node:
                     continue
                 degree[member] -= 1

@@ -95,7 +95,9 @@ def lp_densest_from_instances(
     rows: List[List[float]] = []
     bounds_rhs: List[float] = []
     for j, instance in enumerate(instances):
-        for member in set(instance):
+        # dict.fromkeys dedups in instance order: constraint-row order must
+        # not depend on the hash-randomized set order of str node labels
+        for member in dict.fromkeys(instance):
             # y_j - x_member <= 0
             row = [0.0] * (n + t)
             row[node_index[member]] = -1.0

@@ -499,7 +499,9 @@ class EngineMeasure(DensityMeasure):
             # induced edge density straight off the mask: count alive
             # edges with both endpoints in `nodes` (exact, label-free)
             indexed = world.indexed
-            node_list = [n for n in set(nodes) if n in indexed.node_index]
+            node_list = [
+                n for n in dict.fromkeys(nodes) if n in indexed.node_index
+            ]
             if not node_list:
                 return Fraction(0)
             member = np.zeros(indexed.n, dtype=bool)

@@ -360,6 +360,12 @@ class AdmissionController:
             self.draining = True
             self._resume.notify_all()
 
+    def is_draining(self) -> bool:
+        """Locked read of the drain flag (callers must not peek at the
+        attribute directly -- it is owned by this controller's lock)."""
+        with self._lock:
+            return self.draining
+
     def wait_drained(self, timeout: Optional[float] = None) -> bool:
         """Block until every admitted request released (or timeout)."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -864,11 +870,8 @@ class ReproServer:
                 "'inserts' and/or 'deletes'",
             )
         timeout = float(body.get("timeout", 60.0))
-        with self._lock:
-            if self.admission.draining:
-                raise Draining(
-                    "server is draining; no updates accepted"
-                )
+        if self.admission.is_draining():
+            raise Draining("server is draining; no updates accepted")
         try:
             with self.admission.exclusive(timeout):
                 try:

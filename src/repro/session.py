@@ -650,6 +650,11 @@ class Session:
         releases again).
         """
         with self._lock:
+            # stores own spill files / packed buffers: release them now
+            # rather than leaving cleanup to GC timing (update() closes
+            # evicted stores for the same reason)
+            for store in self._stores.values():
+                store.close()
             self._stores.clear()
             self._eval_cache.clear()
             self._graph_segment = None
@@ -663,10 +668,12 @@ class Session:
         self.close()
 
     def __repr__(self) -> str:
+        with self._lock:
+            stores = len(self._stores)
         return (
             f"Session(nodes={self.graph.number_of_nodes()}, "
             f"edges={self.graph.number_of_edges()}, "
-            f"stores={len(self._stores)}, engine={self.engine!r})"
+            f"stores={stores}, engine={self.engine!r})"
         )
 
 

@@ -1,0 +1,568 @@
+"""The ``repro-lint`` analyzer: per-checker fixtures, baseline, self-run.
+
+Three layers of coverage:
+
+* true-positive / true-negative fixture snippets per checker family
+  (each hazard idiom is caught; each sanctioned idiom is not);
+* machinery: fingerprint line-drift stability, baseline suppression
+  round-trip, CLI exit codes;
+* the live repo: ``src/repro`` is clean modulo the committed baseline,
+  the baseline holds no stale entries, and deliberately re-introducing
+  the PR 5 repr-cache-key bug in ``session.py`` is caught.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DeterminismChecker,
+    LockDisciplineChecker,
+    ResourceLifecycleChecker,
+    SpecConsistencyChecker,
+    all_checkers,
+    load_baseline,
+    partition,
+    run_analysis,
+    write_baseline,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.core import SourceFile, run_checkers
+from repro.analysis.locks import Ownership
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "analysis" / "baseline.json"
+
+
+def _run(code, checker, label="pkg/fixture.py"):
+    src = SourceFile(Path(label), label, text=code)
+    return checker.run(src)
+
+
+def _ids(findings):
+    return [f.checker for f in findings]
+
+
+# ----------------------------------------------------------------------
+# determinism (DET1xx)
+# ----------------------------------------------------------------------
+class TestDeterminismChecker:
+    def test_unseeded_module_rng_flagged(self):
+        code = (
+            "import random\n"
+            "def draw():\n"
+            "    return random.random()\n"
+        )
+        assert _ids(_run(code, DeterminismChecker())) == ["DET101"]
+
+    def test_unseeded_random_constructor_flagged(self):
+        code = "import random\nrng = random.Random()\n"
+        assert _ids(_run(code, DeterminismChecker())) == ["DET101"]
+
+    def test_seeded_rng_clean(self):
+        code = (
+            "import random\n"
+            "def draw(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_module_rng_as_value_flagged(self):
+        code = (
+            "import random\n"
+            "def sample(rng=None):\n"
+            "    rng = rng or random\n"
+            "    return rng.random()\n"
+        )
+        assert "DET101" in _ids(_run(code, DeterminismChecker()))
+
+    def test_sanctioned_seam_exempt(self):
+        code = "import random\nrng = random.Random()\n"
+        label = "src/repro/graph/generators.py"
+        assert _run(code, DeterminismChecker(), label=label) == []
+
+    def test_numpy_legacy_global_rng_flagged(self):
+        code = (
+            "import numpy as np\n"
+            "def draw(n):\n"
+            "    return np.random.rand(n)\n"
+        )
+        assert _ids(_run(code, DeterminismChecker())) == ["DET101"]
+
+    def test_seeded_default_rng_clean(self):
+        code = (
+            "import numpy as np\n"
+            "def draw(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_set_iteration_flagged(self):
+        code = (
+            "def merge(items):\n"
+            "    out = []\n"
+            "    for item in set(items):\n"
+            "        out.append(item)\n"
+            "    return out\n"
+        )
+        assert _ids(_run(code, DeterminismChecker())) == ["DET102"]
+
+    def test_list_of_set_flagged(self):
+        code = "def dedup(items):\n    return list(set(items))\n"
+        assert _ids(_run(code, DeterminismChecker())) == ["DET102"]
+
+    def test_sorted_set_and_membership_clean(self):
+        code = (
+            "def merge(items, probe):\n"
+            "    ordered = sorted(set(items))\n"
+            "    hit = probe in set(items)\n"
+            "    deduped = list(dict.fromkeys(items))\n"
+            "    return ordered, hit, deduped\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_hash_call_flagged(self):
+        code = "def seed_for(label):\n    return hash(label) & 0xFFFF\n"
+        assert _ids(_run(code, DeterminismChecker())) == ["DET103"]
+
+    def test_dunder_hash_call_flagged(self):
+        code = "def seed_for(pair):\n    return pair.__hash__()\n"
+        assert _ids(_run(code, DeterminismChecker())) == ["DET103"]
+
+    def test_hash_inside_dunder_hash_clean(self):
+        code = (
+            "class Edge:\n"
+            "    def __hash__(self):\n"
+            "        return hash((self.u, self.v))\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_repr_in_key_function_without_guard_flagged(self):
+        code = (
+            "def _cache_key(measure):\n"
+            "    return (type(measure).__qualname__, repr(measure))\n"
+        )
+        findings = _run(code, DeterminismChecker())
+        assert _ids(findings) == ["DET103"]
+        assert "object.__repr__" in findings[0].message
+
+    def test_repr_in_key_function_with_guard_clean(self):
+        code = (
+            "def _cache_key(measure):\n"
+            "    cls = type(measure)\n"
+            "    if cls.__repr__ is object.__repr__:\n"
+            "        return None\n"
+            "    return (cls.__qualname__, repr(measure))\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_repr_tiebreak_outside_key_function_clean(self):
+        code = (
+            "def pick(remaining, degrees):\n"
+            "    return min(remaining, key=lambda v: (degrees[v], repr(v)))\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+    def test_clock_branching_flagged(self):
+        code = (
+            "import time\n"
+            "def refine(deadline):\n"
+            "    while time.monotonic() < deadline:\n"
+            "        pass\n"
+        )
+        assert _ids(_run(code, DeterminismChecker())) == ["DET104"]
+
+    def test_clock_telemetry_clean(self):
+        code = (
+            "import time\n"
+            "def timed(fn, stats):\n"
+            "    t0 = time.perf_counter()\n"
+            "    out = fn()\n"
+            "    stats['seconds'] += time.perf_counter() - t0\n"
+            "    return out\n"
+        )
+        assert _run(code, DeterminismChecker()) == []
+
+
+# ----------------------------------------------------------------------
+# lock discipline (LOCK2xx)
+# ----------------------------------------------------------------------
+FIXTURE_LOCK_REGISTRY = {
+    "fixture_locks.py": (
+        Ownership(cls="Box", lock_attr="_lock", attrs=frozenset({"stats"})),
+    ),
+}
+
+
+def _lock_run(code):
+    checker = LockDisciplineChecker(registry=FIXTURE_LOCK_REGISTRY)
+    return _run(code, checker, label="pkg/fixture_locks.py")
+
+
+class TestLockDisciplineChecker:
+    def test_unlocked_access_flagged(self):
+        code = (
+            "class Box:\n"
+            "    def bump(self):\n"
+            "        self.stats['x'] += 1\n"
+        )
+        findings = _lock_run(code)
+        assert _ids(findings) == ["LOCK201"]
+        assert "self.stats" in findings[0].message
+
+    def test_locked_access_clean(self):
+        code = (
+            "class Box:\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.stats['x'] += 1\n"
+        )
+        assert _lock_run(code) == []
+
+    def test_wrong_receiver_lock_flagged(self):
+        """Holding *my* lock does not license touching *another*
+        object's owned attribute -- the PR 10 serve.py finding."""
+        code = (
+            "class Box:\n"
+            "    def peek(self):\n"
+            "        with self._lock:\n"
+            "            return self.inner.stats\n"
+        )
+        findings = _lock_run(code)
+        assert _ids(findings) == ["LOCK201"]
+        assert "self.inner.stats" in findings[0].message
+
+    def test_matching_foreign_receiver_clean(self):
+        code = (
+            "def drain(box):\n"
+            "    with box._lock:\n"
+            "        return dict(box.stats)\n"
+        )
+        assert _lock_run(code) == []
+
+    def test_init_exempt(self):
+        code = (
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.stats = {}\n"
+        )
+        assert _lock_run(code) == []
+
+    def test_unregistered_file_ignored(self):
+        code = "class Box:\n    def bump(self):\n        self.stats = 1\n"
+        checker = LockDisciplineChecker(registry=FIXTURE_LOCK_REGISTRY)
+        assert _run(code, checker, label="pkg/other.py") == []
+
+
+# ----------------------------------------------------------------------
+# resource lifecycle (RES3xx)
+# ----------------------------------------------------------------------
+FIXTURE_CONTAINERS = {"fixture_res.py": frozenset({"_stores"})}
+
+
+class TestResourceLifecycleChecker:
+    def test_shm_leak_flagged(self):
+        code = (
+            "from multiprocessing import shared_memory\n"
+            "def pack(size):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=size)\n"
+            "    return size\n"
+        )
+        assert _ids(_run(code, ResourceLifecycleChecker())) == ["RES301"]
+
+    def test_shm_returned_is_ownership_transfer(self):
+        code = (
+            "from multiprocessing import shared_memory\n"
+            "def pack(size):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=size)\n"
+            "    return shm, size\n"
+        )
+        assert _run(code, ResourceLifecycleChecker()) == []
+
+    def test_shm_closed_in_finally_clean(self):
+        code = (
+            "from multiprocessing import shared_memory\n"
+            "def probe(size):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=size)\n"
+            "    try:\n"
+            "        return bytes(shm.buf[:1])\n"
+            "    finally:\n"
+            "        shm.close()\n"
+            "        shm.unlink()\n"
+        )
+        assert _run(code, ResourceLifecycleChecker()) == []
+
+    def test_tempfile_leak_flagged(self):
+        code = (
+            "import tempfile\n"
+            "def spill(data):\n"
+            "    f = tempfile.NamedTemporaryFile(delete=False)\n"
+            "    f.write(data)\n"
+        )
+        findings = _run(code, ResourceLifecycleChecker())
+        assert _ids(findings) == ["RES302"]
+
+    def test_tempfile_with_block_clean(self):
+        code = (
+            "import tempfile\n"
+            "def spill(data):\n"
+            "    with tempfile.NamedTemporaryFile() as f:\n"
+            "        f.write(data)\n"
+        )
+        assert _run(code, ResourceLifecycleChecker()) == []
+
+    def test_tempfile_on_self_is_owned(self):
+        """The `_MaskPager` idiom: the holder object exposes close()."""
+        code = (
+            "import tempfile\n"
+            "class Pager:\n"
+            "    def __init__(self):\n"
+            "        self._file = tempfile.NamedTemporaryFile()\n"
+            "    def close(self):\n"
+            "        self._file.close()\n"
+        )
+        assert _run(code, ResourceLifecycleChecker()) == []
+
+    def test_mkstemp_atomic_replace_clean(self):
+        """The `datasets/real.py` idiom: fdopen + replace/unlink."""
+        code = (
+            "import os, tempfile\n"
+            "def atomic_write(payload, dest):\n"
+            "    handle, temp_name = tempfile.mkstemp(dir='.')\n"
+            "    try:\n"
+            "        with os.fdopen(handle, 'wb') as fh:\n"
+            "            fh.write(payload)\n"
+            "        os.replace(temp_name, dest)\n"
+            "    except BaseException:\n"
+            "        os.unlink(temp_name)\n"
+            "        raise\n"
+        )
+        assert _run(code, ResourceLifecycleChecker()) == []
+
+    def test_container_cleared_without_close_flagged(self):
+        code = (
+            "class S:\n"
+            "    def close(self):\n"
+            "        self._stores.clear()\n"
+        )
+        checker = ResourceLifecycleChecker(containers=FIXTURE_CONTAINERS)
+        findings = _run(code, checker, label="pkg/fixture_res.py")
+        assert _ids(findings) == ["RES303"]
+
+    def test_container_values_closed_then_cleared_clean(self):
+        code = (
+            "class S:\n"
+            "    def close(self):\n"
+            "        for store in self._stores.values():\n"
+            "            store.close()\n"
+            "        self._stores.clear()\n"
+        )
+        checker = ResourceLifecycleChecker(containers=FIXTURE_CONTAINERS)
+        assert _run(code, checker, label="pkg/fixture_res.py") == []
+
+    def test_captured_pop_with_close_clean(self):
+        """The serve.py close_graph idiom: pop, then close the entry."""
+        code = (
+            "class S:\n"
+            "    def evict(self, key):\n"
+            "        entry = self._stores.pop(key, None)\n"
+            "        if entry is not None:\n"
+            "            entry.session.close()\n"
+        )
+        checker = ResourceLifecycleChecker(containers=FIXTURE_CONTAINERS)
+        assert _run(code, checker, label="pkg/fixture_res.py") == []
+
+
+# ----------------------------------------------------------------------
+# spec-registry consistency (SPEC4xx)
+# ----------------------------------------------------------------------
+class TestSpecConsistencyChecker:
+    def test_invalid_knob_value_flagged(self):
+        code = 'DEFAULT = "mc:theta=0"\n'
+        findings = _run(code, SpecConsistencyChecker())
+        assert _ids(findings) == ["SPEC401"]
+
+    def test_unknown_constructor_param_flagged(self):
+        code = 'DEFAULT = "rss:depth=2"\n'
+        findings = _run(code, SpecConsistencyChecker())
+        assert _ids(findings) == ["SPEC402"]
+        assert "max_depth" in findings[0].message
+
+    def test_valid_specs_clean(self):
+        code = (
+            'A = "mc:theta=160,seed=7"\n'
+            'B = "rss:r=4,max_depth=2"\n'
+            'C = "pattern:psi=diamond"\n'
+            'D = "clique:h=3"\n'
+        )
+        assert _run(code, SpecConsistencyChecker()) == []
+
+    def test_fstring_fragments_skipped(self):
+        code = (
+            "def spec_for(seed):\n"
+            '    return f"mc:theta=64,seed={seed}"\n'
+        )
+        assert _run(code, SpecConsistencyChecker()) == []
+
+    def test_pytest_raises_block_skipped(self):
+        code = (
+            "import pytest\n"
+            "def test_rejects():\n"
+            "    with pytest.raises(ValueError):\n"
+            '        parse("mc:theta=0")\n'
+        )
+        assert _run(code, SpecConsistencyChecker()) == []
+
+    def test_stale_engine_vocabulary_in_docstring_flagged(self):
+        code = (
+            '"""Run the bench.\n\n'
+            "``--engine {auto,python,vectorized}`` picks the engine\n"
+            "used for the run; see the engine docs for details on the\n"
+            'auto-detection order and its fallbacks.\n"""\n'
+        )
+        findings = _run(code, SpecConsistencyChecker())
+        assert _ids(findings) == ["SPEC403"]
+
+    def test_markdown_code_spans_checked(self):
+        md = (
+            "# usage\n\n"
+            "Query with `mc:theta=0,seed=7` for a quick look.\n"
+        )
+        findings = _run(md, SpecConsistencyChecker(), label="pkg/USAGE.md")
+        assert _ids(findings) == ["SPEC401"]
+
+    def test_markdown_valid_spec_clean(self):
+        md = "Sample with `mc:theta=160,seed=7`.\n\n```\nrss:r=4\n```\n"
+        assert _run(md, SpecConsistencyChecker(), label="pkg/USAGE.md") == []
+
+
+# ----------------------------------------------------------------------
+# machinery: fingerprints, baseline round-trip, CLI
+# ----------------------------------------------------------------------
+HAZARD = "def merge(items):\n    return list(set(items))\n"
+
+
+class TestBaselineAndCli:
+    def _write_pkg(self, tmp_path, body=HAZARD):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir(exist_ok=True)
+        (pkg / "mod.py").write_text(body, encoding="utf-8")
+        return pkg
+
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        before = run_analysis([pkg], root=tmp_path)
+        self._write_pkg(tmp_path, "import os\n\n\n" + HAZARD)
+        after = run_analysis([pkg], root=tmp_path)
+        assert [f.fingerprint for f in before] == [
+            f.fingerprint for f in after
+        ]
+        assert before[0].line != after[0].line
+
+    def test_baseline_round_trip(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        findings = run_analysis([pkg], root=tmp_path)
+        assert findings
+        baseline_path = tmp_path / "analysis" / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        new, suppressed, stale = partition(
+            run_analysis([pkg], root=tmp_path), baseline
+        )
+        assert new == [] and len(suppressed) == len(findings) and stale == []
+
+    def test_new_hazard_not_suppressed(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        baseline_path = tmp_path / "analysis" / "baseline.json"
+        write_baseline(baseline_path, run_analysis([pkg], root=tmp_path))
+        self._write_pkg(
+            tmp_path, HAZARD + "def merge2(items):\n    return list(set(items))\n"
+        )
+        new, suppressed, stale = partition(
+            run_analysis([pkg], root=tmp_path),
+            load_baseline(baseline_path),
+        )
+        assert len(new) == 1 and len(suppressed) == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        baseline_path = tmp_path / "analysis" / "baseline.json"
+        write_baseline(baseline_path, run_analysis([pkg], root=tmp_path))
+        self._write_pkg(tmp_path, "def merge(items):\n    return sorted(set(items))\n")
+        new, suppressed, stale = partition(
+            run_analysis([pkg], root=tmp_path),
+            load_baseline(baseline_path),
+        )
+        assert new == [] and suppressed == [] and len(stale) == 1
+
+    def test_cli_gate_and_write_baseline(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        args = ["--root", str(tmp_path), str(pkg)]
+        assert lint_main(args) == 1  # hazard, no baseline yet
+        assert lint_main(["--write-baseline"] + args) == 0
+        assert lint_main(args) == 0  # suppressed now
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        code = lint_main(
+            ["--root", str(tmp_path), "--no-baseline", "--json", str(pkg)]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] and payload["new"][0]["checker"] == "DET102"
+
+    def test_cli_select_filters_families(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        args = ["--root", str(tmp_path), "--no-baseline", str(pkg)]
+        assert lint_main(["--select", "RES"] + args) == 0
+        assert lint_main(["--select", "DET"] + args) == 1
+
+    def test_cli_missing_path_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+
+# ----------------------------------------------------------------------
+# the live repo
+# ----------------------------------------------------------------------
+class TestSelfRun:
+    def test_repro_package_clean_modulo_baseline(self):
+        findings = run_analysis([REPO / "src" / "repro"], root=REPO)
+        baseline = load_baseline(BASELINE)
+        new, _suppressed, stale = partition(findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert stale == [], "baseline holds entries for already-fixed code"
+
+    def test_docs_clean(self):
+        paths = [REPO / "README.md", REPO / "docs"]
+        findings = run_analysis(paths, root=REPO)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_reintroducing_pr5_repr_cache_key_bug_is_caught(self):
+        """Strip the default-repr guard from ``session._measure_key`` and
+        the determinism checker must flag the ``repr(measure)`` key."""
+        source = (REPO / "src" / "repro" / "session.py").read_text(
+            encoding="utf-8"
+        )
+        guard = "if cls.__repr__ is object.__repr__:"
+        assert guard in source, "PR 5 guard is gone from session.py?"
+        clean = _run(source, DeterminismChecker(), label="pkg/session.py")
+        assert [f for f in clean if f.checker == "DET103"] == []
+        broken = source.replace(guard, "if False:")
+        findings = _run(broken, DeterminismChecker(), label="pkg/session.py")
+        det = [f for f in findings if f.checker == "DET103"]
+        assert len(det) == 1
+        assert "repr() of parameter 'measure'" in det[0].message
+
+    def test_console_entry_points_registered(self):
+        setup_text = (REPO / "setup.py").read_text(encoding="utf-8")
+        assert "repro-lint = repro.analysis.cli:main" in setup_text
+
+    def test_all_checkers_cover_four_families(self):
+        families = {c.family for c in all_checkers()}
+        assert families == {"DET", "LOCK", "RES", "SPEC"}

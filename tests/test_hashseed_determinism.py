@@ -1,0 +1,83 @@
+"""Cross-process determinism under PYTHONHASHSEED randomization.
+
+String node labels hash differently in every interpreter process, so
+any result that leaks hash order (set iteration, ``hash()``-derived
+seeds) differs between a driver and its spawned workers -- or between
+two runs of the same script.  These are the regression tests for the
+hazards ``repro-lint``'s determinism checkers surfaced: the brain
+dataset's hash-derived group seed (DET103) and hash-ordered set
+iteration on string-labeled estimation paths (DET102).
+
+Each test runs the same computation in two subprocesses pinned to
+different ``PYTHONHASHSEED`` values and asserts byte-identical output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+BRAIN_SNIPPET = """
+import hashlib
+from repro.datasets.brain import brain_network
+
+graph = brain_network("ASD", subjects=4, seed=11)
+payload = repr(sorted(graph.weighted_edges())).encode()
+print(hashlib.sha1(payload).hexdigest())
+"""
+
+QUERY_SNIPPET = """
+import random
+from repro.graph.generators import uncertain_erdos_renyi
+from repro.graph.uncertain import UncertainGraph
+from repro.session import Session
+
+base = uncertain_erdos_renyi(14, 0.35, rng=random.Random(5))
+graph = UncertainGraph()
+for node in base.nodes():
+    graph.add_node(f"node-{node}")
+for u, v, p in base.weighted_edges():
+    graph.add_edge(f"node-{u}", f"node-{v}", p)
+with Session(graph) as session:
+    result = (
+        session.query()
+        .sampler("mc", theta=16, seed=3)
+        .top_k(2)
+        .mpds()
+    )
+print(result.to_json(indent=None))
+"""
+
+
+def _run_pinned(snippet: str, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_brain_network_identical_across_hash_seeds():
+    """DET103 regression: the group seed must not derive from hash()."""
+    assert _run_pinned(BRAIN_SNIPPET, "1") == _run_pinned(BRAIN_SNIPPET, "93")
+
+
+def test_string_labeled_query_identical_across_hash_seeds():
+    """DET102 regression: estimates on str-labeled graphs must not leak
+    set-iteration order anywhere in the sample/evaluate path."""
+    out_a = _run_pinned(QUERY_SNIPPET, "7")
+    out_b = _run_pinned(QUERY_SNIPPET, "4242")
+    assert out_a == out_b
+    assert '"probability"' in out_a  # sanity: the query really produced output

@@ -187,6 +187,15 @@ class TestAdmission:
         assert ctl.route(session, key, 64, 3) == 1
         assert ctl.snapshot()["heavy_routed"] == 0
 
+    def test_is_draining_is_a_locked_accessor(self):
+        """Callers must read the drain flag through the controller's own
+        lock, never through a foreign lock -- the LOCK201 finding
+        repro-lint surfaced in the update handler."""
+        ctl = AdmissionController()
+        assert ctl.is_draining() is False
+        ctl.begin_drain()
+        assert ctl.is_draining() is True
+
     def test_admit_release_and_drain(self):
         ctl = AdmissionController()
         ctl.admit()

@@ -301,6 +301,27 @@ class TestSession:
         session.close()
         session.close()
 
+    def test_close_releases_cached_stores(self, graph):
+        """close() must close every cached store (spill files, packed
+        buffers) rather than leave cleanup to GC timing -- the RES303
+        finding repro-lint surfaced."""
+
+        class _ClosableStore:
+            closed = 0
+
+            def close(self):
+                self.closed += 1
+
+        session = Session(graph)
+        session.query().sampler("mc", theta=8, seed=1).mpds()
+        fake = _ClosableStore()
+        with session._lock:
+            session._stores[("fake", "store", "key")] = fake
+        session.close()
+        assert fake.closed == 1
+        with session._lock:
+            assert session._stores == {}
+
     def test_query_validations_match_legacy(self, graph):
         with Session(graph) as session:
             with pytest.raises(ValueError, match="k must be >= 1, got 0"):
